@@ -1,0 +1,192 @@
+package fuzzyxml_test
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	fuzzyxml "repro"
+)
+
+func slide12doc() *fuzzyxml.FuzzyTree {
+	return fuzzyxml.MustParseFuzzy("A(B[w1 !w2], C(D[w2]))",
+		map[fuzzyxml.EventID]float64{"w1": 0.8, "w2": 0.7})
+}
+
+func TestFacadeQueryRoundTrip(t *testing.T) {
+	q, err := fuzzyxml.ParseQuery("A(B $x, //C=v $y) where $x = $y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fuzzyxml.FormatQuery(q); got != "A(B $x, //C=v $y) where $x = $y" {
+		t.Errorf("FormatQuery = %q", got)
+	}
+}
+
+func TestFacadeTreeHelpers(t *testing.T) {
+	n, err := fuzzyxml.ParseTree("A(B:foo)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fuzzyxml.FormatTree(n) != "A(B:foo)" {
+		t.Errorf("FormatTree = %q", fuzzyxml.FormatTree(n))
+	}
+	c, err := fuzzyxml.ParseCondition("w1 !w2")
+	if err != nil || c.String() != "w1 !w2" {
+		t.Errorf("ParseCondition = %q, %v", c, err)
+	}
+}
+
+func TestFacadeXMLRoundTrip(t *testing.T) {
+	doc := slide12doc()
+	var buf bytes.Buffer
+	if err := fuzzyxml.WriteDocXML(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	back, err := fuzzyxml.ReadDocXML(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fuzzyxml.FormatFuzzy(back.Root) != fuzzyxml.FormatFuzzy(doc.Root) {
+		t.Error("XML round trip changed document")
+	}
+
+	var tb bytes.Buffer
+	tr := fuzzyxml.MustParseTree("A(B:foo)")
+	if err := fuzzyxml.WriteTreeXML(&tb, tr); err != nil {
+		t.Fatal(err)
+	}
+	back2, err := fuzzyxml.ReadTreeXML(&tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fuzzyxml.FormatTree(back2) != "A(B:foo)" {
+		t.Errorf("tree XML round trip = %q", fuzzyxml.FormatTree(back2))
+	}
+}
+
+func TestFacadeTransactionXML(t *testing.T) {
+	tx := fuzzyxml.NewTransaction(fuzzyxml.MustParseQuery("A(B $x)"), 0.5,
+		fuzzyxml.DeleteOp("x"))
+	var buf bytes.Buffer
+	if err := fuzzyxml.WriteTransactionXML(&buf, tx); err != nil {
+		t.Fatal(err)
+	}
+	back, err := fuzzyxml.ReadTransactionXML(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Conf != 0.5 || len(back.Ops) != 1 {
+		t.Errorf("transaction round trip: %+v", back)
+	}
+	list, err := fuzzyxml.ReadTransactionsXML(strings.NewReader(
+		"<transactions>" + buf.String() + "</transactions>"))
+	if err != nil || len(list) != 1 {
+		t.Errorf("transactions list: %v, %v", list, err)
+	}
+}
+
+func TestFacadeSampleWorlds(t *testing.T) {
+	doc := slide12doc()
+	s, err := fuzzyxml.SampleWorlds(doc, 50000, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := fuzzyxml.PossibleWorlds(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range exact.Worlds {
+		if math.Abs(s.ProbOf(w.Tree)-w.P) > 0.02 {
+			t.Errorf("sampled P(%s) = %v, exact %v",
+				fuzzyxml.FormatTree(w.Tree), s.ProbOf(w.Tree), w.P)
+		}
+	}
+}
+
+func TestFacadeEvalQueryOnTree(t *testing.T) {
+	doc := fuzzyxml.MustParseTree("A(B:foo, C(D))")
+	answers, err := fuzzyxml.EvalQueryOnTree(
+		fuzzyxml.MustParseQuery("A(//D $x)"), doc, fuzzyxml.MinimalSubtree)
+	if err != nil || len(answers) != 1 {
+		t.Fatalf("answers = %v, err = %v", answers, err)
+	}
+}
+
+func TestFacadeCompileXPath(t *testing.T) {
+	q, err := fuzzyxml.CompileXPath("/A/B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fuzzyxml.FormatQuery(q) != "A(B $result)" {
+		t.Errorf("CompileXPath = %q", fuzzyxml.FormatQuery(q))
+	}
+	doc := slide12doc()
+	answers, err := fuzzyxml.EvalQuery(q, doc)
+	if err != nil || len(answers) != 1 || math.Abs(answers[0].P-0.24) > 1e-12 {
+		t.Errorf("xpath query answers = %v, err = %v", answers, err)
+	}
+}
+
+func TestFacadeOptimizeQuery(t *testing.T) {
+	doc := fuzzyxml.MustParseTree("A(B, B, B, C)")
+	q := fuzzyxml.MustParseQuery("A(//B $b, //C $c)")
+	opt := fuzzyxml.OptimizeQuery(q, doc)
+	if opt.Root.Children[0].Label != "C" {
+		t.Errorf("OptimizeQuery did not reorder: %s", fuzzyxml.FormatQuery(opt))
+	}
+	a1, _ := fuzzyxml.EvalQueryOnTree(q, doc, fuzzyxml.MinimalSubtree)
+	a2, _ := fuzzyxml.EvalQueryOnTree(opt, doc, fuzzyxml.MinimalSubtree)
+	if len(a1) != len(a2) {
+		t.Error("optimization changed answers")
+	}
+}
+
+func TestFacadeInference(t *testing.T) {
+	doc := slide12doc()
+	p, err := fuzzyxml.ProbSelected(fuzzyxml.MustParseQuery("A(//D)"), doc)
+	if err != nil || math.Abs(p-0.7) > 1e-12 {
+		t.Errorf("ProbSelected = %v, %v", p, err)
+	}
+	post, err := fuzzyxml.Posterior(fuzzyxml.MustParseQuery("A(B)"), doc)
+	if err != nil || math.Abs(post["w1"]-1) > 1e-12 {
+		t.Errorf("Posterior = %v, %v", post, err)
+	}
+	_, _, _, lift, err := fuzzyxml.Correlation(
+		fuzzyxml.MustParseQuery("A(B)"), fuzzyxml.MustParseQuery("A(//D)"), doc)
+	if err != nil || lift != 0 {
+		t.Errorf("Correlation lift = %v, %v", lift, err)
+	}
+	h, err := fuzzyxml.DocumentEntropy(doc)
+	if err != nil || h <= 0 || h >= 2 {
+		t.Errorf("DocumentEntropy = %v, %v", h, err)
+	}
+}
+
+func TestFacadeNegationQuery(t *testing.T) {
+	doc := slide12doc()
+	answers, err := fuzzyxml.EvalQuery(fuzzyxml.MustParseQuery("A $x(!B)"), doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 1 || math.Abs(answers[0].P-0.76) > 1e-12 {
+		t.Errorf("negation answers = %v", answers)
+	}
+}
+
+func TestFacadeWarehouse(t *testing.T) {
+	w, err := fuzzyxml.OpenWarehouse(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Create("d", slide12doc()); err != nil {
+		t.Fatal(err)
+	}
+	info, err := w.Stat("d")
+	if err != nil || info.Nodes != 4 {
+		t.Errorf("Stat = %+v, %v", info, err)
+	}
+}

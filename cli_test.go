@@ -1,0 +1,189 @@
+package fuzzyxml_test
+
+// End-to-end integration tests of the CLI tools: each binary is built
+// once into a temp dir and driven the way a user would drive it.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTools compiles the cmd/ binaries once per test run.
+func buildTools(t *testing.T, names ...string) map[string]string {
+	t.Helper()
+	dir := t.TempDir()
+	paths := make(map[string]string, len(names))
+	for _, n := range names {
+		bin := filepath.Join(dir, n)
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+n)
+		cmd.Dir = "."
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", n, err, out)
+		}
+		paths[n] = bin
+	}
+	return paths
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+const slide12XML = `<pxml>
+  <events>
+    <event name="w1" prob="0.8"/>
+    <event name="w2" prob="0.7"/>
+  </events>
+  <root>
+    <A>
+      <B cond="w1 !w2">foo</B>
+      <C><D cond="w2"/></C>
+    </A>
+  </root>
+</pxml>`
+
+const slide15TXXML = `<transaction confidence="0.9" event="w3">
+  <where>A $a(B $b, C $c)</where>
+  <insert into="$a"><D/></insert>
+  <delete select="$c"/>
+</transaction>`
+
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	bins := buildTools(t, "pxquery", "pxworlds", "pxupdate", "pxsimplify", "pxgen", "pxwarehouse")
+	work := t.TempDir()
+
+	doc := filepath.Join(work, "slide12.pxml")
+	if err := os.WriteFile(doc, []byte(slide12XML), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// pxquery: the slide-13 probability.
+	out := run(t, bins["pxquery"], "-doc", doc, "-query", "A(B)")
+	if !strings.Contains(out, "P=0.24") {
+		t.Errorf("pxquery output:\n%s", out)
+	}
+
+	// pxquery Monte-Carlo mode.
+	out = run(t, bins["pxquery"], "-doc", doc, "-query", "A(B)", "-mode", "mc", "-samples", "20000")
+	if !strings.Contains(out, "P=0.2") {
+		t.Errorf("pxquery mc output:\n%s", out)
+	}
+
+	// pxworlds: the slide-12 distribution.
+	out = run(t, bins["pxworlds"], "-doc", doc)
+	for _, want := range []string{"3 distinct worlds", "P=0.7", "P=0.24", "P=0.06"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("pxworlds output missing %q:\n%s", want, out)
+		}
+	}
+
+	// pxupdate: slide-15 on its own document.
+	doc15 := filepath.Join(work, "slide15.pxml")
+	run15 := `<pxml><events><event name="w1" prob="0.8"/><event name="w2" prob="0.7"/></events><root><A><B cond="w1"/><C cond="w2"/></A></root></pxml>`
+	if err := os.WriteFile(doc15, []byte(run15), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tx := filepath.Join(work, "tx.xml")
+	if err := os.WriteFile(tx, []byte(slide15TXXML), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	updated := filepath.Join(work, "updated.pxml")
+	run(t, bins["pxupdate"], "-doc", doc15, "-tx", tx, "-out", updated)
+	data, err := os.ReadFile(updated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`cond="!w1 w2"`, `cond="w1 w2 !w3"`, `<D cond="w1 w2 w3"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("pxupdate output missing %q:\n%s", want, data)
+		}
+	}
+
+	// pxsimplify on a redundant document.
+	noisy := filepath.Join(work, "noisy.pxml")
+	noisyXML := `<pxml><events><event name="w" prob="0.5"/></events><root><A><B cond="w !w"/><C cond="w"/></A></root></pxml>`
+	if err := os.WriteFile(noisy, []byte(noisyXML), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	clean := filepath.Join(work, "clean.pxml")
+	run(t, bins["pxsimplify"], "-doc", noisy, "-out", clean)
+	cleanData, err := os.ReadFile(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(cleanData), "<B") {
+		t.Errorf("unsatisfiable node survived pxsimplify:\n%s", cleanData)
+	}
+
+	// pxgen produces parseable documents, reproducibly.
+	g1 := run(t, bins["pxgen"], "-kind", "fuzzy", "-seed", "7", "-events", "3")
+	g2 := run(t, bins["pxgen"], "-kind", "fuzzy", "-seed", "7", "-events", "3")
+	if g1 != g2 {
+		t.Error("pxgen not deterministic for equal seeds")
+	}
+	genDoc := filepath.Join(work, "gen.pxml")
+	if err := os.WriteFile(genDoc, []byte(g1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	run(t, bins["pxworlds"], "-doc", genDoc) // must parse and expand
+
+	// pxwarehouse: init, load, stat, query, update, simplify, dump, drop.
+	wh := filepath.Join(work, "wh")
+	run(t, bins["pxwarehouse"], "-dir", wh, "init")
+	run(t, bins["pxwarehouse"], "-dir", wh, "load", "demo", doc15)
+	out = run(t, bins["pxwarehouse"], "-dir", wh, "list")
+	if !strings.Contains(out, "demo") {
+		t.Errorf("pxwarehouse list:\n%s", out)
+	}
+	out = run(t, bins["pxwarehouse"], "-dir", wh, "stat", "demo")
+	if !strings.Contains(out, "3 nodes") {
+		t.Errorf("pxwarehouse stat:\n%s", out)
+	}
+	out = run(t, bins["pxwarehouse"], "-dir", wh, "update", "demo", tx)
+	if !strings.Contains(out, "1 valuations") {
+		t.Errorf("pxwarehouse update:\n%s", out)
+	}
+	out = run(t, bins["pxwarehouse"], "-dir", wh, "query", "demo", "A(D $d)")
+	if !strings.Contains(out, "P=0.504") {
+		t.Errorf("pxwarehouse query:\n%s", out)
+	}
+	run(t, bins["pxwarehouse"], "-dir", wh, "simplify", "demo")
+	out = run(t, bins["pxwarehouse"], "-dir", wh, "dump", "demo")
+	if !strings.Contains(out, "<pxml>") {
+		t.Errorf("pxwarehouse dump:\n%s", out)
+	}
+	run(t, bins["pxwarehouse"], "-dir", wh, "drop", "demo")
+	out = run(t, bins["pxwarehouse"], "-dir", wh, "list")
+	if strings.Contains(out, "demo") {
+		t.Errorf("document survived drop:\n%s", out)
+	}
+}
+
+func TestCLIPxbenchSelected(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	bins := buildTools(t, "pxbench")
+	out := run(t, bins["pxbench"], "-e", "E1,E6")
+	for _, want := range []string{"E1", "E6", "PASS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("pxbench output missing %q:\n%s", want, out)
+		}
+	}
+	out = run(t, bins["pxbench"], "-list")
+	if !strings.Contains(out, "E10") {
+		t.Errorf("pxbench -list:\n%s", out)
+	}
+}

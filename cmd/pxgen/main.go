@@ -1,0 +1,74 @@
+// Command pxgen generates synthetic probabilistic XML documents and
+// workloads for experiments, reproducibly from a seed.
+//
+// Usage:
+//
+//	pxgen -kind fuzzy -seed 7 -events 6 -depth 4 > doc.pxml
+//	pxgen -kind tree -nodes 1000 > doc.xml
+//	pxgen -kind feed -n 20 > feed-doc.pxml   (extraction-feed scenario)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	fuzzyxml "repro"
+	"repro/internal/gen"
+	"repro/internal/xmlio"
+)
+
+func main() {
+	var (
+		kind   = flag.String("kind", "fuzzy", "what to generate: fuzzy | tree | feed")
+		seed   = flag.Int64("seed", 1, "random seed")
+		depth  = flag.Int("depth", 4, "tree depth (fuzzy, tree)")
+		fanout = flag.Int("fanout", 4, "max fanout (fuzzy, tree)")
+		nodes  = flag.Int("nodes", 0, "exact node count (tree only; overrides depth)")
+		events = flag.Int("events", 4, "distinct events (fuzzy)")
+		n      = flag.Int("n", 10, "records in the feed scenario (feed)")
+	)
+	flag.Parse()
+	r := rand.New(rand.NewSource(*seed))
+
+	switch *kind {
+	case "tree":
+		var t *fuzzyxml.Tree
+		if *nodes > 0 {
+			t = gen.TreeOfSize(r, *nodes, gen.TreeConfig{})
+		} else {
+			t = gen.Tree(r, gen.TreeConfig{Depth: *depth, MaxFanout: *fanout})
+		}
+		if err := xmlio.WriteTree(os.Stdout, t); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	case "fuzzy":
+		ft := gen.Fuzzy(r, gen.FuzzyConfig{
+			Tree:   gen.TreeConfig{Depth: *depth, MaxFanout: *fanout},
+			Events: *events,
+		})
+		if err := fuzzyxml.WriteDocXML(os.Stdout, ft); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	case "feed":
+		w := gen.ExtractionFeed(r, *n)
+		final, _, err := w.Apply()
+		if err != nil {
+			fatal(err)
+		}
+		if err := fuzzyxml.WriteDocXML(os.Stdout, final); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	default:
+		fatal(fmt.Errorf("unknown kind %q", *kind))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pxgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+// Command pxquery evaluates a TPWJ query on a probabilistic XML document
+// and prints each distinct answer with its probability and condition.
+//
+// Usage:
+//
+//	pxquery -doc warehouse.pxml -query 'A(B $x, C(//D=val $y)) where $x = $y'
+//	pxquery -doc warehouse.pxml -query 'A(B)' -mode mc -samples 100000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	fuzzyxml "repro"
+)
+
+func main() {
+	var (
+		docPath = flag.String("doc", "", "path to the .pxml document (required)")
+		query   = flag.String("query", "", "TPWJ query text")
+		xp      = flag.String("xpath", "", "XPath-subset query (alternative to -query)")
+		mode    = flag.String("mode", "exact", "probability computation: exact | mc")
+		samples = flag.Int("samples", 100000, "Monte-Carlo samples (mode mc)")
+		seed    = flag.Int64("seed", 1, "Monte-Carlo random seed (mode mc)")
+		conds   = flag.Bool("conds", false, "also print each answer's condition DNF")
+	)
+	flag.Parse()
+	if *docPath == "" || (*query == "") == (*xp == "") {
+		flag.Usage()
+		fmt.Fprintln(os.Stderr, "pxquery: need -doc and exactly one of -query / -xpath")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*docPath)
+	if err != nil {
+		fatal(err)
+	}
+	doc, err := fuzzyxml.ReadDocXML(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	var q *fuzzyxml.Query
+	if *xp != "" {
+		q, err = fuzzyxml.CompileXPath(*xp)
+	} else {
+		q, err = fuzzyxml.ParseQuery(*query)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	var answers []fuzzyxml.ProbAnswer
+	switch *mode {
+	case "exact":
+		answers, err = fuzzyxml.EvalQuery(q, doc)
+	case "mc":
+		answers, err = fuzzyxml.EvalQueryMC(q, doc, *samples, rand.New(rand.NewSource(*seed)))
+	default:
+		err = fmt.Errorf("unknown mode %q", *mode)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if len(answers) == 0 {
+		fmt.Println("no answers")
+		return
+	}
+	for _, a := range answers {
+		fmt.Printf("P=%.6g  %s\n", a.P, fuzzyxml.FormatTree(a.Tree))
+		if *conds {
+			fmt.Printf("        when %s\n", a.Cond)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pxquery:", err)
+	os.Exit(1)
+}

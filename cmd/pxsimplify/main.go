@@ -1,0 +1,64 @@
+// Command pxsimplify runs the semantics-preserving simplification passes
+// on a probabilistic XML document ("fuzzy data simplification",
+// perspectives slide of the paper).
+//
+// Usage:
+//
+//	pxsimplify -doc noisy.pxml -out clean.pxml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	fuzzyxml "repro"
+)
+
+func main() {
+	var (
+		docPath = flag.String("doc", "", "path to the .pxml document (required)")
+		outPath = flag.String("out", "-", "output path ('-' for stdout)")
+	)
+	flag.Parse()
+	if *docPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*docPath)
+	if err != nil {
+		fatal(err)
+	}
+	doc, err := fuzzyxml.ReadDocXML(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	before := doc.Size()
+	stats := fuzzyxml.Simplify(doc)
+	fmt.Fprintf(os.Stderr,
+		"pxsimplify: %d -> %d nodes (-%d), -%d literals, %d sibling merges, -%d events\n",
+		before, doc.Size(), stats.NodesRemoved, stats.LiteralsRemoved,
+		stats.SiblingsMerged, stats.EventsRemoved)
+
+	out := os.Stdout
+	if *outPath != "-" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := fuzzyxml.WriteDocXML(out, doc); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pxsimplify:", err)
+	os.Exit(1)
+}

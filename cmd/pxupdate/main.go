@@ -1,0 +1,108 @@
+// Command pxupdate applies an XUpdate-style probabilistic transaction to
+// a probabilistic XML document.
+//
+// Usage:
+//
+//	pxupdate -doc warehouse.pxml -tx replace.xml -out warehouse.pxml
+//	pxupdate -doc warehouse.pxml -tx feed.xml -simplify
+//
+// With -out "-" (the default) the updated document goes to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	fuzzyxml "repro"
+)
+
+func main() {
+	var (
+		docPath  = flag.String("doc", "", "path to the .pxml document (required)")
+		txPath   = flag.String("tx", "", "path to the <transaction> or <transactions> XML (required)")
+		outPath  = flag.String("out", "-", "output path ('-' for stdout)")
+		simplify = flag.Bool("simplify", false, "simplify the document after applying")
+		verbose  = flag.Bool("v", false, "print per-transaction statistics to stderr")
+	)
+	flag.Parse()
+	if *docPath == "" || *txPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	df, err := os.Open(*docPath)
+	if err != nil {
+		fatal(err)
+	}
+	doc, err := fuzzyxml.ReadDocXML(df)
+	df.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	txs, err := readTransactions(*txPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	for i, tx := range txs {
+		next, stats, err := fuzzyxml.ApplyUpdate(tx, doc)
+		if err != nil {
+			fatal(fmt.Errorf("transaction %d: %w", i, err))
+		}
+		doc = next
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "tx %d: %d valuations, %d inserted, %d copies, event %q\n",
+				i, stats.Valuations, stats.Inserted, stats.Copies, stats.Event)
+		}
+	}
+
+	if *simplify {
+		stats := fuzzyxml.Simplify(doc)
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "simplify: -%d nodes, -%d literals, %d merges, -%d events\n",
+				stats.NodesRemoved, stats.LiteralsRemoved, stats.SiblingsMerged, stats.EventsRemoved)
+		}
+	}
+
+	out := os.Stdout
+	if *outPath != "-" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := fuzzyxml.WriteDocXML(out, doc); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(out)
+}
+
+// readTransactions accepts either a single <transaction> or a
+// <transactions> list.
+func readTransactions(path string) ([]*fuzzyxml.Transaction, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if txs, err := fuzzyxml.ReadTransactionsXML(f); err == nil {
+		return txs, nil
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		return nil, err
+	}
+	tx, err := fuzzyxml.ReadTransactionXML(f)
+	if err != nil {
+		return nil, err
+	}
+	return []*fuzzyxml.Transaction{tx}, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pxupdate:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,157 @@
+// Command pxwarehouse drives the probabilistic XML warehouse: a durable
+// store of named fuzzy documents with journaled updates (slide 3 of the
+// paper).
+//
+// Usage:
+//
+//	pxwarehouse -dir ./wh init
+//	pxwarehouse -dir ./wh load mydoc doc.pxml
+//	pxwarehouse -dir ./wh list
+//	pxwarehouse -dir ./wh stat mydoc
+//	pxwarehouse -dir ./wh query mydoc 'A(B $x)'
+//	pxwarehouse -dir ./wh update mydoc tx.xml
+//	pxwarehouse -dir ./wh simplify mydoc
+//	pxwarehouse -dir ./wh dump mydoc
+//	pxwarehouse -dir ./wh drop mydoc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	fuzzyxml "repro"
+)
+
+func main() {
+	dir := flag.String("dir", "", "warehouse directory (required)")
+	flag.Parse()
+	args := flag.Args()
+	if *dir == "" || len(args) == 0 {
+		flag.Usage()
+		fmt.Fprintln(os.Stderr, "commands: init | load | list | stat | query | update | simplify | dump | drop")
+		os.Exit(2)
+	}
+
+	w, err := fuzzyxml.OpenWarehouse(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	defer w.Close()
+
+	switch cmd := args[0]; cmd {
+	case "init":
+		fmt.Println("warehouse ready at", w.Dir())
+
+	case "load":
+		need(args, 3, "load <name> <file.pxml>")
+		f, err := os.Open(args[2])
+		if err != nil {
+			fatal(err)
+		}
+		doc, err := fuzzyxml.ReadDocXML(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if err := w.Create(args[1], doc); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded %q (%d nodes, %d events)\n", args[1], doc.Size(), doc.Table.Len())
+
+	case "list":
+		names, err := w.List()
+		if err != nil {
+			fatal(err)
+		}
+		for _, n := range names {
+			fmt.Println(n)
+		}
+
+	case "stat":
+		need(args, 2, "stat <name>")
+		info, err := w.Stat(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %d nodes, %d events, %d possible worlds\n",
+			info.Name, info.Nodes, info.Events, info.Worlds)
+
+	case "query":
+		need(args, 3, "query <name> <query-text>")
+		q, err := fuzzyxml.ParseQuery(args[2])
+		if err != nil {
+			fatal(err)
+		}
+		answers, err := w.Query(args[1], q)
+		if err != nil {
+			fatal(err)
+		}
+		if len(answers) == 0 {
+			fmt.Println("no answers")
+			return
+		}
+		for _, a := range answers {
+			fmt.Printf("P=%.6g  %s\n", a.P, fuzzyxml.FormatTree(a.Tree))
+		}
+
+	case "update":
+		need(args, 3, "update <name> <tx.xml>")
+		f, err := os.Open(args[2])
+		if err != nil {
+			fatal(err)
+		}
+		tx, err := fuzzyxml.ReadTransactionXML(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		stats, err := w.Update(args[1], tx)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("applied: %d valuations, %d inserted, %d copies, event %q\n",
+			stats.Valuations, stats.Inserted, stats.Copies, stats.Event)
+
+	case "simplify":
+		need(args, 2, "simplify <name>")
+		stats, err := w.Simplify(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("simplified: -%d nodes, -%d literals, %d merges, -%d events\n",
+			stats.NodesRemoved, stats.LiteralsRemoved, stats.SiblingsMerged, stats.EventsRemoved)
+
+	case "dump":
+		need(args, 2, "dump <name>")
+		doc, err := w.Get(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		if err := fuzzyxml.WriteDocXML(os.Stdout, doc); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+
+	case "drop":
+		need(args, 2, "drop <name>")
+		if err := w.Drop(args[1]); err != nil {
+			fatal(err)
+		}
+		fmt.Println("dropped", args[1])
+
+	default:
+		fatal(fmt.Errorf("unknown command %q", cmd))
+	}
+}
+
+func need(args []string, n int, usage string) {
+	if len(args) < n {
+		fatal(fmt.Errorf("usage: pxwarehouse -dir DIR %s", usage))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pxwarehouse:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,61 @@
+// Command pxworlds expands a probabilistic XML document into its
+// possible-worlds semantics and prints one world per line, highest
+// probability first.
+//
+// Usage:
+//
+//	pxworlds -doc warehouse.pxml
+//	pxworlds -doc big.pxml -sample 100000    # Monte-Carlo beyond 20 events
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	fuzzyxml "repro"
+)
+
+func main() {
+	var (
+		docPath = flag.String("doc", "", "path to the .pxml document (required)")
+		sample  = flag.Int("sample", 0, "estimate from N sampled worlds instead of exact expansion")
+		seed    = flag.Int64("seed", 1, "sampling seed")
+	)
+	flag.Parse()
+	if *docPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*docPath)
+	if err != nil {
+		fatal(err)
+	}
+	doc, err := fuzzyxml.ReadDocXML(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	var pw *fuzzyxml.Worlds
+	if *sample > 0 {
+		pw, err = fuzzyxml.SampleWorlds(doc, *sample, rand.New(rand.NewSource(*seed)))
+	} else {
+		pw, err = fuzzyxml.PossibleWorlds(doc)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%d distinct worlds (document: %d nodes, %d events)\n",
+		pw.Len(), doc.Size(), doc.Table.Len())
+	for _, w := range pw.Worlds {
+		fmt.Printf("P=%.6g  %s\n", w.P, fuzzyxml.FormatTree(w.Tree))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pxworlds:", err)
+	os.Exit(1)
+}

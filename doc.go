@@ -1,0 +1,62 @@
+// Package fuzzyxml is a Go implementation of the probabilistic XML
+// warehouse of Abiteboul and Senellart, "Querying and Updating
+// Probabilistic Information in XML" (EDBT 2006).
+//
+// # The model
+//
+// Imprecise data — information extraction, NLP, data cleaning, schema
+// matching — comes with confidence values. fuzzyxml stores such data as
+// fuzzy trees: a single unordered data tree whose nodes carry conditions
+// (conjunctions of probabilistic event literals w, !w) plus a table of
+// independent event probabilities. The semantics of a fuzzy tree is a
+// possible-worlds set: one (tree, probability) pair per truth assignment
+// of the events, with a node surviving in a world exactly when its
+// condition and all its ancestors' conditions hold.
+//
+// Fuzzy trees are as expressive as possible-worlds sets (FromWorlds /
+// PossibleWorlds), and both querying and updating commute with the
+// semantics: evaluating a query or applying an update directly on the
+// fuzzy tree gives the same result as doing it world by world — in
+// polynomial instead of exponential data complexity.
+//
+// # Queries
+//
+// Queries are tree patterns with joins (TPWJ, a standard subset of
+// XQuery): label tests (with * wildcard), value-equality tests,
+// child/descendant edges, and value joins between variables. The answer
+// for a valuation is the minimal subtree containing all matched nodes.
+// The textual syntax is
+//
+//	A(B $x, C(//D=val $y)) where $x = $y
+//
+// Over a fuzzy tree, every distinct answer additionally carries the DNF
+// of the conditions of the valuations producing it and its exact
+// probability (computed by memoized Shannon expansion; Monte-Carlo
+// estimation is available for heavy condition structures).
+//
+// # Updates
+//
+// Updates are transactions: a TPWJ query locating the operations,
+// elementary insertions/deletions addressed through the query's
+// variables, and a confidence c. Directly on a fuzzy tree, one fresh
+// event w with P(w)=c is minted per transaction; insertions attach
+// subtrees conditioned on (match condition ∧ w); deletions rewrite the
+// target into conditioned copies (the construction of slide 15 of the
+// paper), which can grow the tree exponentially under complex
+// dependencies — Simplify shrinks it back where possible.
+//
+// # Warehouse
+//
+// OpenWarehouse provides the durable store of the paper's architecture:
+// named fuzzy documents on the file system with atomic replacement, a
+// write-ahead journal carrying full post-states, and roll-forward crash
+// recovery. Updates can also be expressed in an XUpdate-style XML syntax
+// (ParseTransactionXML).
+//
+// The quickest way in:
+//
+//	doc := fuzzyxml.MustParseFuzzy("A(B[w1 !w2], C(D[w2]))",
+//		map[fuzzyxml.EventID]float64{"w1": 0.8, "w2": 0.7})
+//	answers, _ := fuzzyxml.EvalQuery(fuzzyxml.MustParseQuery("A(B)"), doc)
+//	// answers[0].P == 0.24
+package fuzzyxml

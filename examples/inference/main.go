@@ -1,0 +1,87 @@
+// Inference shows what downstream modules can do with the warehouse's
+// uncertainty (slide 3: modules consume query results with confidences):
+// selection probabilities, Bayesian posteriors over the confidence
+// events, query correlation, answer-count distributions and document
+// entropy.
+//
+// Run with: go run ./examples/inference
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	fuzzyxml "repro"
+	"repro/internal/infer"
+	"repro/internal/tpwj"
+)
+
+func main() {
+	// The extraction warehouse of the information_extraction example:
+	// two contradictory facts about Alice, one about Bob, each guarded
+	// by its module's confidence event.
+	doc := fuzzyxml.MustParseFuzzy(
+		`people(person[e1](name:Alice, city:Paris),
+		        person[e2](name:Alice, city:Lyon),
+		        person[e3](name:Bob, city:Paris))`,
+		map[fuzzyxml.EventID]float64{"e1": 0.8, "e2": 0.6, "e3": 0.9})
+
+	// How likely is each query to have an answer at all?
+	for _, qs := range []string{
+		`people(person(city="Paris" $c))`,
+		`people(person(name="Alice" $n))`,
+		`people(person $p(name="Alice", city="Lyon"))`,
+	} {
+		p, err := fuzzyxml.ProbSelected(fuzzyxml.MustParseQuery(qs), doc)
+		check(err)
+		fmt.Printf("P[selected] = %.3f   %s\n", p, qs)
+	}
+
+	// Bayesian conditioning: suppose we verify that somebody does live
+	// in Lyon. What does that say about each extractor?
+	post, err := fuzzyxml.Posterior(
+		fuzzyxml.MustParseQuery(`people(person(city="Lyon" $c))`), doc)
+	check(err)
+	fmt.Println("\nposterior event probabilities given a Lyon resident:")
+	ids := make([]string, 0, len(post))
+	for e := range post {
+		ids = append(ids, string(e))
+	}
+	sort.Strings(ids)
+	for _, e := range ids {
+		fmt.Printf("  P(%s | evidence) = %.3f\n", e, post[fuzzyxml.EventID(e)])
+	}
+
+	// Correlation between two queries: Paris residents and Alice facts
+	// share the e1 record, so they are positively correlated.
+	q1 := fuzzyxml.MustParseQuery(`people(person(city="Paris" $c))`)
+	q2 := fuzzyxml.MustParseQuery(`people(person(name="Alice" $n))`)
+	both, p1, p2, lift, err := fuzzyxml.Correlation(q1, q2, doc)
+	check(err)
+	fmt.Printf("\nP(q1)=%.3f P(q2)=%.3f P(both)=%.3f lift=%.3f\n", p1, p2, both, lift)
+
+	// Distribution of the number of distinct Paris residents (the name
+	// is part of the answer, so Alice's and Bob's records count apart).
+	countQ := tpwj.MustParseQuery(`people(person(name $n, city="Paris"))`)
+	dist, err := infer.CountDistribution(countQ, doc)
+	check(err)
+	fmt.Println("\nnumber of named Paris residents:")
+	for k := 0; k <= 2; k++ {
+		fmt.Printf("  P(#=%d) = %.3f\n", k, dist[k])
+	}
+	mean, err := infer.ExpectedAnswerCount(countQ, doc)
+	check(err)
+	fmt.Printf("  expectation = %.3f\n", mean)
+
+	// How uncertain is the whole document?
+	h, err := fuzzyxml.DocumentEntropy(doc)
+	check(err)
+	fmt.Printf("\ndocument entropy: %.3f bits (max over %d worlds would be 3)\n",
+		h, doc.WorldCount())
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,76 @@
+// Quickstart walks through the paper's three worked examples end to end:
+// the fuzzy tree of slide 12 and its possible-worlds semantics, a
+// probabilistic query (slide 13), and the conditional replacement of
+// slide 15.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	fuzzyxml "repro"
+)
+
+func main() {
+	// --- The slide-12 document -------------------------------------------
+	// A data tree with conditions: B exists when w1 ∧ ¬w2, D when w2.
+	doc := fuzzyxml.MustParseFuzzy("A(B[w1 !w2], C(D[w2]))",
+		map[fuzzyxml.EventID]float64{"w1": 0.8, "w2": 0.7})
+	fmt.Println("document:", fuzzyxml.FormatFuzzy(doc.Root))
+	fmt.Println("events:  ", doc.Table)
+
+	// Its semantics: a possible-worlds distribution (slide 12 shows
+	// P = 0.06, 0.70, 0.24).
+	pw, err := fuzzyxml.PossibleWorlds(doc)
+	check(err)
+	fmt.Println("\npossible worlds:")
+	for _, w := range pw.Worlds {
+		fmt.Printf("  P=%.2f  %s\n", w.P, fuzzyxml.FormatTree(w.Tree))
+	}
+
+	// --- Querying (slide 13) ---------------------------------------------
+	// Does A have a D descendant? Answer probability is computed directly
+	// on the fuzzy tree, without enumerating worlds.
+	q := fuzzyxml.MustParseQuery("A(//D $d)")
+	answers, err := fuzzyxml.EvalQuery(q, doc)
+	check(err)
+	fmt.Println("\nanswers to", fuzzyxml.FormatQuery(q), ":")
+	for _, a := range answers {
+		fmt.Printf("  P=%.2f  %s   (when %s)\n", a.P, fuzzyxml.FormatTree(a.Tree), a.Cond)
+	}
+
+	// --- Updating (slide 15) ----------------------------------------------
+	// Replace C by D if B is present, with confidence 0.9.
+	doc2 := fuzzyxml.MustParseFuzzy("A(B[w1], C[w2])",
+		map[fuzzyxml.EventID]float64{"w1": 0.8, "w2": 0.7})
+	tx := fuzzyxml.NewTransaction(
+		fuzzyxml.MustParseQuery("A $a(B $b, C $c)"),
+		0.9,
+		fuzzyxml.InsertOp("a", fuzzyxml.MustParseTree("D")),
+		fuzzyxml.DeleteOp("c"),
+	)
+	tx.ConfEvent = "w3"
+	updated, stats, err := fuzzyxml.ApplyUpdate(tx, doc2)
+	check(err)
+	fmt.Println("\nafter conditional replacement (conf 0.9):")
+	fmt.Println("  ", fuzzyxml.FormatFuzzy(updated.Root))
+	fmt.Printf("   (%d valuation, %d insert, %d conditioned copies)\n",
+		stats.Valuations, stats.Inserted, stats.Copies)
+
+	// The update commutes with the semantics: expanding the updated fuzzy
+	// tree equals updating every world.
+	viaFuzzy, err := fuzzyxml.PossibleWorlds(updated)
+	check(err)
+	pw2, err := fuzzyxml.PossibleWorlds(doc2)
+	check(err)
+	viaWorlds, err := fuzzyxml.ApplyUpdateToWorlds(tx, pw2)
+	check(err)
+	fmt.Println("\ncommutation check (fuzzy == worlds):", viaFuzzy.Equal(viaWorlds, 1e-9))
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

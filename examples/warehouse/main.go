@@ -1,0 +1,74 @@
+// Warehouse shows the durable store of the paper's architecture
+// (slides 3 and 16): named documents on disk, journaled probabilistic
+// updates expressed in the XUpdate-style XML syntax, recovery on reopen.
+//
+// Run with: go run ./examples/warehouse
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	fuzzyxml "repro"
+)
+
+const updateXML = `<transaction confidence="0.9" event="w3">
+  <where>A $a(B $b, C $c)</where>
+  <insert into="$a"><D/></insert>
+  <delete select="$c"/>
+</transaction>`
+
+func main() {
+	dir, err := os.MkdirTemp("", "pxml-warehouse-*")
+	check(err)
+	defer os.RemoveAll(dir)
+
+	// Open (and initialize) the warehouse.
+	w, err := fuzzyxml.OpenWarehouse(dir)
+	check(err)
+
+	// Store the slide-15 document.
+	doc := fuzzyxml.MustParseFuzzy("A(B[w1], C[w2])",
+		map[fuzzyxml.EventID]float64{"w1": 0.8, "w2": 0.7})
+	check(w.Create("demo", doc))
+	info, err := w.Stat("demo")
+	check(err)
+	fmt.Printf("stored %q: %d nodes, %d events, %d worlds\n",
+		info.Name, info.Nodes, info.Events, info.Worlds)
+
+	// Apply the slide-15 replacement, written in the XUpdate-style XML.
+	tx, err := fuzzyxml.ReadTransactionXML(strings.NewReader(updateXML))
+	check(err)
+	stats, err := w.Update("demo", tx)
+	check(err)
+	fmt.Printf("update applied: %d valuations, %d inserted, %d copies\n",
+		stats.Valuations, stats.Inserted, stats.Copies)
+
+	// Query with probabilities.
+	answers, err := w.Query("demo", fuzzyxml.MustParseQuery("A(D $d)"))
+	check(err)
+	for _, a := range answers {
+		fmt.Printf("P(%s) = %.3f\n", fuzzyxml.FormatTree(a.Tree), a.P)
+	}
+
+	// Durability: close, reopen (running recovery), and read back.
+	check(w.Close())
+	w2, err := fuzzyxml.OpenWarehouse(dir)
+	check(err)
+	defer w2.Close()
+	back, err := w2.Get("demo")
+	check(err)
+	fmt.Println("after reopen:", fuzzyxml.FormatFuzzy(back.Root))
+
+	// The journal records every mutation with its transaction.
+	recs, err := w2.Journal()
+	check(err)
+	fmt.Printf("journal: %d records (last op %q)\n", len(recs), recs[len(recs)-1].Op)
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,36 @@
+// Package core groups the paper's primary contribution under one import:
+// the fuzzy tree model (internal/fuzzy), TPWJ query evaluation over fuzzy
+// trees (internal/tpwj) and probabilistic update transactions
+// (internal/update). It exists to give the repository the conventional
+// internal/core layout; the substance lives in the aliased packages, and
+// the public facade is the root package fuzzyxml.
+package core
+
+import (
+	"repro/internal/fuzzy"
+	"repro/internal/tpwj"
+	"repro/internal/update"
+)
+
+type (
+	// FuzzyTree is the probabilistic document representation (slide 12).
+	FuzzyTree = fuzzy.Tree
+	// FuzzyNode is a conditioned tree node.
+	FuzzyNode = fuzzy.Node
+	// Query is a tree-pattern-with-join query (slide 6).
+	Query = tpwj.Query
+	// ProbAnswer is a probabilistic query answer (slide 13).
+	ProbAnswer = tpwj.ProbAnswer
+	// Transaction is a probabilistic update transaction (slides 7, 14).
+	Transaction = update.Transaction
+)
+
+// EvalQuery evaluates a query directly on a fuzzy tree (slide 13).
+func EvalQuery(q *Query, doc *FuzzyTree) ([]ProbAnswer, error) {
+	return tpwj.EvalFuzzy(q, doc)
+}
+
+// ApplyUpdate applies a transaction directly to a fuzzy tree (slide 14).
+func ApplyUpdate(tx *Transaction, doc *FuzzyTree) (*FuzzyTree, *update.FuzzyStats, error) {
+	return tx.ApplyFuzzy(doc)
+}

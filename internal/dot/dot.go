@@ -1,0 +1,149 @@
+// Package dot renders data trees, fuzzy trees and query patterns as
+// Graphviz DOT documents, mirroring the node-and-condition drawings of
+// the paper's figures (slides 5, 6, 12, 15). The output is deterministic
+// so it can be golden-tested and diffed.
+package dot
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/fuzzy"
+	"repro/internal/tpwj"
+	"repro/internal/tree"
+)
+
+// WriteTree renders a data tree.
+func WriteTree(w io.Writer, n *tree.Node) error {
+	p := &printer{w: w}
+	p.line("digraph dataTree {")
+	p.line("  node [shape=ellipse, fontname=\"Helvetica\"];")
+	var rec func(n *tree.Node) int
+	rec = func(n *tree.Node) int {
+		id := p.next()
+		label := escape(n.Label)
+		if n.Value != "" {
+			label += "\\n" + escape(n.Value)
+		}
+		p.line(fmt.Sprintf("  n%d [label=\"%s\"];", id, label))
+		for _, c := range n.Children {
+			cid := rec(c)
+			p.line(fmt.Sprintf("  n%d -> n%d;", id, cid))
+		}
+		return id
+	}
+	rec(n)
+	p.line("}")
+	return p.err
+}
+
+// WriteFuzzy renders a fuzzy tree; conditions appear as a second label
+// line in brackets, like the slide drawings.
+func WriteFuzzy(w io.Writer, ft *fuzzy.Tree) error {
+	p := &printer{w: w}
+	p.line("digraph fuzzyTree {")
+	p.line("  node [shape=ellipse, fontname=\"Helvetica\"];")
+	var rec func(n *fuzzy.Node) int
+	rec = func(n *fuzzy.Node) int {
+		id := p.next()
+		label := escape(n.Label)
+		if c := n.Cond.Normalize(); len(c) > 0 {
+			label += "\\n[" + escape(c.String()) + "]"
+		}
+		if n.Value != "" {
+			label += "\\n" + escape(n.Value)
+		}
+		style := ""
+		if len(n.Cond) > 0 {
+			style = ", style=dashed"
+		}
+		p.line(fmt.Sprintf("  n%d [label=\"%s\"%s];", id, label, style))
+		for _, c := range n.Children {
+			cid := rec(c)
+			p.line(fmt.Sprintf("  n%d -> n%d;", id, cid))
+		}
+		return id
+	}
+	rec(ft.Root)
+	// The event table as a record node.
+	if ft.Table.Len() > 0 {
+		var rows []string
+		for _, e := range ft.Table.Events() {
+			pr, _ := ft.Table.Prob(e)
+			rows = append(rows, fmt.Sprintf("%s = %g", e, pr))
+		}
+		p.line(fmt.Sprintf("  events [shape=note, label=\"%s\"];", escape(strings.Join(rows, "\\n"))))
+	}
+	p.line("}")
+	return p.err
+}
+
+// WriteQuery renders a TPWJ pattern: descendant edges are dashed,
+// forbidden subtrees are red, joins are dotted undirected edges.
+func WriteQuery(w io.Writer, q *tpwj.Query) error {
+	p := &printer{w: w}
+	p.line("digraph query {")
+	p.line("  node [shape=box, fontname=\"Helvetica\"];")
+	byVar := make(map[string]int)
+	var rec func(n *tpwj.PNode) int
+	rec = func(n *tpwj.PNode) int {
+		id := p.next()
+		label := escape(n.Label)
+		if n.HasValue {
+			label += " = " + escape(n.Value)
+		}
+		if n.Var != "" {
+			label += "\\n$" + n.Var
+			byVar[n.Var] = id
+		}
+		attrs := ""
+		if n.Forbidden {
+			attrs = ", color=red"
+		}
+		p.line(fmt.Sprintf("  n%d [label=\"%s\"%s];", id, label, attrs))
+		for _, c := range n.Children {
+			cid := rec(c)
+			style := ""
+			if c.Desc {
+				style = " [style=dashed]"
+			}
+			p.line(fmt.Sprintf("  n%d -> n%d%s;", id, cid, style))
+		}
+		return id
+	}
+	rec(q.Root)
+	for _, j := range q.Joins {
+		a, aok := byVar[j.Left]
+		b, bok := byVar[j.Right]
+		if aok && bok {
+			p.line(fmt.Sprintf("  n%d -> n%d [style=dotted, dir=none, label=\"=\"];", a, b))
+		}
+	}
+	p.line("}")
+	return p.err
+}
+
+type printer struct {
+	w   io.Writer
+	n   int
+	err error
+}
+
+func (p *printer) next() int {
+	p.n++
+	return p.n
+}
+
+func (p *printer) line(s string) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = io.WriteString(p.w, s+"\n")
+}
+
+func escape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return s
+}

@@ -1,0 +1,92 @@
+package dot
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/fuzzy"
+	"repro/internal/tpwj"
+	"repro/internal/tree"
+)
+
+func TestWriteTree(t *testing.T) {
+	var b strings.Builder
+	if err := WriteTree(&b, tree.MustParse(`A(B:foo, C("va\"l"))`)); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"digraph dataTree", "B\\nfoo", "n1 -> n2", `va\"l`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteTreeDeterministic(t *testing.T) {
+	n := tree.MustParse("A(B, C(D))")
+	var b1, b2 strings.Builder
+	if err := WriteTree(&b1, n); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTree(&b2, n); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Error("rendering not deterministic")
+	}
+}
+
+func TestWriteFuzzy(t *testing.T) {
+	ft := fuzzy.MustParseTree("A(B[w1 !w2]:foo, C(D[w2]))",
+		map[event.ID]float64{"w1": 0.8, "w2": 0.7})
+	var b strings.Builder
+	if err := WriteFuzzy(&b, ft); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"digraph fuzzyTree",
+		"[w1 !w2]",
+		"style=dashed",
+		"w1 = 0.8",
+		"shape=note",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteFuzzyNoEvents(t *testing.T) {
+	ft := fuzzy.New(fuzzy.MustParse("A(B)"))
+	var b strings.Builder
+	if err := WriteFuzzy(&b, ft); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "shape=note") {
+		t.Error("empty table should render no note node")
+	}
+}
+
+func TestWriteQuery(t *testing.T) {
+	q := tpwj.MustParseQuery("A(B $x, C(//D=val $y), !E) where $x = $y")
+	var b strings.Builder
+	if err := WriteQuery(&b, q); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"digraph query",
+		"$x",
+		"D = val",
+		"style=dashed", // descendant edge
+		"color=red",    // forbidden node
+		"style=dotted", // join edge
+		`label="="`,    // join label
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

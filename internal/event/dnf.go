@@ -1,0 +1,262 @@
+package event
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// DNF is a disjunction of conjunctive conditions. Query answers on fuzzy
+// trees are events of this form: an answer tree appears if any of the
+// valuations producing it has its condition satisfied.
+//
+// The empty DNF is false; a DNF containing an empty (always-true) clause
+// is true.
+type DNF []Condition
+
+// Or appends a clause and returns the extended DNF.
+func (d DNF) Or(c Condition) DNF { return append(d, c) }
+
+// Clone returns a deep copy of d.
+func (d DNF) Clone() DNF {
+	if d == nil {
+		return nil
+	}
+	out := make(DNF, len(d))
+	for i, c := range d {
+		out[i] = c.Clone()
+	}
+	return out
+}
+
+// Normalize returns the canonical form of d: clauses normalized,
+// unsatisfiable clauses dropped, duplicate clauses removed, clauses
+// sorted. Absorption (dropping clauses entailed by another clause) is
+// also applied, since it preserves the disjunction.
+func (d DNF) Normalize() DNF {
+	var clauses []Condition
+	for _, c := range d {
+		n := c.Normalize()
+		if !n.Satisfiable() {
+			continue
+		}
+		clauses = append(clauses, n)
+	}
+	// Absorption: a clause that contains all literals of another clause
+	// is redundant. Sort by length so shorter (weaker) clauses come
+	// first, then filter.
+	sort.Slice(clauses, func(i, j int) bool {
+		if len(clauses[i]) != len(clauses[j]) {
+			return len(clauses[i]) < len(clauses[j])
+		}
+		return clauses[i].String() < clauses[j].String()
+	})
+	var kept []Condition
+	for _, c := range clauses {
+		absorbed := false
+		for _, k := range kept {
+			if c.Entails(k) { // c ⊨ k means c ∨ k ≡ k
+				absorbed = true
+				break
+			}
+		}
+		if !absorbed {
+			kept = append(kept, c)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].String() < kept[j].String() })
+	if len(kept) == 0 {
+		return nil
+	}
+	return DNF(kept)
+}
+
+// IsTrue reports whether the normalized DNF is the constant true (has an
+// always-true clause).
+func (d DNF) IsTrue() bool {
+	for _, c := range d {
+		if len(c.Normalize()) == 0 && c.Satisfiable() {
+			return true
+		}
+	}
+	return false
+}
+
+// Eval returns the truth value of the disjunction under the assignment.
+func (d DNF) Eval(a Assignment) bool {
+	for _, c := range d {
+		if c.Eval(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// Events returns the sorted distinct events mentioned by d.
+func (d DNF) Events() []ID {
+	set := make(map[ID]struct{})
+	for _, c := range d {
+		for _, l := range c {
+			set[l.Event] = struct{}{}
+		}
+	}
+	out := make([]ID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String renders the DNF as clauses joined by " | "; the false DNF renders
+// as "false" and a true clause renders as "true".
+func (d DNF) String() string {
+	if len(d) == 0 {
+		return "false"
+	}
+	parts := make([]string, len(d))
+	for i, c := range d {
+		if len(c) == 0 {
+			parts[i] = "true"
+		} else {
+			parts[i] = c.String()
+		}
+	}
+	return strings.Join(parts, " | ")
+}
+
+// key returns a canonical memoization key. d must already be normalized.
+func (d DNF) key() string {
+	parts := make([]string, len(d))
+	for i, c := range d {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, "|")
+}
+
+// ProbDNF computes the exact probability P(c₁ ∨ … ∨ c_k) under the
+// independence assumptions of the table, by memoized Shannon expansion:
+// the DNF is conditioned on its most frequent event and the two cofactors
+// are solved recursively. Worst-case exponential in the number of events
+// (the problem is #P-hard), but fast on the overlapping condition sets
+// produced by query evaluation.
+func (t *Table) ProbDNF(d DNF) (float64, error) {
+	n := d.Normalize()
+	for _, e := range n.Events() {
+		if !t.Has(e) {
+			return 0, fmt.Errorf("event: unknown event %q in DNF %q", e, d)
+		}
+	}
+	memo := make(map[string]float64)
+	return t.probDNF(n, memo), nil
+}
+
+func (t *Table) probDNF(d DNF, memo map[string]float64) float64 {
+	if len(d) == 0 {
+		return 0
+	}
+	for _, c := range d {
+		if len(c) == 0 {
+			return 1
+		}
+	}
+	key := d.key()
+	if p, ok := memo[key]; ok {
+		return p
+	}
+	e := mostFrequentEvent(d)
+	pe := t.probs[e]
+	pTrue := t.probDNF(cofactor(d, e, true), memo)
+	pFalse := t.probDNF(cofactor(d, e, false), memo)
+	p := pe*pTrue + (1-pe)*pFalse
+	memo[key] = p
+	return p
+}
+
+// mostFrequentEvent returns the event occurring in the largest number of
+// clauses, breaking ties by name for determinism.
+func mostFrequentEvent(d DNF) ID {
+	count := make(map[ID]int)
+	for _, c := range d {
+		for _, l := range c {
+			count[l.Event]++
+		}
+	}
+	var best ID
+	bestN := -1
+	for id, n := range count {
+		if n > bestN || (n == bestN && id < best) {
+			best, bestN = id, n
+		}
+	}
+	return best
+}
+
+// cofactor substitutes the truth value v for event e in d and returns the
+// normalized residual DNF. Clauses contradicted by the substitution are
+// dropped; satisfied literals are removed; a clause that becomes empty
+// makes the whole cofactor true, represented by the single empty clause.
+func cofactor(d DNF, e ID, v bool) DNF {
+	var out DNF
+	for _, c := range d {
+		var residual Condition
+		contradicted := false
+		for _, l := range c {
+			if l.Event != e {
+				residual = append(residual, l)
+				continue
+			}
+			if l.Neg == v { // literal is false under substitution
+				contradicted = true
+				break
+			}
+		}
+		if contradicted {
+			continue
+		}
+		if len(residual) == 0 {
+			return DNF{Condition{}} // true
+		}
+		out = append(out, residual)
+	}
+	return out.Normalize()
+}
+
+// ProbDNFBrute computes P(d) by enumerating all assignments over the
+// events of d. Exponential; used as a testing oracle for ProbDNF.
+func (t *Table) ProbDNFBrute(d DNF) (float64, error) {
+	total := 0.0
+	err := t.ForEachAssignment(d.Events(), func(a Assignment, p float64) bool {
+		if d.Eval(a) {
+			total += p
+		}
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	return total, nil
+}
+
+// EstimateDNF estimates P(d) by Monte Carlo sampling of assignments. It
+// is the scalable alternative when exact Shannon expansion becomes
+// expensive; the standard error decreases as 1/sqrt(samples).
+func (t *Table) EstimateDNF(d DNF, samples int, r *rand.Rand) (float64, error) {
+	if samples <= 0 {
+		return 0, fmt.Errorf("event: non-positive sample count %d", samples)
+	}
+	events := d.Events()
+	for _, e := range events {
+		if !t.Has(e) {
+			return 0, fmt.Errorf("event: unknown event %q in DNF %q", e, d)
+		}
+	}
+	hits := 0
+	for i := 0; i < samples; i++ {
+		if d.Eval(t.SampleAssignment(events, r)) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(samples), nil
+}

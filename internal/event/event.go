@@ -1,0 +1,94 @@
+// Package event implements the probabilistic event machinery of the
+// fuzzy-tree model of Abiteboul and Senellart (EDBT 2006).
+//
+// A probabilistic event w is an independent Boolean random variable with
+// a probability given by an event Table. Fuzzy-tree nodes carry
+// Conditions: conjunctions of event literals (w or ¬w). Query answers on
+// fuzzy trees arise from one or more valuations and therefore have
+// probabilities of disjunctions of conditions (DNF); the package computes
+// those exactly by memoized Shannon expansion, and approximately by Monte
+// Carlo sampling.
+package event
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ID identifies a probabilistic event, e.g. "w1".
+type ID string
+
+// Literal is an event or its negation.
+type Literal struct {
+	Event ID
+	Neg   bool
+}
+
+// Pos returns the positive literal for e.
+func Pos(e ID) Literal { return Literal{Event: e} }
+
+// Neg returns the negated literal for e.
+func Neg(e ID) Literal { return Literal{Event: e, Neg: true} }
+
+// Negate returns the complementary literal.
+func (l Literal) Negate() Literal { return Literal{Event: l.Event, Neg: !l.Neg} }
+
+// String renders the literal in the textual condition syntax: "w" for a
+// positive literal and "!w" for a negation.
+func (l Literal) String() string {
+	if l.Neg {
+		return "!" + string(l.Event)
+	}
+	return string(l.Event)
+}
+
+// Eval returns the truth value of the literal under the assignment.
+// Events absent from the assignment are treated as false.
+func (l Literal) Eval(a Assignment) bool {
+	return a[l.Event] != l.Neg
+}
+
+// compareLiterals orders literals by event then by sign (positive first),
+// defining the canonical order of conditions.
+func compareLiterals(a, b Literal) int {
+	switch {
+	case a.Event < b.Event:
+		return -1
+	case a.Event > b.Event:
+		return 1
+	case a.Neg == b.Neg:
+		return 0
+	case !a.Neg:
+		return -1
+	default:
+		return 1
+	}
+}
+
+// Assignment maps events to truth values, describing one possible world
+// of the event space.
+type Assignment map[ID]bool
+
+// Clone returns a copy of the assignment.
+func (a Assignment) Clone() Assignment {
+	c := make(Assignment, len(a))
+	for k, v := range a {
+		c[k] = v
+	}
+	return c
+}
+
+// String renders the assignment deterministically, e.g. "w1=true w2=false".
+func (a Assignment) String() string {
+	ids := make([]string, 0, len(a))
+	for id := range a {
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprintf("%s=%t", id, a[ID(id)])
+	}
+	return strings.Join(parts, " ")
+}

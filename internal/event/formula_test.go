@@ -1,0 +1,204 @@
+package event
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFormulaConstants(t *testing.T) {
+	if !FTrue.Eval(Assignment{}) || FFalse.Eval(Assignment{}) {
+		t.Error("constant evaluation wrong")
+	}
+	if FNot(FTrue) != FFalse || FNot(FFalse) != FTrue {
+		t.Error("constant negation wrong")
+	}
+	if FAnd() != FTrue || FOr() != FFalse {
+		t.Error("empty connectives wrong")
+	}
+	if FAnd(FTrue, FFalse) != FFalse || FOr(FFalse, FTrue) != FTrue {
+		t.Error("constant folding wrong")
+	}
+}
+
+func TestFormulaSimplification(t *testing.T) {
+	l := FLit(Pos("w"))
+	if FAnd(l) != l || FOr(l) != l {
+		t.Error("single-operand connectives should collapse")
+	}
+	if FNot(FNot(l)) != l {
+		t.Error("double negation should collapse")
+	}
+	if FAnd(FTrue, l, FTrue) != l {
+		t.Error("true operands should vanish from conjunctions")
+	}
+	if FOr(FFalse, l) != l {
+		t.Error("false operands should vanish from disjunctions")
+	}
+}
+
+func TestFormulaEval(t *testing.T) {
+	// (w1 ∧ ¬w2) ∨ ¬w1
+	f := FOr(FAnd(FLit(Pos("w1")), FLit(Neg("w2"))), FLit(Neg("w1")))
+	cases := []struct {
+		a    Assignment
+		want bool
+	}{
+		{Assignment{"w1": true, "w2": false}, true},
+		{Assignment{"w1": true, "w2": true}, false},
+		{Assignment{"w1": false, "w2": true}, true},
+	}
+	for i, tc := range cases {
+		if got := f.Eval(tc.a); got != tc.want {
+			t.Errorf("case %d: Eval = %v", i, got)
+		}
+	}
+}
+
+func TestFormulaRestrict(t *testing.T) {
+	f := FAnd(FLit(Pos("w1")), FLit(Neg("w2")))
+	if got := f.Restrict("w1", true); got.String() != "!w2" {
+		t.Errorf("Restrict(w1,true) = %s", got)
+	}
+	if got := f.Restrict("w1", false); got != FFalse {
+		t.Errorf("Restrict(w1,false) = %s", got)
+	}
+	g := FNot(FLit(Pos("w1")))
+	if got := g.Restrict("w1", true); got != FFalse {
+		t.Errorf("¬w1 restricted w1=true: %s", got)
+	}
+}
+
+func TestFormulaEvents(t *testing.T) {
+	f := FOr(FAnd(FLit(Pos("b")), FLit(Neg("a"))), FNot(FLit(Pos("c"))))
+	ev := f.Events()
+	if len(ev) != 3 || ev[0] != "a" || ev[1] != "b" || ev[2] != "c" {
+		t.Errorf("Events = %v", ev)
+	}
+}
+
+func TestFCondFDNF(t *testing.T) {
+	c := MustParseCondition("w1 !w2")
+	f := FCond(c)
+	if !f.Eval(Assignment{"w1": true}) {
+		t.Error("FCond eval wrong")
+	}
+	d := DNF{MustParseCondition("w1"), MustParseCondition("w2")}
+	g := FDNF(d)
+	if !g.Eval(Assignment{"w2": true}) || g.Eval(Assignment{}) {
+		t.Error("FDNF eval wrong")
+	}
+	if FCond(nil) != FTrue {
+		t.Error("empty condition should lift to true")
+	}
+	if FDNF(nil) != FFalse {
+		t.Error("empty DNF should lift to false")
+	}
+}
+
+func TestProbFormulaGolden(t *testing.T) {
+	tab := slideTable() // w1=0.8 w2=0.7
+	cases := []struct {
+		f    Formula
+		want float64
+	}{
+		{FTrue, 1},
+		{FFalse, 0},
+		{FLit(Pos("w1")), 0.8},
+		{FNot(FLit(Pos("w1"))), 0.2},
+		{FAnd(FLit(Pos("w1")), FLit(Pos("w2"))), 0.56},
+		{FOr(FLit(Pos("w1")), FLit(Pos("w2"))), 0.94},
+		// P(w1 ∧ ¬w2-clause-holds): beyond DNF shapes:
+		{FAnd(FLit(Pos("w1")), FNot(FAnd(FLit(Pos("w2")), FLit(Pos("w1"))))), 0.8 * 0.3},
+	}
+	for i, tc := range cases {
+		got, err := tab.ProbFormula(tc.f)
+		if err != nil {
+			t.Errorf("case %d: %v", i, err)
+			continue
+		}
+		if math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("case %d: ProbFormula(%s) = %v, want %v", i, tc.f, got, tc.want)
+		}
+	}
+}
+
+func TestProbFormulaUnknownEvent(t *testing.T) {
+	tab := slideTable()
+	if _, err := tab.ProbFormula(FLit(Pos("zz"))); err == nil {
+		t.Error("unknown event accepted")
+	}
+}
+
+// randomFormula builds a random formula over the table's events.
+func randomFormula(r *rand.Rand, ids []ID, depth int) Formula {
+	if depth <= 0 || r.Intn(3) == 0 {
+		return FLit(Literal{Event: ids[r.Intn(len(ids))], Neg: r.Intn(2) == 0})
+	}
+	switch r.Intn(3) {
+	case 0:
+		return FAnd(randomFormula(r, ids, depth-1), randomFormula(r, ids, depth-1))
+	case 1:
+		return FOr(randomFormula(r, ids, depth-1), randomFormula(r, ids, depth-1))
+	default:
+		return FNot(randomFormula(r, ids, depth-1))
+	}
+}
+
+func TestProbFormulaMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tab := randomEventTable(r, 2+r.Intn(4))
+		ids := tab.Events()
+		formula := randomFormula(r, ids, 4)
+		exact, err := tab.ProbFormula(formula)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		brute, err := tab.ProbFormulaBrute(formula)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if math.Abs(exact-brute) > 1e-9 {
+			t.Logf("seed %d: formula %s: shannon=%v brute=%v", seed, formula, exact, brute)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProbFormulaAgreesWithProbDNF(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tab := randomEventTable(r, 2+r.Intn(4))
+		d := randomDNF(r, tab, 4, 3)
+		p1, err1 := tab.ProbDNF(d)
+		p2, err2 := tab.ProbFormula(FDNF(d))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(p1-p2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormulaString(t *testing.T) {
+	f := FAnd(FLit(Pos("w1")), FNot(FLit(Neg("w2"))))
+	s := f.String()
+	if s == "" {
+		t.Error("empty string form")
+	}
+	// Strings are memo keys: distinct formulas must render distinctly.
+	g := FAnd(FLit(Pos("w1")), FLit(Neg("w2")))
+	if f.String() == g.String() {
+		t.Error("distinct formulas share a string form")
+	}
+}

@@ -1,0 +1,230 @@
+package event
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func slideTable() *Table {
+	return NewTable().MustSet("w1", 0.8).MustSet("w2", 0.7)
+}
+
+func TestTableSetValidation(t *testing.T) {
+	tab := NewTable()
+	if err := tab.Set("w", -0.1); err == nil {
+		t.Error("negative probability accepted")
+	}
+	if err := tab.Set("w", 1.1); err == nil {
+		t.Error("probability > 1 accepted")
+	}
+	if err := tab.Set("w", math.NaN()); err == nil {
+		t.Error("NaN probability accepted")
+	}
+	if err := tab.Set("", 0.5); err == nil {
+		t.Error("empty event name accepted")
+	}
+	if err := tab.Set("w", 0); err != nil {
+		t.Errorf("boundary 0 rejected: %v", err)
+	}
+	if err := tab.Set("w", 1); err != nil {
+		t.Errorf("boundary 1 rejected: %v", err)
+	}
+}
+
+func TestTableLookup(t *testing.T) {
+	tab := slideTable()
+	if p, ok := tab.Prob("w1"); !ok || p != 0.8 {
+		t.Errorf("Prob(w1) = %v, %v", p, ok)
+	}
+	if _, ok := tab.Prob("missing"); ok {
+		t.Error("missing event reported present")
+	}
+	if !tab.Has("w2") || tab.Has("w3") {
+		t.Error("Has misreports")
+	}
+	if tab.Len() != 2 {
+		t.Errorf("Len = %d", tab.Len())
+	}
+	ev := tab.Events()
+	if len(ev) != 2 || ev[0] != "w1" || ev[1] != "w2" {
+		t.Errorf("Events = %v", ev)
+	}
+}
+
+func TestTableDelete(t *testing.T) {
+	tab := slideTable()
+	tab.Delete("w1")
+	if tab.Has("w1") || tab.Len() != 1 {
+		t.Error("delete failed")
+	}
+}
+
+func TestTableClone(t *testing.T) {
+	tab := slideTable()
+	c := tab.Clone()
+	c.MustSet("w3", 0.5)
+	if tab.Has("w3") {
+		t.Error("clone shares storage with original")
+	}
+}
+
+func TestFresh(t *testing.T) {
+	tab := slideTable()
+	id1, err := tab.Fresh("u", 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := tab.Fresh("u", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 == id2 {
+		t.Error("Fresh returned duplicate ids")
+	}
+	if !tab.Has(id1) || !tab.Has(id2) {
+		t.Error("Fresh ids not registered")
+	}
+	if p, _ := tab.Prob(id1); p != 0.9 {
+		t.Errorf("Fresh probability = %v", p)
+	}
+	// Fresh must skip over manually taken names.
+	tab2 := NewTable().MustSet("u1", 0.1)
+	id, err := tab2.Fresh("u", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == "u1" {
+		t.Error("Fresh reused existing name")
+	}
+}
+
+func TestFreshRejectsBadProbability(t *testing.T) {
+	tab := NewTable()
+	if _, err := tab.Fresh("u", 1.5); err == nil {
+		t.Error("Fresh accepted probability > 1")
+	}
+}
+
+func TestProbCond(t *testing.T) {
+	tab := slideTable()
+	cases := []struct {
+		cond string
+		want float64
+	}{
+		{"", 1},
+		{"w1", 0.8},
+		{"!w1", 0.2},
+		{"w1 w2", 0.56},
+		{"w1 !w2", 0.24},
+		{"!w1 !w2", 0.06},
+		{"w1 !w1", 0},
+		{"w1 w1", 0.8}, // duplicates collapse before multiplying
+	}
+	for _, tc := range cases {
+		got, err := tab.ProbCond(MustParseCondition(tc.cond))
+		if err != nil {
+			t.Errorf("ProbCond(%q): %v", tc.cond, err)
+			continue
+		}
+		if math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("ProbCond(%q) = %v, want %v", tc.cond, got, tc.want)
+		}
+	}
+}
+
+func TestProbCondUnknownEvent(t *testing.T) {
+	tab := slideTable()
+	if _, err := tab.ProbCond(MustParseCondition("nope")); err == nil {
+		t.Error("unknown event accepted")
+	}
+}
+
+func TestForEachAssignment(t *testing.T) {
+	tab := slideTable()
+	total := 0.0
+	count := 0
+	err := tab.ForEachAssignment([]ID{"w1", "w2"}, func(a Assignment, p float64) bool {
+		total += p
+		count++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 4 {
+		t.Errorf("visited %d assignments, want 4", count)
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Errorf("assignment probabilities sum to %v, want 1", total)
+	}
+}
+
+func TestForEachAssignmentEarlyStop(t *testing.T) {
+	tab := slideTable()
+	count := 0
+	_ = tab.ForEachAssignment([]ID{"w1", "w2"}, func(a Assignment, p float64) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Errorf("early stop visited %d, want 2", count)
+	}
+}
+
+func TestForEachAssignmentUnknown(t *testing.T) {
+	tab := slideTable()
+	if err := tab.ForEachAssignment([]ID{"zz"}, func(Assignment, float64) bool { return true }); err == nil {
+		t.Error("unknown event accepted")
+	}
+}
+
+func TestForEachAssignmentEmpty(t *testing.T) {
+	tab := slideTable()
+	count := 0
+	err := tab.ForEachAssignment(nil, func(a Assignment, p float64) bool {
+		count++
+		if p != 1 {
+			t.Errorf("empty assignment probability %v", p)
+		}
+		return true
+	})
+	if err != nil || count != 1 {
+		t.Errorf("empty enumeration: count=%d err=%v", count, err)
+	}
+}
+
+func TestSampleAssignmentDistribution(t *testing.T) {
+	tab := NewTable().MustSet("w", 0.8)
+	r := rand.New(rand.NewSource(7))
+	hits := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if tab.SampleAssignment([]ID{"w"}, r)["w"] {
+			hits++
+		}
+	}
+	freq := float64(hits) / n
+	if math.Abs(freq-0.8) > 0.02 {
+		t.Errorf("sampled frequency %v far from 0.8", freq)
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tab := slideTable()
+	if got := tab.String(); got != "w1=0.8 w2=0.7" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestAssignmentString(t *testing.T) {
+	a := Assignment{"w2": false, "w1": true}
+	if got := a.String(); got != "w1=true w2=false" {
+		t.Errorf("String = %q", got)
+	}
+	b := a.Clone()
+	b["w1"] = false
+	if !a["w1"] {
+		t.Error("clone shares storage")
+	}
+}

@@ -1,0 +1,112 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// The fast experiments run as tests so that `go test ./...` exercises the
+// harness end to end; the heavy sweeps (E2–E5, E8–E10) are covered by
+// their building blocks' own tests and run via cmd/pxbench.
+
+func TestRunE1Passes(t *testing.T) {
+	tab := RunE1()
+	if !tab.OK {
+		t.Fatalf("E1 failed: %+v", tab)
+	}
+	if len(tab.Rows) != 4 {
+		t.Errorf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestRunE6Passes(t *testing.T) {
+	tab := RunE6()
+	if !tab.OK {
+		t.Fatalf("E6 failed: %+v", tab)
+	}
+}
+
+func TestRunE7Passes(t *testing.T) {
+	tab := RunE7()
+	if !tab.OK {
+		t.Fatalf("E7 failed: %+v", tab)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		ID:     "EX",
+		Title:  "demo",
+		Ref:    "slide 0",
+		Header: []string{"a", "b"},
+		OK:     true,
+		Notes:  []string{"a note"},
+	}
+	tab.AddRow("1", "22")
+	tab.AddRow("333", "4")
+	var b strings.Builder
+	tab.Render(&b)
+	out := b.String()
+	for _, want := range []string{"EX", "demo", "PASS", "a note", "333"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	tab.OK = false
+	b.Reset()
+	tab.Render(&b)
+	if !strings.Contains(b.String(), "FAIL") {
+		t.Error("failed table should render FAIL")
+	}
+}
+
+func TestAllAndGet(t *testing.T) {
+	all := All()
+	if len(all) != 10 {
+		t.Fatalf("experiments = %d, want 10", len(all))
+	}
+	ids := map[string]bool{}
+	for _, e := range all {
+		if e.Run == nil || e.ID == "" {
+			t.Errorf("experiment %q incomplete", e.ID)
+		}
+		if ids[e.ID] {
+			t.Errorf("duplicate id %q", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	if Get("E5") == nil || Get("E5").ID != "E5" {
+		t.Error("Get(E5) failed")
+	}
+	if Get("nope") != nil {
+		t.Error("Get of unknown id should be nil")
+	}
+}
+
+func TestSectionDoc(t *testing.T) {
+	ft := SectionDoc(3)
+	if err := ft.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ft.WorldCount() != 8 {
+		t.Errorf("WorldCount = %d, want 8", ft.WorldCount())
+	}
+	if ft.Size() != 1+3*3 {
+		t.Errorf("Size = %d", ft.Size())
+	}
+}
+
+func TestSlideFixtures(t *testing.T) {
+	for name, ft := range map[string]interface{ Validate() error }{
+		"slide9":  Slide9Doc(),
+		"slide12": Slide12Doc(),
+		"slide15": Slide15Doc(),
+	} {
+		if err := ft.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if err := Slide15Tx().Validate(); err != nil {
+		t.Errorf("slide15 tx: %v", err)
+	}
+}

@@ -1,0 +1,81 @@
+package fuzzy
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/worlds"
+)
+
+// FromWorlds encodes a possible-worlds distribution as a fuzzy tree,
+// implementing the constructive direction of the expressiveness theorem
+// (slide 12: "the fuzzy tree model is as expressive as the possible
+// worlds model").
+//
+// All worlds must share the same root label and root value (always the
+// case for sets arising from a fuzzy tree, whose root is unconditioned).
+// Worlds are first normalized; for the resulting worlds t₁…t_n with
+// probabilities p₁…p_n, the children forest of world i is attached under
+// the shared root guarded by the mutually exclusive condition chain
+//
+//	γᵢ = ¬e₁ … ¬e_{i−1} eᵢ   (γ_n = ¬e₁ … ¬e_{n−1})
+//
+// with P(eᵢ) = pᵢ / (1 − p₁ − … − p_{i−1}), so that P(γᵢ) = pᵢ.
+// Events are named prefix1, prefix2, …; prefix defaults to "e".
+func FromWorlds(s *worlds.Set, prefix string) (*Tree, error) {
+	if prefix == "" {
+		prefix = "e"
+	}
+	n := s.Normalize()
+	if n.Len() == 0 {
+		return nil, fmt.Errorf("fuzzy: cannot encode an empty possible-worlds set")
+	}
+	if !n.IsDistribution(worlds.Eps) {
+		return nil, fmt.Errorf("fuzzy: worlds sum to %v, not a distribution", n.Total())
+	}
+	first := n.Worlds[0].Tree
+	for _, w := range n.Worlds[1:] {
+		if w.Tree.Label != first.Label || w.Tree.Value != first.Value {
+			return nil, fmt.Errorf("fuzzy: worlds do not share a common root: %s:%s vs %s:%s",
+				first.Label, first.Value, w.Tree.Label, w.Tree.Value)
+		}
+	}
+
+	root := &Node{Label: first.Label, Value: first.Value}
+	tab := event.NewTable()
+	if n.Len() == 1 {
+		for _, c := range n.Worlds[0].Tree.Children {
+			root.Add(FromData(c))
+		}
+		return &Tree{Root: root, Table: tab}, nil
+	}
+
+	// Condition chain: prior accumulates ¬e₁…¬e_{i−1}; remaining is the
+	// unallocated probability mass.
+	var prior event.Condition
+	remaining := 1.0
+	for i, w := range n.Worlds {
+		var gamma event.Condition
+		if i == n.Len()-1 {
+			gamma = prior.Clone()
+		} else {
+			pe := w.P / remaining
+			if pe > 1 {
+				pe = 1 // guard against floating-point drift
+			}
+			e := event.ID(fmt.Sprintf("%s%d", prefix, i+1))
+			if err := tab.Set(e, pe); err != nil {
+				return nil, err
+			}
+			gamma = prior.And(event.Cond(event.Pos(e)))
+			prior = prior.And(event.Cond(event.Neg(e)))
+			remaining -= w.P
+		}
+		for _, c := range w.Tree.Children {
+			fc := FromData(c)
+			fc.Cond = gamma.And(fc.Cond)
+			root.Add(fc)
+		}
+	}
+	return &Tree{Root: root, Table: tab}, nil
+}

@@ -1,0 +1,172 @@
+package fuzzy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tree"
+	"repro/internal/worlds"
+)
+
+// TestExpressivenessSlide9 checks the expressiveness theorem (slide 12)
+// on the slide-9 set: encoding it as a fuzzy tree and expanding gives the
+// original set back.
+func TestExpressivenessSlide9(t *testing.T) {
+	orig := &worlds.Set{}
+	orig.Add(tree.MustParse("A(C)"), 0.06)
+	orig.Add(tree.MustParse("A(C(D))"), 0.14)
+	orig.Add(tree.MustParse("A(B, C)"), 0.24)
+	orig.Add(tree.MustParse("A(B, C(D))"), 0.56)
+
+	ft, err := FromWorlds(orig, "e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ft.Validate(); err != nil {
+		t.Fatalf("encoded tree invalid: %v", err)
+	}
+	back, err := ft.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(orig, 1e-9) {
+		t.Errorf("round trip mismatch:\norig:\n%s\nback:\n%s", orig, back)
+	}
+}
+
+func TestFromWorldsSingleWorld(t *testing.T) {
+	s := &worlds.Set{}
+	s.Add(tree.MustParse("A(B:foo)"), 1)
+	ft, err := FromWorlds(s, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft.Table.Len() != 0 {
+		t.Errorf("single world should need no events, table has %d", ft.Table.Len())
+	}
+	back, _ := ft.Expand()
+	if !back.Equal(s, 1e-9) {
+		t.Error("single-world round trip failed")
+	}
+}
+
+func TestFromWorldsLeafWorlds(t *testing.T) {
+	s := &worlds.Set{}
+	s.Add(tree.MustParse("A:val"), 1)
+	ft, err := FromWorlds(s, "e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, _ := ft.Expand()
+	if !back.Equal(s, 1e-9) {
+		t.Error("leaf world round trip failed")
+	}
+}
+
+func TestFromWorldsErrors(t *testing.T) {
+	if _, err := FromWorlds(&worlds.Set{}, "e"); err == nil {
+		t.Error("empty set accepted")
+	}
+
+	notDist := &worlds.Set{}
+	notDist.Add(tree.MustParse("A"), 0.4)
+	if _, err := FromWorlds(notDist, "e"); err == nil {
+		t.Error("non-distribution accepted")
+	}
+
+	diffRoots := &worlds.Set{}
+	diffRoots.Add(tree.MustParse("A"), 0.5)
+	diffRoots.Add(tree.MustParse("B"), 0.5)
+	if _, err := FromWorlds(diffRoots, "e"); err == nil {
+		t.Error("differing roots accepted")
+	}
+
+	diffValues := &worlds.Set{}
+	diffValues.Add(tree.MustParse("A:x"), 0.5)
+	diffValues.Add(tree.MustParse("A:y"), 0.5)
+	if _, err := FromWorlds(diffValues, "e"); err == nil {
+		t.Error("differing root values accepted")
+	}
+}
+
+// TestExpressivenessRandom is the property form of the theorem: any
+// random distribution over trees with a shared root encodes and expands
+// back to itself.
+func TestExpressivenessRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(6)
+		s := &worlds.Set{}
+		remaining := 1.0
+		for i := 0; i < n; i++ {
+			p := remaining
+			if i < n-1 {
+				p = remaining * (0.2 + 0.6*r.Float64())
+			}
+			remaining -= p
+			// Random children forest under shared root "R".
+			root := tree.New("R")
+			k := r.Intn(3)
+			for j := 0; j < k; j++ {
+				root.Add(randomDataTree(r, 2))
+			}
+			s.Add(root, p)
+		}
+		ft, err := FromWorlds(s, "e")
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		back, err := ft.Expand()
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		return back.Equal(s, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomDataTree(r *rand.Rand, depth int) *tree.Node {
+	labels := []string{"A", "B", "C"}
+	n := tree.New(labels[r.Intn(len(labels))])
+	if depth <= 0 || r.Intn(2) == 0 {
+		n.Value = []string{"", "x", "y"}[r.Intn(3)]
+		return n
+	}
+	k := 1 + r.Intn(2)
+	for i := 0; i < k; i++ {
+		n.Add(randomDataTree(r, depth-1))
+	}
+	return n
+}
+
+// TestFromWorldsConditionsMutuallyExclusive verifies the structure of the
+// encoding: the chain conditions of distinct worlds can never hold
+// simultaneously.
+func TestFromWorldsConditionsMutuallyExclusive(t *testing.T) {
+	s := &worlds.Set{}
+	s.Add(tree.MustParse("R(X)"), 0.3)
+	s.Add(tree.MustParse("R(Y)"), 0.3)
+	s.Add(tree.MustParse("R(Z)"), 0.4)
+	ft, err := FromWorlds(s, "e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conds := make([]string, 0, 3)
+	for _, c := range ft.Root.Children {
+		conds = append(conds, c.Cond.String())
+	}
+	// Pairwise conjunctions must be unsatisfiable.
+	for i := 0; i < len(ft.Root.Children); i++ {
+		for j := i + 1; j < len(ft.Root.Children); j++ {
+			and := ft.Root.Children[i].Cond.And(ft.Root.Children[j].Cond)
+			if and.Satisfiable() {
+				t.Errorf("conditions %q and %q not mutually exclusive", conds[i], conds[j])
+			}
+		}
+	}
+}

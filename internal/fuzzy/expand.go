@@ -1,0 +1,131 @@
+package fuzzy
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/event"
+	"repro/internal/tree"
+	"repro/internal/worlds"
+)
+
+// MaxExactEvents bounds the number of distinct events Expand will
+// enumerate exactly (2^n assignments). Beyond this, use Sample/SampleSet.
+const MaxExactEvents = 20
+
+// WorldCount returns the number of assignments Expand would enumerate
+// (2^#events), saturating at math.MaxInt64.
+func (t *Tree) WorldCount() int64 {
+	n := len(t.Events())
+	if n >= 63 {
+		return math.MaxInt64
+	}
+	return int64(1) << uint(n)
+}
+
+// Expand computes the possible-worlds semantics of the fuzzy tree: it
+// enumerates all assignments of the events used in the tree, instantiates
+// the surviving data tree for each, and returns the normalized
+// possible-worlds set (isomorphic worlds merged). The result is a
+// distribution (probabilities sum to 1).
+//
+// Expand is exponential in the number of distinct events and refuses to
+// run beyond MaxExactEvents; this exactness cliff is precisely why the
+// paper queries and updates fuzzy trees directly instead of their
+// expansions (experiments E2/E3).
+func (t *Tree) Expand() (*worlds.Set, error) {
+	return t.expand(true)
+}
+
+// ExpandUnmerged is Expand without the final normalization: one world per
+// assignment, in deterministic order (as on slide 9, where the four
+// assignment worlds are shown before merging). Zero-probability worlds
+// are kept.
+func (t *Tree) ExpandUnmerged() (*worlds.Set, error) {
+	return t.expand(false)
+}
+
+func (t *Tree) expand(merge bool) (*worlds.Set, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	events := t.Events()
+	if len(events) > MaxExactEvents {
+		return nil, fmt.Errorf("fuzzy: %d events exceed MaxExactEvents=%d (2^%d worlds); use SampleSet",
+			len(events), MaxExactEvents, len(events))
+	}
+	s := &worlds.Set{}
+	err := t.Table.ForEachAssignment(events, func(a event.Assignment, p float64) bool {
+		s.Add(t.Instantiate(a), p)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if merge {
+		return s.Normalize(), nil
+	}
+	return s, nil
+}
+
+// Instantiate returns the data tree of the possible world described by
+// the assignment: nodes whose condition fails (or whose ancestor was
+// pruned) are removed; conditions are stripped. The root always survives
+// (it is unconditioned by Validate; an instantiation of an unvalidated
+// tree keeps the root regardless of its condition).
+func (t *Tree) Instantiate(a event.Assignment) *tree.Node {
+	var conv func(n *Node) *tree.Node
+	conv = func(n *Node) *tree.Node {
+		m := &tree.Node{Label: n.Label, Value: n.Value}
+		for _, c := range n.Children {
+			if c.Cond.Eval(a) {
+				m.Children = append(m.Children, conv(c))
+			}
+		}
+		return m
+	}
+	return conv(t.Root)
+}
+
+// Sample draws one possible world at random according to the event
+// probabilities. It runs in time linear in the tree size and the number
+// of events, independently of the 2^n world count.
+func (t *Tree) Sample(r *rand.Rand) *tree.Node {
+	a := t.Table.SampleAssignment(t.Events(), r)
+	return t.Instantiate(a)
+}
+
+// SampleSet estimates the possible-worlds distribution by drawing n
+// worlds and normalizing their frequencies. It is the scalable
+// alternative to Expand for trees with many events.
+func (t *Tree) SampleSet(n int, r *rand.Rand) (*worlds.Set, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("fuzzy: non-positive sample count %d", n)
+	}
+	s := &worlds.Set{}
+	p := 1 / float64(n)
+	for i := 0; i < n; i++ {
+		s.Add(t.Sample(r), p)
+	}
+	return s.Normalize(), nil
+}
+
+// ProbNode returns the marginal probability that the given node (a node
+// of t, identified by pointer) exists: the probability of its effective
+// path condition.
+func (t *Tree) ProbNode(target *Node) (float64, error) {
+	var found event.Condition
+	ok := false
+	t.Root.WalkPath(func(n *Node, path event.Condition) bool {
+		if n == target {
+			found, ok = path, true
+			return false
+		}
+		return true
+	})
+	if !ok {
+		return 0, fmt.Errorf("fuzzy: node not in tree")
+	}
+	return t.Table.ProbCond(found)
+}

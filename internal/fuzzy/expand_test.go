@@ -1,0 +1,246 @@
+package fuzzy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/event"
+	"repro/internal/tree"
+	"repro/internal/worlds"
+)
+
+// TestGoldenSlide9 reproduces the possible-worlds set of slide 9 (E1):
+// expanding A(B[w1], C(D[w2])) with w1=0.8, w2=0.7 yields exactly
+//
+//	A(C)       P=0.06
+//	A(C(D))    P=0.14
+//	A(B, C)    P=0.24
+//	A(B, C(D)) P=0.56
+func TestGoldenSlide9(t *testing.T) {
+	got, err := slide9doc().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &worlds.Set{}
+	want.Add(tree.MustParse("A(C)"), 0.06)
+	want.Add(tree.MustParse("A(C(D))"), 0.14)
+	want.Add(tree.MustParse("A(B, C)"), 0.24)
+	want.Add(tree.MustParse("A(B, C(D))"), 0.56)
+	if !got.Equal(want, worlds.Eps) {
+		t.Errorf("slide-9 expansion mismatch:\n%s", got)
+	}
+	if got.Len() != 4 {
+		t.Errorf("want 4 distinct worlds, got %d", got.Len())
+	}
+}
+
+// TestGoldenSlide12 reproduces the semantics example of slide 12 (E2):
+// expanding A(B[w1 !w2], C(D[w2])) with w1=0.8, w2=0.7 yields exactly
+//
+//	A(C)      P=0.06
+//	A(C(D))   P=0.70
+//	A(B, C)   P=0.24
+func TestGoldenSlide12(t *testing.T) {
+	got, err := slide12().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &worlds.Set{}
+	want.Add(tree.MustParse("A(C)"), 0.06)
+	want.Add(tree.MustParse("A(C(D))"), 0.70)
+	want.Add(tree.MustParse("A(B, C)"), 0.24)
+	if !got.Equal(want, worlds.Eps) {
+		t.Errorf("slide-12 expansion mismatch:\n%s", got)
+	}
+	if got.Len() != 3 {
+		t.Errorf("want 3 distinct worlds, got %d", got.Len())
+	}
+}
+
+// TestSlide12Unmerged checks the intermediate, per-assignment view: four
+// assignments, two of which produce the same tree A(C(D)).
+func TestSlide12Unmerged(t *testing.T) {
+	got, err := slide12().ExpandUnmerged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 4 {
+		t.Fatalf("want 4 assignment worlds, got %d", got.Len())
+	}
+	if math.Abs(got.Total()-1) > worlds.Eps {
+		t.Errorf("unmerged total = %v", got.Total())
+	}
+	// Merging the unmerged set equals the merged expansion.
+	merged, _ := slide12().Expand()
+	if !got.Equal(merged, worlds.Eps) {
+		t.Error("unmerged set should normalize to the merged expansion")
+	}
+}
+
+func TestExpandDistributionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ft := randomFuzzyTree(r, 3, 3)
+		s, err := ft.Expand()
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		return s.IsDistribution(worlds.Eps)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomFuzzyTree builds a small random fuzzy tree over up to nEvents
+// events with probabilities in (0,1).
+func randomFuzzyTree(r *rand.Rand, depth, nEvents int) *Tree {
+	tab := event.NewTable()
+	var ids []event.ID
+	for i := 0; i < nEvents; i++ {
+		id := event.ID(string(rune('a' + i)))
+		tab.MustSet(id, 0.1+0.8*r.Float64())
+		ids = append(ids, id)
+	}
+	randCond := func() event.Condition {
+		var c event.Condition
+		for _, id := range ids {
+			switch r.Intn(4) {
+			case 0:
+				c = append(c, event.Pos(id))
+			case 1:
+				c = append(c, event.Neg(id))
+			}
+		}
+		return c.Normalize()
+	}
+	labels := []string{"A", "B", "C", "D"}
+	values := []string{"", "v1", "v2"}
+	var build func(d int) *Node
+	build = func(d int) *Node {
+		n := &Node{Label: labels[r.Intn(len(labels))], Cond: randCond()}
+		if d <= 0 || r.Intn(3) == 0 {
+			n.Value = values[r.Intn(len(values))]
+			return n
+		}
+		k := r.Intn(3)
+		for i := 0; i < k; i++ {
+			n.Children = append(n.Children, build(d-1))
+		}
+		if len(n.Children) == 0 {
+			n.Value = values[r.Intn(len(values))]
+		}
+		return n
+	}
+	root := build(depth)
+	root.Cond = nil // root must be unconditioned
+	return &Tree{Root: root, Table: tab}
+}
+
+func TestExpandRefusesTooManyEvents(t *testing.T) {
+	tab := event.NewTable()
+	root := &Node{Label: "A"}
+	for i := 0; i < MaxExactEvents+1; i++ {
+		id, err := tab.Fresh("e", 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root.Add(&Node{Label: "B", Cond: event.Cond(event.Pos(id))})
+	}
+	ft := &Tree{Root: root, Table: tab}
+	if _, err := ft.Expand(); err == nil {
+		t.Error("Expand should refuse > MaxExactEvents events")
+	}
+}
+
+func TestWorldCount(t *testing.T) {
+	if got := slide12().WorldCount(); got != 4 {
+		t.Errorf("WorldCount = %d, want 4", got)
+	}
+	plain := New(MustParse("A(B)"))
+	if got := plain.WorldCount(); got != 1 {
+		t.Errorf("WorldCount(no events) = %d, want 1", got)
+	}
+}
+
+func TestInstantiate(t *testing.T) {
+	ft := slide12()
+	got := ft.Instantiate(event.Assignment{"w1": true, "w2": false})
+	if !tree.Equal(got, tree.MustParse("A(B, C)")) {
+		t.Errorf("Instantiate = %s", tree.Format(got))
+	}
+	got = ft.Instantiate(event.Assignment{"w1": true, "w2": true})
+	if !tree.Equal(got, tree.MustParse("A(C(D))")) {
+		t.Errorf("Instantiate = %s", tree.Format(got))
+	}
+}
+
+func TestInstantiatePrunesSubtrees(t *testing.T) {
+	ft := MustParseTree("A(B[w1](C))", map[event.ID]float64{"w1": 0.5})
+	got := ft.Instantiate(event.Assignment{"w1": false})
+	if !tree.Equal(got, tree.MustParse("A")) {
+		t.Errorf("subtree under failed condition should vanish, got %s", tree.Format(got))
+	}
+}
+
+func TestSampleSetConvergesToExpand(t *testing.T) {
+	ft := slide12()
+	exact, err := ft.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(99))
+	approx, err := ft.SampleSet(100000, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx.IsDistribution(worlds.Eps) {
+		t.Error("sampled set should be a distribution")
+	}
+	for _, w := range exact.Worlds {
+		got := approx.ProbOf(w.Tree)
+		if math.Abs(got-w.P) > 0.01 {
+			t.Errorf("sampled P(%s) = %v, exact %v", tree.Format(w.Tree), got, w.P)
+		}
+	}
+}
+
+func TestSampleSetValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	if _, err := slide12().SampleSet(0, r); err == nil {
+		t.Error("zero samples accepted")
+	}
+}
+
+func TestProbNode(t *testing.T) {
+	ft := slide12()
+	d := ft.Root.Children[1].Children[0] // D[w2]
+	p, err := ft.ProbNode(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.7) > 1e-12 {
+		t.Errorf("P(D) = %v, want 0.7", p)
+	}
+	b := ft.Root.Children[0] // B[w1 !w2]
+	p, err = ft.ProbNode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.24) > 1e-12 {
+		t.Errorf("P(B) = %v, want 0.24", p)
+	}
+	if _, err := ft.ProbNode(&Node{Label: "X"}); err == nil {
+		t.Error("foreign node accepted")
+	}
+}
+
+func TestExpandValidatesFirst(t *testing.T) {
+	bad := New(MustParse("A(B[nope])"))
+	if _, err := bad.Expand(); err == nil {
+		t.Error("expand of invalid tree should fail")
+	}
+}

@@ -1,0 +1,190 @@
+package fuzzy
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"repro/internal/event"
+)
+
+// Parse parses the fuzzy textual format produced by Format:
+//
+//	node  := label ["[" condition "]"] [":" value] ["(" node ("," node)* ")"]
+//
+// where condition uses the event-literal syntax of event.ParseCondition
+// ("w1 !w2"). Labels and values are barewords or quoted Go strings, as in
+// the tree package. Parse returns only the node hierarchy; the caller
+// supplies the event table (see ParseTree).
+func Parse(s string) (*Node, error) {
+	p := &parser{input: s}
+	p.skipSpace()
+	n, err := p.parseNode()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.input) {
+		return nil, p.errf("trailing input")
+	}
+	return n, nil
+}
+
+// MustParse is like Parse but panics on error; for constant inputs.
+func MustParse(s string) *Node {
+	n, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// ParseTree parses a fuzzy node hierarchy and pairs it with the given
+// event probabilities, validating the result. The probs map may mention
+// events not used by the tree; all used events must be present.
+func ParseTree(s string, probs map[event.ID]float64) (*Tree, error) {
+	root, err := Parse(s)
+	if err != nil {
+		return nil, err
+	}
+	tab := event.NewTable()
+	for id, p := range probs {
+		if err := tab.Set(id, p); err != nil {
+			return nil, err
+		}
+	}
+	t := &Tree{Root: root, Table: tab}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// MustParseTree is like ParseTree but panics on error; for constant
+// inputs in tests and examples.
+func MustParseTree(s string, probs map[event.ID]float64) *Tree {
+	t, err := ParseTree(s, probs)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+type parser struct {
+	input string
+	pos   int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("fuzzy: parse error at offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.input) {
+		switch p.input[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos < len(p.input) {
+		return p.input[p.pos]
+	}
+	return 0
+}
+
+func (p *parser) parseAtom() (string, error) {
+	if p.peek() == '"' {
+		i := p.pos + 1
+		for i < len(p.input) {
+			switch p.input[i] {
+			case '\\':
+				i += 2
+				continue
+			case '"':
+				lit := p.input[p.pos : i+1]
+				s, err := strconv.Unquote(lit)
+				if err != nil {
+					return "", p.errf("bad quoted string %s: %v", lit, err)
+				}
+				p.pos = i + 1
+				return s, nil
+			}
+			i++
+		}
+		return "", p.errf("unterminated quoted string")
+	}
+	start := p.pos
+	for p.pos < len(p.input) {
+		r := rune(p.input[p.pos])
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' || r == '.' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return "", p.errf("expected label or value")
+	}
+	return p.input[start:p.pos], nil
+}
+
+func (p *parser) parseNode() (*Node, error) {
+	label, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{Label: label}
+	p.skipSpace()
+	if p.peek() == '[' {
+		end := strings.IndexByte(p.input[p.pos:], ']')
+		if end < 0 {
+			return nil, p.errf("unterminated condition")
+		}
+		condStr := p.input[p.pos+1 : p.pos+end]
+		cond, err := event.ParseCondition(condStr)
+		if err != nil {
+			return nil, p.errf("bad condition %q: %v", condStr, err)
+		}
+		n.Cond = cond
+		p.pos += end + 1
+		p.skipSpace()
+	}
+	if p.peek() == ':' {
+		p.pos++
+		p.skipSpace()
+		v, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		n.Value = v
+		p.skipSpace()
+	}
+	if p.peek() == '(' {
+		p.pos++
+		for {
+			p.skipSpace()
+			c, err := p.parseNode()
+			if err != nil {
+				return nil, err
+			}
+			n.Children = append(n.Children, c)
+			p.skipSpace()
+			switch p.peek() {
+			case ',':
+				p.pos++
+			case ')':
+				p.pos++
+				return n, nil
+			default:
+				return nil, p.errf("expected ',' or ')'")
+			}
+		}
+	}
+	return n, nil
+}

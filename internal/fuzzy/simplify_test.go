@@ -1,0 +1,188 @@
+package fuzzy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/event"
+	"repro/internal/worlds"
+)
+
+func TestPruneUnsat(t *testing.T) {
+	ft := MustParseTree("A(B[w1 !w1], C[w1])", map[event.ID]float64{"w1": 0.5})
+	stats := ft.PruneUnsat()
+	if stats.NodesRemoved != 1 {
+		t.Errorf("NodesRemoved = %d, want 1", stats.NodesRemoved)
+	}
+	if !Equal(ft.Root, MustParse("A(C[w1])")) {
+		t.Errorf("after prune: %s", Format(ft.Root))
+	}
+}
+
+func TestPruneUnsatAcrossPath(t *testing.T) {
+	// C requires !w1 but its ancestor B requires w1: effective condition
+	// is unsatisfiable even though each condition alone is fine.
+	ft := MustParseTree("A(B[w1](C[!w1](D)))", map[event.ID]float64{"w1": 0.5})
+	stats := ft.PruneUnsat()
+	if stats.NodesRemoved != 2 { // C and D
+		t.Errorf("NodesRemoved = %d, want 2", stats.NodesRemoved)
+	}
+	if !Equal(ft.Root, MustParse("A(B[w1])")) {
+		t.Errorf("after prune: %s", Format(ft.Root))
+	}
+}
+
+func TestAbsorbAncestorLiterals(t *testing.T) {
+	ft := MustParseTree("A(B[w1](C[w1 w2]))", map[event.ID]float64{"w1": 0.5, "w2": 0.5})
+	stats := ft.AbsorbAncestorLiterals()
+	if stats.LiteralsRemoved != 1 {
+		t.Errorf("LiteralsRemoved = %d, want 1", stats.LiteralsRemoved)
+	}
+	if !Equal(ft.Root, MustParse("A(B[w1](C[w2]))")) {
+		t.Errorf("after absorb: %s", Format(ft.Root))
+	}
+}
+
+func TestFoldCertainEvents(t *testing.T) {
+	ft := MustParseTree("A(B[sure], C[!sure], D[never], E[!never w1])",
+		map[event.ID]float64{"sure": 1, "never": 0, "w1": 0.5})
+	stats := ft.FoldCertainEvents()
+	if stats.NodesRemoved != 2 { // C and D vanish
+		t.Errorf("NodesRemoved = %d, want 2", stats.NodesRemoved)
+	}
+	if stats.LiteralsRemoved != 2 { // "sure" on B, "!never" on E
+		t.Errorf("LiteralsRemoved = %d, want 2", stats.LiteralsRemoved)
+	}
+	if !Equal(ft.Root, MustParse("A(B, E[w1])")) {
+		t.Errorf("after fold: %s", Format(ft.Root))
+	}
+}
+
+func TestMergeComplementarySiblings(t *testing.T) {
+	// The pair {C[w2 !w1], C[w2 w1]} merges to C[w2].
+	ft := MustParseTree("A(C[w2 !w1], C[w2 w1])", map[event.ID]float64{"w1": 0.5, "w2": 0.5})
+	stats := ft.MergeComplementarySiblings()
+	if stats.SiblingsMerged != 1 {
+		t.Errorf("SiblingsMerged = %d, want 1", stats.SiblingsMerged)
+	}
+	if !Equal(ft.Root, MustParse("A(C[w2])")) {
+		t.Errorf("after merge: %s", Format(ft.Root))
+	}
+}
+
+func TestMergeComplementaryRequiresSingleDifference(t *testing.T) {
+	// Differ in two literals: no merge.
+	ft := MustParseTree("A(C[w1 w2], C[!w1 !w2])", map[event.ID]float64{"w1": 0.5, "w2": 0.5})
+	if stats := ft.MergeComplementarySiblings(); stats.SiblingsMerged != 0 {
+		t.Errorf("merged incompatible pair")
+	}
+	// Identical conditions: duplicates kept (bag semantics).
+	ft2 := MustParseTree("A(C[w1], C[w1])", map[event.ID]float64{"w1": 0.5})
+	if stats := ft2.MergeComplementarySiblings(); stats.SiblingsMerged != 0 {
+		t.Errorf("merged identical duplicates (bag semantics violated)")
+	}
+	// Different subtrees: no merge.
+	ft3 := MustParseTree("A(C[w1](X), C[!w1](Y))", map[event.ID]float64{"w1": 0.5})
+	if stats := ft3.MergeComplementarySiblings(); stats.SiblingsMerged != 0 {
+		t.Errorf("merged pair with different subtrees")
+	}
+}
+
+func TestDropUnusedEvents(t *testing.T) {
+	ft := MustParseTree("A(B[w1])", map[event.ID]float64{"w1": 0.5, "w2": 0.5, "w3": 0.1})
+	stats := ft.DropUnusedEvents()
+	if stats.EventsRemoved != 2 {
+		t.Errorf("EventsRemoved = %d, want 2", stats.EventsRemoved)
+	}
+	if !ft.Table.Has("w1") || ft.Table.Has("w2") || ft.Table.Has("w3") {
+		t.Errorf("table after drop: %s", ft.Table)
+	}
+}
+
+func TestSimplifyFixpointChain(t *testing.T) {
+	// After folding "sure", the two C siblings become complementary and
+	// merge, and then w2 absorbs into nothing further; finally unused
+	// events leave the table. Exercises multi-round fixpoint.
+	ft := MustParseTree("A(C[sure w2 w1], C[w2 !w1])",
+		map[event.ID]float64{"sure": 1, "w1": 0.5, "w2": 0.5})
+	before, err := ft.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := ft.Simplify()
+	if stats.Total() == 0 {
+		t.Error("expected simplifications")
+	}
+	if !Equal(ft.Root, MustParse("A(C[w2])")) {
+		t.Errorf("after simplify: %s", Format(ft.Root))
+	}
+	if ft.Table.Has("sure") || ft.Table.Has("w1") {
+		t.Errorf("stale events in table: %s", ft.Table)
+	}
+	after, err := ft.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !before.Equal(after, worlds.Eps) {
+		t.Error("simplification changed semantics")
+	}
+}
+
+// TestSimplifyPreservesSemantics is the central property (E7): for random
+// fuzzy trees, Simplify never changes the possible-worlds semantics.
+func TestSimplifyPreservesSemantics(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ft := randomFuzzyTree(r, 3, 3)
+		before, err := ft.Expand()
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		ft.Simplify()
+		if err := ft.Validate(); err != nil {
+			t.Logf("simplified tree invalid: %v", err)
+			return false
+		}
+		after, err := ft.Expand()
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if !before.Equal(after, 1e-9) {
+			t.Logf("seed %d: semantics changed:\nbefore:\n%s\nafter:\n%s", seed, before, after)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSimplifyUndoesDeletionExpansion checks that the slide-15 expansion
+// pattern shrinks back when the confidence event is certain.
+func TestSimplifyUndoesDeletionExpansion(t *testing.T) {
+	// Slide-15 output with w3 forced to 1 (deletion certainly applied):
+	// C[!w1 w2] stays, C[w1 w2 !w3] dies, D[w1 w2 w3] loses w3.
+	ft := MustParseTree("A(B[w1], C[!w1 w2], C[w1 w2 !w3], D[w1 w2 w3])",
+		map[event.ID]float64{"w1": 0.8, "w2": 0.7, "w3": 1})
+	ft.Simplify()
+	if !Equal(ft.Root, MustParse("A(B[w1], C[!w1 w2], D[w1 w2])")) {
+		t.Errorf("after simplify: %s", Format(ft.Root))
+	}
+}
+
+func TestSimplifyIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ft := randomFuzzyTree(r, 3, 3)
+		ft.Simplify()
+		second := ft.Simplify()
+		return second.Total() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,139 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/event"
+	"repro/internal/fuzzy"
+	"repro/internal/tpwj"
+	"repro/internal/tree"
+	"repro/internal/update"
+)
+
+// Workload is a reproducible scenario: an initial document and a stream
+// of probabilistic transactions to apply in order.
+type Workload struct {
+	// Name describes the scenario.
+	Name string
+	// Doc is the initial document.
+	Doc *fuzzy.Tree
+	// Transactions are applied in order.
+	Transactions []*update.Transaction
+}
+
+// ExtractionFeed models the paper's motivating scenario (slide 2–3):
+// information-extraction modules push n uncertain records into a
+// warehouse document, each as an insertion with a confidence. Records
+// are person entries with a name and a random city.
+func ExtractionFeed(r *rand.Rand, n int) *Workload {
+	doc := fuzzy.New(fuzzy.NewNode("warehouse"))
+	cities := []string{"Paris", "Orsay", "Saclay", "Lyon", "Lille"}
+	w := &Workload{Name: "extraction-feed", Doc: doc}
+	for i := 0; i < n; i++ {
+		record := tree.New("person",
+			tree.NewLeaf("name", fmt.Sprintf("person%03d", i)),
+			tree.NewLeaf("city", cities[r.Intn(len(cities))]),
+		)
+		conf := 0.5 + 0.5*r.Float64()
+		tx := update.New(
+			tpwj.MustParseQuery("warehouse $w"),
+			conf,
+			update.Insert("w", record),
+		)
+		w.Transactions = append(w.Transactions, tx)
+	}
+	return w
+}
+
+// CleaningFeed models a data-cleaning pass (slide 15 generalized): the
+// document holds n records with possibly stale city fields; each
+// transaction conditionally replaces one record's city value with a
+// corrected one, with a confidence.
+func CleaningFeed(r *rand.Rand, n int) *Workload {
+	root := fuzzy.NewNode("warehouse")
+	tab := event.NewTable()
+	for i := 0; i < n; i++ {
+		e, _ := tab.Fresh("w", 0.3+0.6*r.Float64())
+		rec := fuzzy.NewNode("person",
+			fuzzy.NewLeaf("name", fmt.Sprintf("person%03d", i)),
+			fuzzy.NewLeaf("city", "OldCity"),
+		).WithCond(event.Cond(event.Pos(e)))
+		root.Add(rec)
+	}
+	doc := &fuzzy.Tree{Root: root, Table: tab}
+
+	w := &Workload{Name: "cleaning-feed", Doc: doc}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("person%03d", i)
+		q := tpwj.MustParseQuery(
+			fmt.Sprintf(`warehouse(person $p(name="%s" $n, city $c))`, name))
+		conf := 0.5 + 0.5*r.Float64()
+		tx := update.New(q, conf,
+			update.Insert("p", tree.NewLeaf("city", "NewCity")),
+			update.Delete("c"),
+		)
+		w.Transactions = append(w.Transactions, tx)
+	}
+	return w
+}
+
+// DependentDeletions builds the blow-up workload of experiment E5
+// (slide 14): one victim node and k guard nodes carrying distinct
+// events; the i-th transaction deletes the victim when guard i is
+// present, so every deletion's condition is independent of the victim
+// and the conditioned copies multiply.
+func DependentDeletions(k int) *Workload {
+	root := fuzzy.NewNode("A")
+	tab := event.NewTable()
+	ev, _ := tab.Fresh("v", 0.5)
+	root.Add(fuzzy.NewNode("V").WithCond(event.Cond(event.Pos(ev))))
+	for i := 1; i <= k; i++ {
+		g, _ := tab.Fresh("g", 0.5)
+		root.Add(fuzzy.NewNode(fmt.Sprintf("G%d", i)).WithCond(event.Cond(event.Pos(g))))
+	}
+	doc := &fuzzy.Tree{Root: root, Table: tab}
+
+	w := &Workload{Name: "dependent-deletions", Doc: doc}
+	for i := 1; i <= k; i++ {
+		q := tpwj.MustParseQuery(fmt.Sprintf("A(G%d $g, V $x)", i))
+		w.Transactions = append(w.Transactions, update.New(q, 0.9, update.Delete("x")))
+	}
+	return w
+}
+
+// IndependentDeletions is the contrast workload of E5: k victims, each
+// deleted by a transaction whose match condition is implied by the
+// victim itself, so no copying occurs.
+func IndependentDeletions(k int) *Workload {
+	root := fuzzy.NewNode("A")
+	tab := event.NewTable()
+	for i := 1; i <= k; i++ {
+		e, _ := tab.Fresh("v", 0.5)
+		root.Add(fuzzy.NewNode(fmt.Sprintf("V%d", i)).WithCond(event.Cond(event.Pos(e))))
+	}
+	doc := &fuzzy.Tree{Root: root, Table: tab}
+
+	w := &Workload{Name: "independent-deletions", Doc: doc}
+	for i := 1; i <= k; i++ {
+		q := tpwj.MustParseQuery(fmt.Sprintf("A(V%d $x)", i))
+		w.Transactions = append(w.Transactions, update.New(q, 0.9, update.Delete("x")))
+	}
+	return w
+}
+
+// Apply runs the workload's transactions in order on the fuzzy document,
+// returning the final tree and the accumulated statistics.
+func (w *Workload) Apply() (*fuzzy.Tree, []*update.FuzzyStats, error) {
+	cur := w.Doc
+	var stats []*update.FuzzyStats
+	for i, tx := range w.Transactions {
+		next, s, err := tx.ApplyFuzzy(cur)
+		if err != nil {
+			return nil, nil, fmt.Errorf("gen: workload %s step %d: %w", w.Name, i, err)
+		}
+		cur = next
+		stats = append(stats, s)
+	}
+	return cur, stats, nil
+}

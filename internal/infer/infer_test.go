@@ -1,0 +1,232 @@
+package infer
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/fuzzy"
+	"repro/internal/tpwj"
+	"repro/internal/tree"
+	"repro/internal/worlds"
+)
+
+func slide12() *fuzzy.Tree {
+	return fuzzy.MustParseTree("A(B[w1 !w2], C(D[w2]))",
+		map[event.ID]float64{"w1": 0.8, "w2": 0.7})
+}
+
+func TestProbSelected(t *testing.T) {
+	ft := slide12()
+	cases := []struct {
+		q    string
+		want float64
+	}{
+		{"A(B)", 0.24},
+		{"A(//D)", 0.70},
+		{"A(C)", 1.0},
+		{"A(Z)", 0.0},
+		{"A(B, //D)", 0.0}, // B needs !w2, D needs w2
+	}
+	for _, tc := range cases {
+		got, err := ProbSelected(tpwj.MustParseQuery(tc.q), ft)
+		if err != nil {
+			t.Errorf("%s: %v", tc.q, err)
+			continue
+		}
+		if math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("ProbSelected(%s) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestPosteriorSlide12(t *testing.T) {
+	ft := slide12()
+	// Observing B pins w1 true and w2 false.
+	post, err := Posterior(tpwj.MustParseQuery("A(B)"), ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(post["w1"]-1) > 1e-12 {
+		t.Errorf("P(w1 | B) = %v, want 1", post["w1"])
+	}
+	if math.Abs(post["w2"]-0) > 1e-12 {
+		t.Errorf("P(w2 | B) = %v, want 0", post["w2"])
+	}
+	// Observing D pins w2 true; w1 unaffected (independent).
+	post, err = Posterior(tpwj.MustParseQuery("A(//D)"), ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(post["w2"]-1) > 1e-12 {
+		t.Errorf("P(w2 | D) = %v, want 1", post["w2"])
+	}
+	if math.Abs(post["w1"]-0.8) > 1e-12 {
+		t.Errorf("P(w1 | D) = %v, want 0.8", post["w1"])
+	}
+}
+
+// TestPosteriorAgainstWorlds checks Bayes' rule against brute-force
+// enumeration over the expansion.
+func TestPosteriorAgainstWorlds(t *testing.T) {
+	ft := fuzzy.MustParseTree("A(B[w1 w2], C[w2])",
+		map[event.ID]float64{"w1": 0.6, "w2": 0.5})
+	q := tpwj.MustParseQuery("A(B)")
+	post, err := Posterior(q, ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Manually: B exists iff w1∧w2 (P=0.3). Given that, w1 and w2 are
+	// certainly true.
+	if math.Abs(post["w1"]-1) > 1e-12 || math.Abs(post["w2"]-1) > 1e-12 {
+		t.Errorf("posterior = %v", post)
+	}
+}
+
+func TestPosteriorZeroEvidence(t *testing.T) {
+	ft := slide12()
+	if _, err := Posterior(tpwj.MustParseQuery("A(Z)"), ft); err == nil {
+		t.Error("zero-probability evidence accepted")
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	ft := slide12()
+	// B and D are mutually exclusive (w2 vs !w2): lift 0.
+	both, p1, p2, lift, err := Correlation(
+		tpwj.MustParseQuery("A(B)"), tpwj.MustParseQuery("A(//D)"), ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if both != 0 || lift != 0 {
+		t.Errorf("exclusive queries: both=%v lift=%v", both, lift)
+	}
+	if math.Abs(p1-0.24) > 1e-12 || math.Abs(p2-0.7) > 1e-12 {
+		t.Errorf("marginals: %v %v", p1, p2)
+	}
+
+	// A query with itself: lift = 1/P.
+	both, p1, _, lift, err = Correlation(
+		tpwj.MustParseQuery("A(B)"), tpwj.MustParseQuery("A(B)"), ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(both-p1) > 1e-12 {
+		t.Errorf("self-correlation: both=%v p=%v", both, p1)
+	}
+	if math.Abs(lift-1/p1) > 1e-9 {
+		t.Errorf("self-lift = %v, want %v", lift, 1/p1)
+	}
+}
+
+func TestCorrelationIndependent(t *testing.T) {
+	ft := fuzzy.MustParseTree("A(B[w1], C[w2])",
+		map[event.ID]float64{"w1": 0.5, "w2": 0.5})
+	_, _, _, lift, err := Correlation(
+		tpwj.MustParseQuery("A(B)"), tpwj.MustParseQuery("A(C)"), ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lift-1) > 1e-9 {
+		t.Errorf("independent queries should have lift 1, got %v", lift)
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	// Uniform over 4 worlds: 2 bits.
+	s := &worlds.Set{}
+	s.Add(tree.MustParse("A(W)"), 0.25)
+	s.Add(tree.MustParse("A(X)"), 0.25)
+	s.Add(tree.MustParse("A(Y)"), 0.25)
+	s.Add(tree.MustParse("A(Z)"), 0.25)
+	if got := Entropy(s); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Entropy = %v, want 2", got)
+	}
+	// Deterministic: 0 bits.
+	d := &worlds.Set{}
+	d.Add(tree.MustParse("A"), 1)
+	if got := Entropy(d); got != 0 {
+		t.Errorf("Entropy = %v, want 0", got)
+	}
+}
+
+func TestDocumentEntropy(t *testing.T) {
+	h, err := DocumentEntropy(slide12())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three worlds: 0.06, 0.70, 0.24.
+	want := -(0.06*math.Log2(0.06) + 0.7*math.Log2(0.7) + 0.24*math.Log2(0.24))
+	if math.Abs(h-want) > 1e-12 {
+		t.Errorf("DocumentEntropy = %v, want %v", h, want)
+	}
+}
+
+func TestCountDistribution(t *testing.T) {
+	// Two independent sections, each present with its own probability.
+	ft := fuzzy.MustParseTree("A(S[w1](L:a), S[w2](L:b))",
+		map[event.ID]float64{"w1": 0.8, "w2": 0.5})
+	dist, err := CountDistribution(tpwj.MustParseQuery("A(S(L $x))"), ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]float64{
+		0: 0.2 * 0.5,
+		1: 0.8*0.5 + 0.2*0.5,
+		2: 0.8 * 0.5,
+	}
+	total := 0.0
+	for k, p := range want {
+		if math.Abs(dist[k]-p) > 1e-12 {
+			t.Errorf("P(#answers=%d) = %v, want %v", k, dist[k], p)
+		}
+		total += dist[k]
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Errorf("distribution sums to %v", total)
+	}
+}
+
+func TestCountDistributionNoAnswers(t *testing.T) {
+	dist, err := CountDistribution(tpwj.MustParseQuery("A(Z)"), slide12())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist[0] != 1 || len(dist) != 1 {
+		t.Errorf("dist = %v", dist)
+	}
+}
+
+func TestExpectedAnswerCount(t *testing.T) {
+	ft := fuzzy.MustParseTree("A(S[w1](L:a), S[w2](L:b))",
+		map[event.ID]float64{"w1": 0.8, "w2": 0.5})
+	got, err := ExpectedAnswerCount(tpwj.MustParseQuery("A(S(L $x))"), ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1.3) > 1e-12 {
+		t.Errorf("expected count = %v, want 1.3", got)
+	}
+	// Consistency with the distribution.
+	dist, err := CountDistribution(tpwj.MustParseQuery("A(S(L $x))"), ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := 0.0
+	for k, p := range dist {
+		mean += float64(k) * p
+	}
+	if math.Abs(mean-got) > 1e-12 {
+		t.Errorf("distribution mean %v != expectation %v", mean, got)
+	}
+}
+
+func TestEvidenceFormulaUnselectable(t *testing.T) {
+	f, err := EvidenceFormula(tpwj.MustParseQuery("A(Z)"), slide12())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != event.FFalse {
+		t.Errorf("evidence for impossible query = %v, want false", f)
+	}
+}

@@ -1,0 +1,316 @@
+package tpwj
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/event"
+	"repro/internal/fuzzy"
+	"repro/internal/tree"
+	"repro/internal/worlds"
+)
+
+// Eval evaluates the query over a plain data tree and returns the set of
+// distinct answers (duplicates from different valuations merged), in
+// deterministic order (canonical form).
+func Eval(q *Query, doc *tree.Node, mode ResultMode) ([]*tree.Node, error) {
+	ix := tree.NewIndex(doc)
+	seen := make(map[string]*tree.Node)
+	err := ForEachMatch(q, ix, func(m Match) bool {
+		a := AnswerTree(ix, m, mode)
+		c := tree.Canonical(a)
+		if _, ok := seen[c]; !ok {
+			seen[c] = a
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*tree.Node, len(keys))
+	for i, k := range keys {
+		out[i] = seen[k]
+	}
+	return out, nil
+}
+
+// EvalWorlds evaluates the query over a possible-worlds set, implementing
+// the paper's semantic definition (slide 10): the result is the
+// normalization of {(t, p_i) | t ∈ Q(t_i)}. Each entry of the result
+// records the probability that the given tree is an answer; the result
+// is in general not a distribution.
+func EvalWorlds(q *Query, s *worlds.Set, mode ResultMode) (*worlds.Set, error) {
+	out := &worlds.Set{}
+	for _, w := range s.Worlds {
+		answers, err := Eval(q, w.Tree, mode)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range answers {
+			out.Add(a, w.P)
+		}
+	}
+	return out.Normalize(), nil
+}
+
+// ProbAnswer is one answer of a query over a fuzzy tree: the answer tree,
+// the condition under which it appears, and its exact probability.
+type ProbAnswer struct {
+	// Tree is the answer (a minimal subtree of the underlying document).
+	Tree *tree.Node
+	// Cond is the disjunction of the condition conjunctions of the
+	// valuations producing this answer; the answer appears in exactly
+	// the worlds satisfying Cond. For queries with negation, Cond is nil
+	// and Formula carries the condition instead.
+	Cond event.DNF
+	// Formula is the answer condition as a Boolean formula. For positive
+	// queries it is equivalent to Cond; for queries with forbidden
+	// sub-patterns it carries the ¬(sub-match) parts DNF cannot express.
+	Formula event.Formula
+	// P is the probability of the answer condition.
+	P float64
+}
+
+// EvalFuzzy evaluates the query directly on a fuzzy tree (slide 13):
+// valuations are found on the underlying data tree, and each answer's
+// probability is the probability of the disjunction of the condition
+// conjunctions of its valuations, computed exactly. Answers are returned
+// in deterministic order (descending probability, then canonical form).
+//
+// Only MinimalSubtree answers are supported: the answer for a valuation
+// must be fully determined by the matched nodes and their ancestors, so
+// that its existence is equivalent to a conjunction of conditions.
+//
+// By the commutation theorem, EvalFuzzy(q, ft) agrees with
+// EvalWorlds(q, ft.Expand()) — tested property, experiment E3.
+func EvalFuzzy(q *Query, ft *fuzzy.Tree) ([]ProbAnswer, error) {
+	answers, err := evalFuzzySymbolic(q, ft)
+	if err != nil {
+		return nil, err
+	}
+	// Answers whose condition holds in no world (probability exactly 0,
+	// possible with negation or degenerate event probabilities) are not
+	// answers: the possible-worlds semantics never produces them.
+	out := answers[:0]
+	for i := range answers {
+		var p float64
+		var perr error
+		if answers[i].Cond != nil {
+			p, perr = ft.Table.ProbDNF(answers[i].Cond)
+		} else {
+			p, perr = ft.Table.ProbFormula(answers[i].Formula)
+		}
+		if perr != nil {
+			return nil, fmt.Errorf("tpwj: %w", perr)
+		}
+		if p == 0 {
+			continue
+		}
+		answers[i].P = p
+		out = append(out, answers[i])
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].P != out[j].P {
+			return out[i].P > out[j].P
+		}
+		return tree.Canonical(out[i].Tree) < tree.Canonical(out[j].Tree)
+	})
+	return out, nil
+}
+
+// EvalFuzzyMonteCarlo estimates answer probabilities by sampling: it
+// finds the answers symbolically like EvalFuzzy but replaces the exact
+// DNF probability computation with Monte-Carlo estimation over the
+// events. It is the scalable fallback when condition DNFs grow large
+// (experiment E9).
+func EvalFuzzyMonteCarlo(q *Query, ft *fuzzy.Tree, samples int, r *rand.Rand) ([]ProbAnswer, error) {
+	answers, err := evalFuzzySymbolic(q, ft)
+	if err != nil {
+		return nil, err
+	}
+	out := answers[:0]
+	for i := range answers {
+		var p float64
+		var perr error
+		if answers[i].Cond != nil {
+			p, perr = ft.Table.EstimateDNF(answers[i].Cond, samples, r)
+		} else {
+			p, perr = ft.Table.EstimateFormula(answers[i].Formula, samples, r)
+		}
+		if perr != nil {
+			return nil, perr
+		}
+		if p == 0 {
+			continue // estimated to appear in no world
+		}
+		answers[i].P = p
+		out = append(out, answers[i])
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].P != out[j].P {
+			return out[i].P > out[j].P
+		}
+		return tree.Canonical(out[i].Tree) < tree.Canonical(out[j].Tree)
+	})
+	return out, nil
+}
+
+// evalFuzzySymbolic computes answers and their conditions (DNF for
+// positive queries, general formulas when the pattern uses negation)
+// without probabilities.
+func evalFuzzySymbolic(q *Query, ft *fuzzy.Tree) ([]ProbAnswer, error) {
+	if err := ft.Validate(); err != nil {
+		return nil, err
+	}
+	if q.HasNegation() {
+		return evalFuzzyNegSymbolic(q, ft)
+	}
+	doc, toFuzzy := underlyingWithMap(ft)
+	ix := tree.NewIndex(doc)
+	type acc struct {
+		tree *tree.Node
+		dnf  event.DNF
+	}
+	byCanon := make(map[string]*acc)
+	err := ForEachMatch(q, ix, func(m Match) bool {
+		var clause event.Condition
+		for _, n := range answerNodes(ix, m) {
+			clause = append(clause, toFuzzy[n].Cond...)
+		}
+		clause = clause.Normalize()
+		if !clause.Satisfiable() {
+			return true
+		}
+		a := AnswerTree(ix, m, MinimalSubtree)
+		c := tree.Canonical(a)
+		entry, ok := byCanon[c]
+		if !ok {
+			entry = &acc{tree: a}
+			byCanon[c] = entry
+		}
+		entry.dnf = append(entry.dnf, clause)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]string, 0, len(byCanon))
+	for k := range byCanon {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]ProbAnswer, 0, len(keys))
+	for _, k := range keys {
+		e := byCanon[k]
+		d := e.dnf.Normalize()
+		out = append(out, ProbAnswer{Tree: e.tree, Cond: d, Formula: event.FDNF(d)})
+	}
+	return out, nil
+}
+
+// evalFuzzyNegSymbolic handles queries with forbidden sub-patterns
+// (negation extension): a valuation's condition becomes
+//
+//	clause(valuation) ∧ ⋀ ¬( ∨ conditions of forbidden sub-matches )
+//
+// — a general Boolean formula, since a forbidden node may exist in some
+// worlds only. Matches are therefore enumerated without the plain-tree
+// not-exists filter; the filter is expressed probabilistically instead.
+func evalFuzzyNegSymbolic(q *Query, ft *fuzzy.Tree) ([]ProbAnswer, error) {
+	doc, toFuzzy := underlyingWithMap(ft)
+	ix := tree.NewIndex(doc)
+	type acc struct {
+		tree     *tree.Node
+		formulas []event.Formula
+	}
+	byCanon := make(map[string]*acc)
+	err := forEachMatch(q, ix, false, func(m Match) bool {
+		var clause event.Condition
+		for _, n := range answerNodes(ix, m) {
+			clause = append(clause, toFuzzy[n].Cond...)
+		}
+		clause = clause.Normalize()
+		if !clause.Satisfiable() {
+			return true
+		}
+		parts := []event.Formula{event.FCond(clause)}
+		for p, n := range m {
+			for _, pc := range p.Children {
+				if !pc.Forbidden {
+					continue
+				}
+				var sub event.DNF
+				ForEachSubMatch(ix, pc, n, func(sm Match) bool {
+					var c event.Condition
+					seen := make(map[*tree.Node]bool)
+					for _, sn := range sm {
+						for _, a := range ix.PathToRoot(sn) {
+							if seen[a] {
+								continue
+							}
+							seen[a] = true
+							c = append(c, toFuzzy[a].Cond...)
+						}
+					}
+					c = c.Normalize()
+					if c.Satisfiable() {
+						sub = append(sub, c)
+					}
+					return true
+				})
+				if len(sub) > 0 {
+					parts = append(parts, event.FNot(event.FDNF(sub.Normalize())))
+				}
+			}
+		}
+		phi := event.FAnd(parts...)
+		if phi == event.FFalse {
+			return true
+		}
+		a := AnswerTree(ix, m, MinimalSubtree)
+		c := tree.Canonical(a)
+		entry, ok := byCanon[c]
+		if !ok {
+			entry = &acc{tree: a}
+			byCanon[c] = entry
+		}
+		entry.formulas = append(entry.formulas, phi)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]string, 0, len(byCanon))
+	for k := range byCanon {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]ProbAnswer, 0, len(keys))
+	for _, k := range keys {
+		e := byCanon[k]
+		out = append(out, ProbAnswer{Tree: e.tree, Formula: event.FOr(e.formulas...)})
+	}
+	return out, nil
+}
+
+// underlyingWithMap strips conditions from a fuzzy tree, returning the
+// data tree and the mapping from each data node back to its fuzzy node.
+func underlyingWithMap(ft *fuzzy.Tree) (*tree.Node, map[*tree.Node]*fuzzy.Node) {
+	m := make(map[*tree.Node]*fuzzy.Node)
+	var conv func(n *fuzzy.Node) *tree.Node
+	conv = func(n *fuzzy.Node) *tree.Node {
+		d := &tree.Node{Label: n.Label, Value: n.Value}
+		m[d] = n
+		for _, c := range n.Children {
+			d.Children = append(d.Children, conv(c))
+		}
+		return d
+	}
+	return conv(ft.Root), m
+}

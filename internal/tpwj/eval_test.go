@@ -1,0 +1,378 @@
+package tpwj
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/event"
+	"repro/internal/fuzzy"
+	"repro/internal/tree"
+	"repro/internal/worlds"
+)
+
+func TestAnswerTreeMinimal(t *testing.T) {
+	d := doc() // A(B:foo, B:foo, E(C:bar), D(F:nee, C:bar))
+	q := MustParseQuery("A(E(C $x))")
+	answers, err := Eval(q, d, MinimalSubtree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 1 {
+		t.Fatalf("answers = %d", len(answers))
+	}
+	want := tree.MustParse("A(E(C:bar))")
+	if !tree.Equal(answers[0], want) {
+		t.Errorf("answer = %s, want %s", tree.Format(answers[0]), tree.Format(want))
+	}
+}
+
+func TestAnswerKeepsMatchedValue(t *testing.T) {
+	q := MustParseQuery("A(B)")
+	answers, err := Eval(q, tree.MustParse("A(B:foo)"), MinimalSubtree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 1 || !tree.Equal(answers[0], tree.MustParse("A(B:foo)")) {
+		t.Errorf("answers = %v", answers)
+	}
+}
+
+func TestAnswerDropsUnmatchedSubtrees(t *testing.T) {
+	// Matching only E: D's subtree and the B's must not appear.
+	q := MustParseQuery("A(E $x)")
+	answers, err := Eval(q, doc(), MinimalSubtree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 1 || !tree.Equal(answers[0], tree.MustParse("A(E)")) {
+		t.Errorf("answer = %s", tree.Format(answers[0]))
+	}
+}
+
+func TestAnswerWithSubtrees(t *testing.T) {
+	q := MustParseQuery("A(E $x)")
+	answers, err := Eval(q, doc(), WithSubtrees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 1 || !tree.Equal(answers[0], tree.MustParse("A(E(C:bar))")) {
+		t.Errorf("answer = %s", tree.Format(answers[0]))
+	}
+}
+
+func TestEvalDeduplicatesAnswers(t *testing.T) {
+	// Both B's produce the same minimal subtree A(B:foo).
+	q := MustParseQuery("A(B)")
+	answers, err := Eval(q, tree.MustParse("A(B:foo, B:foo)"), MinimalSubtree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 1 {
+		t.Errorf("answers = %d, want 1 (deduplicated)", len(answers))
+	}
+}
+
+func TestEvalMultipleAnswers(t *testing.T) {
+	q := MustParseQuery("A(B $x)")
+	answers, err := Eval(q, tree.MustParse("A(B:1, B:2)"), MinimalSubtree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 2 {
+		t.Errorf("answers = %d, want 2", len(answers))
+	}
+}
+
+func TestEvalWorldsSemantics(t *testing.T) {
+	// Two worlds; the query answer A(B) exists only in the first.
+	s := &worlds.Set{}
+	s.Add(tree.MustParse("A(B)"), 0.6)
+	s.Add(tree.MustParse("A(C)"), 0.4)
+	q := MustParseQuery("A(B)")
+	res, err := EvalWorlds(q, s, MinimalSubtree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Fatalf("result worlds = %d", res.Len())
+	}
+	if p := res.ProbOf(tree.MustParse("A(B)")); math.Abs(p-0.6) > worlds.Eps {
+		t.Errorf("P(A(B)) = %v, want 0.6", p)
+	}
+}
+
+func TestEvalWorldsMergesAcrossWorlds(t *testing.T) {
+	// The same answer arises in two different worlds; probabilities add.
+	s := &worlds.Set{}
+	s.Add(tree.MustParse("A(B, C)"), 0.5)
+	s.Add(tree.MustParse("A(B, D)"), 0.3)
+	s.Add(tree.MustParse("A(E)"), 0.2)
+	q := MustParseQuery("A(B)")
+	res, err := EvalWorlds(q, s, MinimalSubtree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := res.ProbOf(tree.MustParse("A(B)")); math.Abs(p-0.8) > worlds.Eps {
+		t.Errorf("P(A(B)) = %v, want 0.8", p)
+	}
+}
+
+// slide12 builds the fuzzy tree of slide 12.
+func slide12() *fuzzy.Tree {
+	return fuzzy.MustParseTree("A(B[w1 !w2], C(D[w2]))",
+		map[event.ID]float64{"w1": 0.8, "w2": 0.7})
+}
+
+func TestEvalFuzzyProbabilities(t *testing.T) {
+	ft := slide12()
+	q := MustParseQuery("A(B)")
+	answers, err := EvalFuzzy(q, ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 1 {
+		t.Fatalf("answers = %d", len(answers))
+	}
+	// B exists with probability P(w1 ∧ ¬w2) = 0.8·0.3 = 0.24.
+	if math.Abs(answers[0].P-0.24) > 1e-12 {
+		t.Errorf("P = %v, want 0.24", answers[0].P)
+	}
+	if !tree.Equal(answers[0].Tree, tree.MustParse("A(B)")) {
+		t.Errorf("answer = %s", tree.Format(answers[0].Tree))
+	}
+}
+
+func TestEvalFuzzyMergesValuationsViaDNF(t *testing.T) {
+	// Two conditioned B's yield the same answer tree; probability is
+	// P(w1 ∨ w2), not a sum.
+	ft := fuzzy.MustParseTree("A(B[w1], B[w2])",
+		map[event.ID]float64{"w1": 0.5, "w2": 0.5})
+	q := MustParseQuery("A(B)")
+	answers, err := EvalFuzzy(q, ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 1 {
+		t.Fatalf("answers = %d", len(answers))
+	}
+	if math.Abs(answers[0].P-0.75) > 1e-12 {
+		t.Errorf("P = %v, want 0.75 = P(w1 ∨ w2)", answers[0].P)
+	}
+}
+
+func TestEvalFuzzySkipsImpossibleValuations(t *testing.T) {
+	// The valuation using both B[w1] and C[!w1] is contradictory.
+	ft := fuzzy.MustParseTree("A(B[w1], C[!w1])",
+		map[event.ID]float64{"w1": 0.5})
+	q := MustParseQuery("A(B, C)")
+	answers, err := EvalFuzzy(q, ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 0 {
+		t.Errorf("answers = %d, want 0", len(answers))
+	}
+}
+
+func TestEvalFuzzyAncestorConditionsCount(t *testing.T) {
+	// D's existence requires C's condition too.
+	ft := fuzzy.MustParseTree("A(C[w1](D[w2]))",
+		map[event.ID]float64{"w1": 0.5, "w2": 0.5})
+	q := MustParseQuery("A(//D)")
+	answers, err := EvalFuzzy(q, ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 1 {
+		t.Fatalf("answers = %d", len(answers))
+	}
+	if math.Abs(answers[0].P-0.25) > 1e-12 {
+		t.Errorf("P = %v, want 0.25 = P(w1 ∧ w2)", answers[0].P)
+	}
+}
+
+// TestQueryCommutationGolden is the commutation theorem (slide 13) on the
+// slide-12 document: querying the fuzzy tree directly agrees with
+// querying every possible world.
+func TestQueryCommutationGolden(t *testing.T) {
+	ft := slide12()
+	queries := []string{
+		"A(B)",
+		"A(C(D))",
+		"A(//D)",
+		"A(B, C(D))",
+		"A(*)",
+		"//D",
+	}
+	for _, qs := range queries {
+		q := MustParseQuery(qs)
+		checkCommutation(t, q, ft, qs)
+	}
+}
+
+func checkCommutation(t *testing.T, q *Query, ft *fuzzy.Tree, label string) {
+	t.Helper()
+	direct, err := EvalFuzzy(q, ft)
+	if err != nil {
+		t.Fatalf("%s: EvalFuzzy: %v", label, err)
+	}
+	pw, err := ft.Expand()
+	if err != nil {
+		t.Fatalf("%s: Expand: %v", label, err)
+	}
+	viaWorlds, err := EvalWorlds(q, pw, MinimalSubtree)
+	if err != nil {
+		t.Fatalf("%s: EvalWorlds: %v", label, err)
+	}
+	if len(direct) != viaWorlds.Len() {
+		t.Errorf("%s: answer count mismatch: fuzzy=%d worlds=%d", label, len(direct), viaWorlds.Len())
+		return
+	}
+	for _, a := range direct {
+		want := viaWorlds.ProbOf(a.Tree)
+		if math.Abs(a.P-want) > 1e-9 {
+			t.Errorf("%s: P(%s) fuzzy=%v worlds=%v", label, tree.Format(a.Tree), a.P, want)
+		}
+	}
+}
+
+// TestQueryCommutationRandom is the property form of the theorem (E3):
+// for random fuzzy trees and a pool of query shapes, EvalFuzzy agrees
+// with expand-then-EvalWorlds.
+func TestQueryCommutationRandom(t *testing.T) {
+	queries := []*Query{
+		MustParseQuery("//*"),
+		MustParseQuery("//B"),
+		MustParseQuery("*(//*)"),
+		MustParseQuery("*(*, *)"),
+		MustParseQuery("*(B, //C)"),
+		MustParseQuery(`//*="v1"`),
+		MustParseQuery("*(* $x, * $y) where $x = $y"),
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ft := randomFuzzyTree(r, 3, 3)
+		q := queries[r.Intn(len(queries))]
+
+		direct, err := EvalFuzzy(q, ft)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		pw, err := ft.Expand()
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		viaWorlds, err := EvalWorlds(q, pw, MinimalSubtree)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if len(direct) != viaWorlds.Len() {
+			t.Logf("seed %d query %s: count fuzzy=%d worlds=%d doc=%s",
+				seed, FormatQuery(q), len(direct), viaWorlds.Len(), fuzzy.Format(ft.Root))
+			return false
+		}
+		for _, a := range direct {
+			if math.Abs(a.P-viaWorlds.ProbOf(a.Tree)) > 1e-9 {
+				t.Logf("seed %d query %s: P(%s) fuzzy=%v worlds=%v",
+					seed, FormatQuery(q), tree.Format(a.Tree), a.P, viaWorlds.ProbOf(a.Tree))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomFuzzyTree mirrors the fuzzy package's test generator (kept local
+// to avoid exporting test helpers).
+func randomFuzzyTree(r *rand.Rand, depth, nEvents int) *fuzzy.Tree {
+	tab := event.NewTable()
+	var ids []event.ID
+	for i := 0; i < nEvents; i++ {
+		id := event.ID(string(rune('a' + i)))
+		tab.MustSet(id, 0.1+0.8*r.Float64())
+		ids = append(ids, id)
+	}
+	randCond := func() event.Condition {
+		var c event.Condition
+		for _, id := range ids {
+			switch r.Intn(4) {
+			case 0:
+				c = append(c, event.Pos(id))
+			case 1:
+				c = append(c, event.Neg(id))
+			}
+		}
+		return c.Normalize()
+	}
+	labels := []string{"A", "B", "C", "D"}
+	values := []string{"", "v1", "v2"}
+	var build func(d int) *fuzzy.Node
+	build = func(d int) *fuzzy.Node {
+		n := &fuzzy.Node{Label: labels[r.Intn(len(labels))], Cond: randCond()}
+		if d <= 0 || r.Intn(3) == 0 {
+			n.Value = values[r.Intn(len(values))]
+			return n
+		}
+		k := r.Intn(3)
+		for i := 0; i < k; i++ {
+			n.Children = append(n.Children, build(d-1))
+		}
+		if len(n.Children) == 0 {
+			n.Value = values[r.Intn(len(values))]
+		}
+		return n
+	}
+	root := build(depth)
+	root.Cond = nil
+	return &fuzzy.Tree{Root: root, Table: tab}
+}
+
+func TestEvalFuzzyMonteCarloAgreesWithExact(t *testing.T) {
+	ft := slide12()
+	q := MustParseQuery("A(//D)")
+	exact, err := EvalFuzzy(q, ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := EvalFuzzyMonteCarlo(q, ft, 100000, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exact) != len(approx) {
+		t.Fatalf("answer counts differ: %d vs %d", len(exact), len(approx))
+	}
+	for i := range exact {
+		if !tree.Equal(exact[i].Tree, approx[i].Tree) {
+			t.Errorf("answer %d trees differ", i)
+		}
+		if math.Abs(exact[i].P-approx[i].P) > 0.01 {
+			t.Errorf("answer %d: exact %v, estimate %v", i, exact[i].P, approx[i].P)
+		}
+	}
+}
+
+func TestEvalFuzzyInvalidTree(t *testing.T) {
+	bad := fuzzy.New(fuzzy.MustParse("A(B[zz])"))
+	if _, err := EvalFuzzy(MustParseQuery("A"), bad); err == nil {
+		t.Error("invalid fuzzy tree accepted")
+	}
+}
+
+func TestEvalEmptyPatternMismatch(t *testing.T) {
+	q := MustParseQuery("Z")
+	answers, err := Eval(q, doc(), MinimalSubtree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 0 {
+		t.Errorf("answers = %d, want 0", len(answers))
+	}
+}

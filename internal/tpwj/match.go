@@ -1,0 +1,349 @@
+package tpwj
+
+import (
+	"repro/internal/tree"
+)
+
+// Match is a valuation: a mapping from every positive pattern node to a
+// document node, preserving the pattern's edges, label tests, value
+// tests and joins. Valuations need not be injective (two pattern nodes
+// may map to the same document node). Forbidden pattern nodes never
+// appear in a Match.
+type Match map[*PNode]*tree.Node
+
+// Clone returns a copy of the match.
+func (m Match) Clone() Match {
+	c := make(Match, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+// Binding returns the document node matched by the pattern node bound to
+// the given variable, or nil.
+func (m Match) Binding(q *Query, varName string) *tree.Node {
+	for p, n := range m {
+		if p.Var == varName {
+			return n
+		}
+	}
+	return nil
+}
+
+// nodeMatches reports whether the local tests of p hold at n.
+func nodeMatches(p *PNode, n *tree.Node) bool {
+	if p.Label != Wildcard && p.Label != n.Label {
+		return false
+	}
+	if p.HasValue && n.Value != p.Value {
+		return false
+	}
+	return true
+}
+
+// matcher carries the state of one enumeration.
+type matcher struct {
+	q  *Query
+	ix *tree.Index
+	m  Match
+	// checkForbidden applies forbidden sub-patterns as existence filters
+	// (plain-tree semantics). The fuzzy evaluator disables it and turns
+	// forbidden sub-matches into negated formula parts instead, because
+	// a forbidden node may exist in some worlds only.
+	checkForbidden bool
+	joinPartners   map[string][]string
+	vars           map[string]*PNode
+	fn             func(Match) bool
+}
+
+// ForEachMatch enumerates all valuations of q in the indexed document, in
+// a deterministic order (document preorder at each pattern node,
+// depth-first over pattern nodes). Forbidden sub-patterns exclude
+// assignments under which they match; with q.Ordered, sibling pattern
+// nodes must match in strict document order. fn returning false stops
+// the enumeration. The match passed to fn is reused between calls; clone
+// it to retain it.
+func ForEachMatch(q *Query, ix *tree.Index, fn func(Match) bool) error {
+	return forEachMatch(q, ix, true, fn)
+}
+
+func forEachMatch(q *Query, ix *tree.Index, checkForbidden bool, fn func(Match) bool) error {
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	if ix.Root() == nil {
+		return nil
+	}
+	mt := &matcher{
+		q:              q,
+		ix:             ix,
+		m:              make(Match, q.Size()),
+		checkForbidden: checkForbidden,
+		joinPartners:   make(map[string][]string),
+		vars:           q.Vars(),
+		fn:             fn,
+	}
+	for _, j := range q.Joins {
+		mt.joinPartners[j.Left] = append(mt.joinPartners[j.Left], j.Right)
+		mt.joinPartners[j.Right] = append(mt.joinPartners[j.Right], j.Left)
+	}
+
+	emit := func() bool { return fn(mt.m) }
+	switch {
+	case q.Root.Desc && q.Root.Label != Wildcard:
+		// Unanchored root with a concrete label: start from the label
+		// index (document preorder) instead of scanning every node.
+		for _, n := range ix.ByLabel(q.Root.Label) {
+			if !mt.assign(q.Root, n, emit) {
+				break
+			}
+		}
+	case q.Root.Desc:
+		ix.Root().Walk(func(n *tree.Node) bool {
+			return mt.assign(q.Root, n, emit)
+		})
+	default:
+		mt.assign(q.Root, ix.Root(), emit)
+	}
+	return nil
+}
+
+// joinsOK checks every join constraint for which both sides are bound.
+func (mt *matcher) joinsOK(p *PNode) bool {
+	if p.Var == "" {
+		return true
+	}
+	mine := mt.m[p]
+	for _, other := range mt.joinPartners[p.Var] {
+		op := mt.vars[other]
+		on, bound := mt.m[op]
+		if !bound {
+			continue
+		}
+		if on.Value != mine.Value {
+			return false
+		}
+	}
+	return true
+}
+
+// assign binds pattern node p to document node n and recurses into p's
+// children in continuation-passing style, so that all combinations are
+// enumerated. Returns false to abort the whole enumeration.
+func (mt *matcher) assign(p *PNode, n *tree.Node, cont func() bool) bool {
+	if !nodeMatches(p, n) {
+		return true
+	}
+	mt.m[p] = n
+	ok := true
+	if mt.joinsOK(p) && mt.forbiddenOK(p, n) {
+		ok = mt.assignChildren(p, 0, -1, cont)
+	}
+	delete(mt.m, p)
+	return ok
+}
+
+// forbiddenOK applies the forbidden children of p as not-exists filters
+// (plain-tree semantics only).
+func (mt *matcher) forbiddenOK(p *PNode, n *tree.Node) bool {
+	if !mt.checkForbidden {
+		return true
+	}
+	for _, pc := range p.Children {
+		if pc.Forbidden && ExistsSubMatch(mt.ix, pc, n) {
+			return false
+		}
+	}
+	return true
+}
+
+// assignChildren binds the positive children of p starting at index i.
+// minOrder carries the preorder position of the previously bound sibling
+// when the query is ordered (-1 initially).
+func (mt *matcher) assignChildren(p *PNode, i, minOrder int, cont func() bool) bool {
+	for i < len(p.Children) && p.Children[i].Forbidden {
+		i++ // forbidden children are filters, not bindings
+	}
+	if i == len(p.Children) {
+		return cont()
+	}
+	pc := p.Children[i]
+	n := mt.m[p]
+	try := func(c *tree.Node) bool {
+		if mt.q.Ordered && mt.ix.Order(c) <= minOrder {
+			return true
+		}
+		nextMin := minOrder
+		if mt.q.Ordered {
+			nextMin = mt.ix.Order(c)
+		}
+		return mt.assign(pc, c, func() bool {
+			return mt.assignChildren(p, i+1, nextMin, cont)
+		})
+	}
+	if pc.Desc {
+		// Candidate enumeration strategy: when the label test is
+		// concrete and the document-wide label list is smaller than the
+		// anchored subtree, scan the label index filtered by ancestry
+		// instead of walking the whole subtree. Both strategies visit
+		// candidates in document preorder, so enumeration order (and the
+		// ordered-matching semantics) is unchanged.
+		if pc.Label != Wildcard {
+			if byLabel := mt.ix.ByLabel(pc.Label); len(byLabel) < mt.ix.SubtreeSize(n) {
+				for _, d := range byLabel {
+					if d == n || !mt.ix.IsAncestor(n, d) {
+						continue
+					}
+					if !try(d) {
+						return false
+					}
+				}
+				return true
+			}
+		}
+		for _, c := range n.Children {
+			aborted := false
+			c.Walk(func(d *tree.Node) bool {
+				if !try(d) {
+					aborted = true
+					return false
+				}
+				return true
+			})
+			if aborted {
+				return false
+			}
+		}
+		return true
+	}
+	for _, c := range n.Children {
+		if !try(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// ExistsSubMatch reports whether the sub-pattern pc (positive, without
+// joins — as inside forbidden subtrees) has at least one valuation
+// anchored at n: pc matches a child of n, or any proper descendant when
+// pc.Desc is set.
+func ExistsSubMatch(ix *tree.Index, pc *PNode, n *tree.Node) bool {
+	found := false
+	ForEachSubMatch(ix, pc, n, func(Match) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// ForEachSubMatch enumerates the valuations of the sub-pattern pc
+// anchored at n (ignoring the Forbidden flag of pc itself; pc's subtree
+// must be positive and join-free). The match passed to fn is reused;
+// clone to retain. fn returning false stops the enumeration.
+func ForEachSubMatch(ix *tree.Index, pc *PNode, anchor *tree.Node, fn func(Match) bool) {
+	m := make(Match, pc.Size())
+
+	var assign func(p *PNode, n *tree.Node, cont func() bool) bool
+	var children func(p *PNode, i int, cont func() bool) bool
+
+	assign = func(p *PNode, n *tree.Node, cont func() bool) bool {
+		if !nodeMatches(p, n) {
+			return true
+		}
+		m[p] = n
+		ok := children(p, 0, cont)
+		delete(m, p)
+		return ok
+	}
+	children = func(p *PNode, i int, cont func() bool) bool {
+		if i == len(p.Children) {
+			return cont()
+		}
+		pc := p.Children[i]
+		n := m[p]
+		next := func(c *tree.Node) bool {
+			return assign(pc, c, func() bool { return children(p, i+1, cont) })
+		}
+		if pc.Desc {
+			for _, c := range n.Children {
+				aborted := false
+				c.Walk(func(d *tree.Node) bool {
+					if !next(d) {
+						aborted = true
+						return false
+					}
+					return true
+				})
+				if aborted {
+					return false
+				}
+			}
+			return true
+		}
+		for _, c := range n.Children {
+			if !next(c) {
+				return false
+			}
+		}
+		return true
+	}
+
+	emit := func() bool { return fn(m) }
+	if pc.Desc {
+		for _, c := range anchor.Children {
+			aborted := false
+			c.Walk(func(d *tree.Node) bool {
+				if !assign(pc, d, emit) {
+					aborted = true
+					return false
+				}
+				return true
+			})
+			if aborted {
+				return
+			}
+		}
+		return
+	}
+	for _, c := range anchor.Children {
+		if !assign(pc, c, emit) {
+			return
+		}
+	}
+}
+
+// FindMatches collects all valuations of q in the document.
+func FindMatches(q *Query, ix *tree.Index) ([]Match, error) {
+	var out []Match
+	err := ForEachMatch(q, ix, func(m Match) bool {
+		out = append(out, m.Clone())
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CountMatches returns the number of valuations of q in the document.
+func CountMatches(q *Query, ix *tree.Index) (int, error) {
+	n := 0
+	err := ForEachMatch(q, ix, func(Match) bool {
+		n++
+		return true
+	})
+	return n, err
+}
+
+// Selects reports whether q has at least one valuation in the document
+// (the paper's "t is selected by Q").
+func Selects(q *Query, doc *tree.Node) (bool, error) {
+	found := false
+	err := ForEachMatch(q, tree.NewIndex(doc), func(Match) bool {
+		found = true
+		return false
+	})
+	return found, err
+}

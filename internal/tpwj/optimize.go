@@ -1,0 +1,57 @@
+package tpwj
+
+import (
+	"sort"
+
+	"repro/internal/tree"
+)
+
+// Optimize returns a clone of q whose pattern children are reordered so
+// that the most selective sub-patterns are matched first ("query
+// optimization", perspectives slide of the paper). Selectivity is
+// estimated from the document's label statistics: a sub-pattern whose
+// root test matches fewer document nodes prunes the search earlier.
+// Value tests further sharpen the estimate.
+//
+// Reordering children does not change the set of valuations (children
+// match independently), so answers are identical; only the enumeration
+// cost changes. Ordered queries are returned unchanged: their child
+// sequence is part of their semantics.
+func Optimize(q *Query, ix *tree.Index) *Query {
+	out := q.Clone()
+	if out.Ordered {
+		return out
+	}
+	var reorder func(p *PNode)
+	reorder = func(p *PNode) {
+		sort.SliceStable(p.Children, func(i, j int) bool {
+			return estimateCost(p.Children[i], ix) < estimateCost(p.Children[j], ix)
+		})
+		for _, c := range p.Children {
+			reorder(c)
+		}
+	}
+	reorder(out.Root)
+	return out
+}
+
+// estimateCost scores a sub-pattern by the number of document nodes its
+// root test can match: fewer candidates first. Wildcards count the whole
+// document; value tests halve the estimate (they filter candidates
+// cheaply); forbidden sub-patterns sort last (they are filters applied
+// after the positive bindings).
+func estimateCost(p *PNode, ix *tree.Index) int {
+	if p.Forbidden {
+		return ix.Len() + 1
+	}
+	var n int
+	if p.Label == Wildcard {
+		n = ix.Len()
+	} else {
+		n = len(ix.ByLabel(p.Label))
+	}
+	if p.HasValue {
+		n /= 2
+	}
+	return n
+}

@@ -1,0 +1,326 @@
+package tpwj
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// The textual TPWJ query syntax:
+//
+//	query := ["ordered"] pattern ["where" join ("," join)*]
+//	join  := "$" name "=" "$" name
+//	node  := labeltest ["=" value] ["$" name] ["(" edge ("," edge)* ")"]
+//	edge  := ["!"] ["/" | "//"] node
+//
+// A labeltest is a bareword, a quoted Go string, or the wildcard "*"; a
+// value is a bareword or quoted string. Child edges may be written with a
+// leading "/" or bare; "//" selects the descendant axis. A leading "//"
+// on the whole pattern lets it match anywhere in the document instead of
+// being anchored at the root.
+//
+// Extensions from the paper's perspectives slide: a "!" edge prefix
+// marks a forbidden (negated) sub-pattern, and the "ordered" keyword
+// requires sibling pattern nodes to match in document order.
+//
+// Example (the slide-6 query shape — an A root with a B child bound to
+// $x, and a C child with a D descendant carrying value "val" bound to
+// $y, joined on value):
+//
+//	A(B $x, C(//D="val" $y)) where $x = $y
+//
+// With negation — A nodes having a B child but no C descendant:
+//
+//	//A $x(B, !//C)
+
+// ParseQuery parses the textual TPWJ syntax.
+func ParseQuery(s string) (*Query, error) {
+	p := &queryParser{input: s}
+	p.skipSpace()
+	ordered := p.eatKeyword("ordered")
+	p.skipSpace()
+	desc := p.eatAxis()
+	root, err := p.parseNode(desc)
+	if err != nil {
+		return nil, err
+	}
+	q := NewQuery(root)
+	q.Ordered = ordered
+	p.skipSpace()
+	if p.eatKeyword("where") {
+		for {
+			p.skipSpace()
+			left, err := p.parseVar()
+			if err != nil {
+				return nil, err
+			}
+			p.skipSpace()
+			if !p.eatByte('=') {
+				return nil, p.errf("expected '=' in join")
+			}
+			p.skipSpace()
+			right, err := p.parseVar()
+			if err != nil {
+				return nil, err
+			}
+			q.AddJoin(left, right)
+			p.skipSpace()
+			if !p.eatByte(',') {
+				break
+			}
+		}
+	}
+	p.skipSpace()
+	if p.pos != len(p.input) {
+		return nil, p.errf("trailing input")
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParseQuery is like ParseQuery but panics on error; for constant
+// inputs in tests and examples.
+func MustParseQuery(s string) *Query {
+	q, err := ParseQuery(s)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// FormatQuery renders a query in the syntax accepted by ParseQuery.
+func FormatQuery(q *Query) string {
+	var b strings.Builder
+	if q.Ordered {
+		b.WriteString("ordered ")
+	}
+	if q.Root.Desc {
+		b.WriteString("//")
+	}
+	writePNode(&b, q.Root)
+	if len(q.Joins) > 0 {
+		b.WriteString(" where ")
+		for i, j := range q.Joins {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "$%s = $%s", j.Left, j.Right)
+		}
+	}
+	return b.String()
+}
+
+func writePNode(b *strings.Builder, p *PNode) {
+	if p.Label == Wildcard {
+		b.WriteByte('*')
+	} else {
+		b.WriteString(quoteIfNeeded(p.Label))
+	}
+	if p.HasValue {
+		b.WriteByte('=')
+		b.WriteString(quoteIfNeeded(p.Value))
+	}
+	if p.Var != "" {
+		b.WriteString(" $")
+		b.WriteString(p.Var)
+	}
+	if len(p.Children) > 0 {
+		b.WriteByte('(')
+		for i, c := range p.Children {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			if c.Forbidden {
+				b.WriteByte('!')
+			}
+			if c.Desc {
+				b.WriteString("//")
+			}
+			writePNode(b, c)
+		}
+		b.WriteByte(')')
+	}
+}
+
+func quoteIfNeeded(s string) string {
+	if s == "" {
+		return strconv.Quote(s)
+	}
+	for _, r := range s {
+		ok := r == '_' || r == '-' || r == '.' ||
+			unicode.IsLetter(r) || unicode.IsDigit(r)
+		if !ok {
+			return strconv.Quote(s)
+		}
+	}
+	return s
+}
+
+type queryParser struct {
+	input string
+	pos   int
+}
+
+func (p *queryParser) errf(format string, args ...any) error {
+	return fmt.Errorf("tpwj: parse error at offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *queryParser) skipSpace() {
+	for p.pos < len(p.input) {
+		switch p.input[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *queryParser) peek() byte {
+	if p.pos < len(p.input) {
+		return p.input[p.pos]
+	}
+	return 0
+}
+
+func (p *queryParser) eatByte(b byte) bool {
+	if p.peek() == b {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// eatAxis consumes an optional "/" or "//" and reports whether the
+// descendant axis was selected.
+func (p *queryParser) eatAxis() bool {
+	if p.eatByte('/') {
+		return p.eatByte('/')
+	}
+	return false
+}
+
+// eatKeyword consumes the keyword if it appears at the cursor followed by
+// a non-word character.
+func (p *queryParser) eatKeyword(kw string) bool {
+	if !strings.HasPrefix(p.input[p.pos:], kw) {
+		return false
+	}
+	rest := p.input[p.pos+len(kw):]
+	if rest != "" {
+		r := rune(rest[0])
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' {
+			return false
+		}
+	}
+	p.pos += len(kw)
+	return true
+}
+
+func (p *queryParser) parseAtom() (string, error) {
+	if p.peek() == '"' {
+		i := p.pos + 1
+		for i < len(p.input) {
+			switch p.input[i] {
+			case '\\':
+				i += 2
+				continue
+			case '"':
+				lit := p.input[p.pos : i+1]
+				s, err := strconv.Unquote(lit)
+				if err != nil {
+					return "", p.errf("bad quoted string %s: %v", lit, err)
+				}
+				p.pos = i + 1
+				return s, nil
+			}
+			i++
+		}
+		return "", p.errf("unterminated quoted string")
+	}
+	start := p.pos
+	for p.pos < len(p.input) {
+		r := rune(p.input[p.pos])
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' || r == '.' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return "", p.errf("expected name")
+	}
+	return p.input[start:p.pos], nil
+}
+
+func (p *queryParser) parseVar() (string, error) {
+	if !p.eatByte('$') {
+		return "", p.errf("expected '$'")
+	}
+	return p.parseAtom()
+}
+
+func (p *queryParser) parseNode(desc bool) (*PNode, error) {
+	var label string
+	if p.eatByte('*') {
+		label = Wildcard
+	} else {
+		var err error
+		label, err = p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+	}
+	n := &PNode{Label: label, Desc: desc}
+	p.skipSpace()
+	if p.peek() == '=' {
+		p.pos++
+		p.skipSpace()
+		v, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		n.Value, n.HasValue = v, true
+		p.skipSpace()
+	}
+	if p.peek() == '$' {
+		p.pos++
+		v, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		n.Var = v
+		p.skipSpace()
+	}
+	if p.peek() == '(' {
+		p.pos++
+		for {
+			p.skipSpace()
+			forbidden := p.eatByte('!')
+			if forbidden {
+				p.skipSpace()
+			}
+			childDesc := p.eatAxis()
+			c, err := p.parseNode(childDesc)
+			if err != nil {
+				return nil, err
+			}
+			c.Forbidden = forbidden
+			n.Children = append(n.Children, c)
+			p.skipSpace()
+			switch p.peek() {
+			case ',':
+				p.pos++
+			case ')':
+				p.pos++
+				return n, nil
+			default:
+				return nil, p.errf("expected ',' or ')'")
+			}
+		}
+	}
+	return n, nil
+}

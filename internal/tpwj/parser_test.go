@@ -1,0 +1,177 @@
+package tpwj
+
+import (
+	"testing"
+)
+
+func TestParseQueryBasic(t *testing.T) {
+	q := MustParseQuery("A(B $x, C(//D=val $y)) where $x = $y")
+	if q.Root.Label != "A" || len(q.Root.Children) != 2 {
+		t.Fatalf("root = %+v", q.Root)
+	}
+	b := q.Root.Children[0]
+	if b.Label != "B" || b.Var != "x" || b.Desc {
+		t.Errorf("B node = %+v", b)
+	}
+	c := q.Root.Children[1]
+	if c.Label != "C" || len(c.Children) != 1 {
+		t.Fatalf("C node = %+v", c)
+	}
+	d := c.Children[0]
+	if d.Label != "D" || !d.Desc || !d.HasValue || d.Value != "val" || d.Var != "y" {
+		t.Errorf("D node = %+v", d)
+	}
+	if len(q.Joins) != 1 || q.Joins[0] != (Join{"x", "y"}) {
+		t.Errorf("joins = %v", q.Joins)
+	}
+}
+
+func TestParseQueryAxes(t *testing.T) {
+	if q := MustParseQuery("//B"); !q.Root.Desc {
+		t.Error("//B root should be unanchored")
+	}
+	if q := MustParseQuery("/A"); q.Root.Desc {
+		t.Error("/A root should be anchored")
+	}
+	if q := MustParseQuery("A"); q.Root.Desc {
+		t.Error("bare root should be anchored")
+	}
+	q := MustParseQuery("A(/B, //C)")
+	if q.Root.Children[0].Desc || !q.Root.Children[1].Desc {
+		t.Error("child axes wrong")
+	}
+}
+
+func TestParseQueryWildcard(t *testing.T) {
+	q := MustParseQuery("*(//*)")
+	if q.Root.Label != Wildcard || q.Root.Children[0].Label != Wildcard {
+		t.Errorf("wildcards not parsed: %+v", q.Root)
+	}
+}
+
+func TestParseQueryQuoted(t *testing.T) {
+	q := MustParseQuery(`"my label"(B="va lue")`)
+	if q.Root.Label != "my label" {
+		t.Errorf("label = %q", q.Root.Label)
+	}
+	if q.Root.Children[0].Value != "va lue" {
+		t.Errorf("value = %q", q.Root.Children[0].Value)
+	}
+}
+
+func TestParseQueryMultipleJoins(t *testing.T) {
+	q := MustParseQuery("A(B $x, C $y, D $z) where $x = $y, $y = $z")
+	if len(q.Joins) != 2 {
+		t.Errorf("joins = %v", q.Joins)
+	}
+}
+
+func TestParseQueryErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"A(",
+		"A)",
+		"A(B",
+		"A(B,)",
+		"A where",
+		"A where $x",
+		"A where $x =",
+		"A where x = y",
+		"A(B $x) where $x = $missing",
+		"A(B $x, C $x)", // duplicate variable
+		"A trailing",
+		"$x",
+		"A(B $x) where $x = $x,",
+	}
+	for _, s := range cases {
+		if _, err := ParseQuery(s); err == nil {
+			t.Errorf("ParseQuery(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	inputs := []string{
+		"A",
+		"//B",
+		"A(B $x, C(//D=val $y)) where $x = $y",
+		"*(*, //*)",
+		`A(B="va lue")`,
+		"A(B $x, C $y, D $z) where $x = $y, $y = $z",
+		`A(B="")`,
+	}
+	for _, in := range inputs {
+		q := MustParseQuery(in)
+		out := FormatQuery(q)
+		q2, err := ParseQuery(out)
+		if err != nil {
+			t.Errorf("re-parse of %q (from %q): %v", out, in, err)
+			continue
+		}
+		if FormatQuery(q2) != out {
+			t.Errorf("round trip unstable: %q -> %q -> %q", in, out, FormatQuery(q2))
+		}
+	}
+}
+
+func TestQueryValidate(t *testing.T) {
+	if err := (&Query{}).Validate(); err == nil {
+		t.Error("nil root accepted")
+	}
+	var nilQ *Query
+	if err := nilQ.Validate(); err == nil {
+		t.Error("nil query accepted")
+	}
+	q := NewQuery(NewPNode(""))
+	if err := q.Validate(); err == nil {
+		t.Error("empty label accepted")
+	}
+	q2 := NewQuery(NewPNode("A")).AddJoin("x", "y")
+	if err := q2.Validate(); err == nil {
+		t.Error("join over unbound vars accepted")
+	}
+}
+
+func TestQueryCloneIndependence(t *testing.T) {
+	q := MustParseQuery("A(B $x) where $x = $x")
+	c := q.Clone()
+	c.Root.Children[0].Var = "z"
+	c.Joins[0].Left = "z"
+	if q.Root.Children[0].Var != "x" || q.Joins[0].Left != "x" {
+		t.Error("clone shares structure")
+	}
+}
+
+func TestQueryVarsAndNames(t *testing.T) {
+	q := MustParseQuery("A(B $b, C(D $d))")
+	vars := q.Vars()
+	if len(vars) != 2 || vars["b"].Label != "B" || vars["d"].Label != "D" {
+		t.Errorf("Vars = %v", vars)
+	}
+	names := q.VarNames()
+	if len(names) != 2 || names[0] != "b" || names[1] != "d" {
+		t.Errorf("VarNames = %v", names)
+	}
+}
+
+func TestQuerySize(t *testing.T) {
+	q := MustParseQuery("A(B, C(D))")
+	if q.Size() != 4 {
+		t.Errorf("Size = %d", q.Size())
+	}
+}
+
+func TestFluentBuilders(t *testing.T) {
+	q := NewQuery(
+		NewPNode("A").Add(
+			NewPNode("B").WithVar("x"),
+			NewPNode("D").WithValue("val").WithVar("y").Descendant(),
+		),
+	).AddJoin("x", "y")
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := FormatQuery(q); got != "A(B $x, //D=val $y) where $x = $y" {
+		t.Errorf("FormatQuery = %q", got)
+	}
+}

@@ -1,0 +1,55 @@
+package tpwj
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Robustness: the parser must never panic, whatever bytes it is fed; it
+// either succeeds or returns an error. (Panics would take down the
+// warehouse on a malformed query.)
+func TestParseQueryNeverPanics(t *testing.T) {
+	alphabet := []byte(`AB$xy()*/!"=, ordered where w1`)
+	f := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(40)
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = alphabet[r.Intn(len(alphabet))]
+		}
+		_, _ = ParseQuery(string(buf))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Valid queries parsed from their own format never change.
+func TestFormatParseStableProperty(t *testing.T) {
+	pool := []string{
+		"A",
+		"//B $x",
+		"ordered A(B, C)",
+		"A(B $x, !//C, D=v $y) where $x = $y",
+		"*(*, //*)",
+	}
+	for _, s := range pool {
+		q := MustParseQuery(s)
+		out := FormatQuery(q)
+		q2, err := ParseQuery(out)
+		if err != nil {
+			t.Errorf("%q -> %q failed to re-parse: %v", s, out, err)
+			continue
+		}
+		if FormatQuery(q2) != out {
+			t.Errorf("format not stable: %q -> %q -> %q", s, out, FormatQuery(q2))
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package tree
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Canonical returns a canonical serialization of the subtree rooted at n.
+// Two trees have the same canonical string if and only if they are
+// isomorphic as unordered trees with bag semantics for children: children
+// are serialized recursively and sorted lexicographically, preserving
+// duplicates. Labels and values are quoted, so arbitrary characters are
+// handled unambiguously.
+func Canonical(n *Node) string {
+	if n == nil {
+		return ""
+	}
+	var b strings.Builder
+	writeCanonical(&b, n)
+	return b.String()
+}
+
+func writeCanonical(b *strings.Builder, n *Node) {
+	b.WriteString(strconv.Quote(n.Label))
+	if n.Value != "" {
+		b.WriteByte(':')
+		b.WriteString(strconv.Quote(n.Value))
+	}
+	if len(n.Children) == 0 {
+		return
+	}
+	parts := make([]string, len(n.Children))
+	for i, c := range n.Children {
+		parts[i] = Canonical(c)
+	}
+	sort.Strings(parts)
+	b.WriteByte('(')
+	for i, p := range parts {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p)
+	}
+	b.WriteByte(')')
+}
+
+// Hash returns a 64-bit hash of the canonical form of n, suitable for
+// grouping isomorphic trees. Hash collisions are possible in principle,
+// so equality decisions must compare Canonical strings; Hash is a fast
+// pre-filter.
+func Hash(n *Node) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(Canonical(n)))
+	return h.Sum64()
+}

@@ -1,0 +1,143 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCanonicalBasics(t *testing.T) {
+	if got := Canonical(nil); got != "" {
+		t.Errorf("Canonical(nil) = %q, want empty", got)
+	}
+	leaf := NewLeaf("B", "foo")
+	if got, want := Canonical(leaf), `"B":"foo"`; got != want {
+		t.Errorf("Canonical(leaf) = %q, want %q", got, want)
+	}
+	n := New("A", NewLeaf("C", "2"), NewLeaf("B", "1"))
+	m := New("A", NewLeaf("B", "1"), NewLeaf("C", "2"))
+	if Canonical(n) != Canonical(m) {
+		t.Error("canonical form should ignore sibling order")
+	}
+}
+
+func TestCanonicalQuotesSpecialCharacters(t *testing.T) {
+	// A label containing the separator characters must not create
+	// ambiguity with the structural syntax.
+	tricky := New(`A("x)`, NewLeaf(`B,`, `v"w`))
+	plain := New("A", NewLeaf("B", "vw"))
+	if Canonical(tricky) == Canonical(plain) {
+		t.Error("special characters collide")
+	}
+	// Round-trip sanity: the canonical of a clone is identical.
+	if Canonical(tricky) != Canonical(tricky.Clone()) {
+		t.Error("canonical form not stable under clone")
+	}
+}
+
+func TestCanonicalDistinguishesValueFromChild(t *testing.T) {
+	withValue := NewLeaf("A", "B")
+	withChild := New("A", New("B"))
+	if Canonical(withValue) == Canonical(withChild) {
+		t.Error("value and child with same name must differ")
+	}
+}
+
+func TestHashAgreesWithCanonical(t *testing.T) {
+	a := New("A", NewLeaf("B", "1"), New("E", NewLeaf("C", "2")))
+	b := New("A", New("E", NewLeaf("C", "2")), NewLeaf("B", "1"))
+	if Hash(a) != Hash(b) {
+		t.Error("isomorphic trees must hash equal")
+	}
+	c := New("A", NewLeaf("B", "1"))
+	if Hash(a) == Hash(c) {
+		t.Error("hash collision between different small trees (suspicious)")
+	}
+}
+
+// randomTree builds a random tree with the given rng; used by property
+// tests below and exported to siblings through test helpers only.
+func randomTree(r *rand.Rand, depth int) *Node {
+	labels := []string{"A", "B", "C", "D", "E"}
+	values := []string{"", "foo", "bar", "nee", "42"}
+	n := &Node{Label: labels[r.Intn(len(labels))]}
+	if depth <= 0 || r.Intn(3) == 0 {
+		n.Value = values[r.Intn(len(values))]
+		return n
+	}
+	k := r.Intn(4)
+	for i := 0; i < k; i++ {
+		n.Children = append(n.Children, randomTree(r, depth-1))
+	}
+	if len(n.Children) == 0 {
+		n.Value = values[r.Intn(len(values))]
+	}
+	return n
+}
+
+// shuffle returns a deep copy of n with every child list randomly
+// permuted.
+func shuffle(r *rand.Rand, n *Node) *Node {
+	c := n.Clone()
+	var walk func(m *Node)
+	walk = func(m *Node) {
+		r.Shuffle(len(m.Children), func(i, j int) {
+			m.Children[i], m.Children[j] = m.Children[j], m.Children[i]
+		})
+		for _, ch := range m.Children {
+			walk(ch)
+		}
+	}
+	walk(c)
+	return c
+}
+
+func TestCanonicalInvariantUnderShuffle(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := randomTree(r, 4)
+		s := shuffle(r, n)
+		return Canonical(n) == Canonical(s) && Equal(n, s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCanonicalInjectiveOnMutations(t *testing.T) {
+	// Changing any single leaf value must change the canonical form.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := randomTree(r, 3)
+		m := n.Clone()
+		// Find a leaf and change its value.
+		var leaf *Node
+		m.Walk(func(x *Node) bool {
+			if x.IsLeaf() {
+				leaf = x
+			}
+			return true
+		})
+		if leaf == nil {
+			return true
+		}
+		leaf.Value += "_mutated"
+		return Canonical(n) != Canonical(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortCanonicalPreservesIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := randomTree(r, 4)
+		before := Canonical(n)
+		SortCanonical(n)
+		return Canonical(n) == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

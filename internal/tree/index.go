@@ -1,0 +1,118 @@
+package tree
+
+// Index precomputes navigational structure over a tree: parent links,
+// depths, preorder numbering and a label index. Pattern matching and
+// update application use it to answer parent/ancestor queries in O(1)
+// per step without storing parent pointers in Node itself (nodes are
+// freely shared and rearranged by updates; the index belongs to one
+// snapshot of one tree).
+//
+// The index is immutable: if the tree is mutated, build a new Index.
+type Index struct {
+	root    *Node
+	parent  map[*Node]*Node
+	depth   map[*Node]int
+	order   map[*Node]int // preorder position
+	size    map[*Node]int // subtree sizes
+	nodes   []*Node       // preorder
+	byLabel map[string][]*Node
+}
+
+// NewIndex builds an index over the tree rooted at root.
+func NewIndex(root *Node) *Index {
+	ix := &Index{
+		root:    root,
+		parent:  make(map[*Node]*Node),
+		depth:   make(map[*Node]int),
+		order:   make(map[*Node]int),
+		size:    make(map[*Node]int),
+		byLabel: make(map[string][]*Node),
+	}
+	var walk func(n, parent *Node, d int) int
+	walk = func(n, parent *Node, d int) int {
+		ix.parent[n] = parent
+		ix.depth[n] = d
+		ix.order[n] = len(ix.nodes)
+		ix.nodes = append(ix.nodes, n)
+		ix.byLabel[n.Label] = append(ix.byLabel[n.Label], n)
+		s := 1
+		for _, c := range n.Children {
+			s += walk(c, n, d+1)
+		}
+		ix.size[n] = s
+		return s
+	}
+	if root != nil {
+		walk(root, nil, 0)
+	}
+	return ix
+}
+
+// SubtreeSize returns the number of nodes in the subtree rooted at n, or
+// 0 if n is not in the tree.
+func (ix *Index) SubtreeSize(n *Node) int { return ix.size[n] }
+
+// Root returns the indexed root.
+func (ix *Index) Root() *Node { return ix.root }
+
+// Len returns the number of indexed nodes.
+func (ix *Index) Len() int { return len(ix.nodes) }
+
+// Nodes returns all nodes in preorder. The returned slice must not be
+// modified.
+func (ix *Index) Nodes() []*Node { return ix.nodes }
+
+// Contains reports whether n belongs to the indexed tree.
+func (ix *Index) Contains(n *Node) bool {
+	_, ok := ix.depth[n]
+	return ok
+}
+
+// Parent returns the parent of n, or nil for the root or for nodes not in
+// the tree.
+func (ix *Index) Parent(n *Node) *Node { return ix.parent[n] }
+
+// Depth returns the depth of n (root has depth 0), or -1 if n is not in
+// the tree.
+func (ix *Index) Depth(n *Node) int {
+	d, ok := ix.depth[n]
+	if !ok {
+		return -1
+	}
+	return d
+}
+
+// Order returns the preorder position of n, or -1 if n is not in the tree.
+func (ix *Index) Order(n *Node) int {
+	o, ok := ix.order[n]
+	if !ok {
+		return -1
+	}
+	return o
+}
+
+// ByLabel returns the nodes with the given label in preorder. The
+// returned slice must not be modified.
+func (ix *Index) ByLabel(label string) []*Node { return ix.byLabel[label] }
+
+// IsAncestor reports whether a is a proper ancestor of d.
+func (ix *Index) IsAncestor(a, d *Node) bool {
+	if a == d {
+		return false
+	}
+	for p := ix.parent[d]; p != nil; p = ix.parent[p] {
+		if p == a {
+			return true
+		}
+	}
+	return false
+}
+
+// PathToRoot returns the path d, parent(d), …, root.
+func (ix *Index) PathToRoot(d *Node) []*Node {
+	var path []*Node
+	for n := d; n != nil; n = ix.parent[n] {
+		path = append(path, n)
+	}
+	return path
+}

@@ -1,0 +1,123 @@
+package tree
+
+import "testing"
+
+func TestIndexBasics(t *testing.T) {
+	root := slide5()
+	ix := NewIndex(root)
+
+	if ix.Root() != root {
+		t.Error("Root mismatch")
+	}
+	if ix.Len() != 7 {
+		t.Errorf("Len = %d, want 7", ix.Len())
+	}
+	if len(ix.Nodes()) != 7 {
+		t.Errorf("Nodes length = %d, want 7", len(ix.Nodes()))
+	}
+	if ix.Nodes()[0] != root {
+		t.Error("preorder should start at root")
+	}
+}
+
+func TestIndexParentDepth(t *testing.T) {
+	root := slide5()
+	ix := NewIndex(root)
+
+	e := root.Children[2] // E
+	c := e.Children[0]    // C
+	if ix.Parent(root) != nil {
+		t.Error("root parent should be nil")
+	}
+	if ix.Parent(c) != e {
+		t.Error("parent of C should be E")
+	}
+	if ix.Depth(root) != 0 || ix.Depth(e) != 1 || ix.Depth(c) != 2 {
+		t.Errorf("depths: root=%d E=%d C=%d", ix.Depth(root), ix.Depth(e), ix.Depth(c))
+	}
+	if ix.Depth(New("X")) != -1 {
+		t.Error("foreign node should have depth -1")
+	}
+}
+
+func TestIndexOrder(t *testing.T) {
+	root := slide5()
+	ix := NewIndex(root)
+	if ix.Order(root) != 0 {
+		t.Error("root should be first in preorder")
+	}
+	prev := -1
+	for _, n := range ix.Nodes() {
+		o := ix.Order(n)
+		if o != prev+1 {
+			t.Fatalf("preorder positions not sequential: got %d after %d", o, prev)
+		}
+		prev = o
+	}
+	if ix.Order(New("X")) != -1 {
+		t.Error("foreign node should have order -1")
+	}
+}
+
+func TestIndexByLabel(t *testing.T) {
+	root := slide5()
+	ix := NewIndex(root)
+	if got := len(ix.ByLabel("B")); got != 2 {
+		t.Errorf("ByLabel(B) = %d nodes, want 2", got)
+	}
+	if got := len(ix.ByLabel("Z")); got != 0 {
+		t.Errorf("ByLabel(Z) = %d nodes, want 0", got)
+	}
+}
+
+func TestIndexIsAncestor(t *testing.T) {
+	root := slide5()
+	ix := NewIndex(root)
+	e := root.Children[2]
+	c := e.Children[0]
+	if !ix.IsAncestor(root, c) {
+		t.Error("root should be ancestor of C")
+	}
+	if !ix.IsAncestor(e, c) {
+		t.Error("E should be ancestor of C")
+	}
+	if ix.IsAncestor(c, e) {
+		t.Error("C is not ancestor of E")
+	}
+	if ix.IsAncestor(c, c) {
+		t.Error("ancestor relation is strict")
+	}
+	b := root.Children[0]
+	if ix.IsAncestor(b, c) {
+		t.Error("B is not ancestor of C")
+	}
+}
+
+func TestIndexPathToRoot(t *testing.T) {
+	root := slide5()
+	ix := NewIndex(root)
+	e := root.Children[2]
+	c := e.Children[0]
+	path := ix.PathToRoot(c)
+	if len(path) != 3 || path[0] != c || path[1] != e || path[2] != root {
+		t.Errorf("unexpected path: %v", path)
+	}
+}
+
+func TestIndexContains(t *testing.T) {
+	root := slide5()
+	ix := NewIndex(root)
+	if !ix.Contains(root.Children[0]) {
+		t.Error("Contains should find tree node")
+	}
+	if ix.Contains(New("X")) {
+		t.Error("Contains should reject foreign node")
+	}
+}
+
+func TestIndexEmpty(t *testing.T) {
+	ix := NewIndex(nil)
+	if ix.Len() != 0 {
+		t.Error("empty index should have no nodes")
+	}
+}

@@ -1,0 +1,226 @@
+// Package tree implements the data model of Abiteboul and Senellart
+// (EDBT 2006): finite, unordered, labeled data trees with no
+// attribute/element distinction and no mixed content.
+//
+// A node carries a label and, if it is a leaf, an optional textual value.
+// Children form a bag: the same subtree may occur several times under the
+// same parent (the paper's running example has two identical B("foo")
+// children), and sibling order is irrelevant. Equality, hashing and
+// normalization therefore use canonical forms that sort serialized
+// children while preserving multiplicity (see canon.go).
+package tree
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Node is a node of a finite unordered data tree. A Node with children
+// must have an empty Value (no mixed content); a leaf may carry a Value.
+// The zero value is not a valid node: labels must be non-empty.
+type Node struct {
+	// Label is the element name. It must be non-empty.
+	Label string
+	// Value is the textual content of a leaf. Internal nodes must have
+	// an empty Value.
+	Value string
+	// Children is the bag of subtrees. Order carries no meaning.
+	Children []*Node
+}
+
+// New returns a new internal node with the given label and children.
+func New(label string, children ...*Node) *Node {
+	return &Node{Label: label, Children: children}
+}
+
+// NewLeaf returns a new leaf node with the given label and textual value.
+func NewLeaf(label, value string) *Node {
+	return &Node{Label: label, Value: value}
+}
+
+// Add appends children to n and returns n, enabling fluent construction.
+func (n *Node) Add(children ...*Node) *Node {
+	n.Children = append(n.Children, children...)
+	return n
+}
+
+// IsLeaf reports whether n has no children.
+func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
+
+// Clone returns a deep copy of the subtree rooted at n.
+func (n *Node) Clone() *Node {
+	if n == nil {
+		return nil
+	}
+	c := &Node{Label: n.Label, Value: n.Value}
+	if len(n.Children) > 0 {
+		c.Children = make([]*Node, len(n.Children))
+		for i, ch := range n.Children {
+			c.Children[i] = ch.Clone()
+		}
+	}
+	return c
+}
+
+// Size returns the number of nodes in the subtree rooted at n.
+func (n *Node) Size() int {
+	if n == nil {
+		return 0
+	}
+	s := 1
+	for _, c := range n.Children {
+		s += c.Size()
+	}
+	return s
+}
+
+// Depth returns the height of the subtree rooted at n, counting n itself,
+// so a single node has depth 1.
+func (n *Node) Depth() int {
+	if n == nil {
+		return 0
+	}
+	max := 0
+	for _, c := range n.Children {
+		if d := c.Depth(); d > max {
+			max = d
+		}
+	}
+	return max + 1
+}
+
+// Leaves returns the number of leaves in the subtree rooted at n.
+func (n *Node) Leaves() int {
+	if n == nil {
+		return 0
+	}
+	if n.IsLeaf() {
+		return 1
+	}
+	s := 0
+	for _, c := range n.Children {
+		s += c.Leaves()
+	}
+	return s
+}
+
+// Walk visits every node of the subtree rooted at n in preorder.
+// If fn returns false the walk stops early.
+func (n *Node) Walk(fn func(*Node) bool) {
+	if n == nil {
+		return
+	}
+	stack := []*Node{n}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if !fn(cur) {
+			return
+		}
+		for i := len(cur.Children) - 1; i >= 0; i-- {
+			stack = append(stack, cur.Children[i])
+		}
+	}
+}
+
+// WalkParent visits every node in preorder together with its parent
+// (nil for the root).
+func (n *Node) WalkParent(fn func(node, parent *Node) bool) {
+	if n == nil {
+		return
+	}
+	type frame struct{ node, parent *Node }
+	stack := []frame{{n, nil}}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if !fn(cur.node, cur.parent) {
+			return
+		}
+		for i := len(cur.node.Children) - 1; i >= 0; i-- {
+			stack = append(stack, frame{cur.node.Children[i], cur.node})
+		}
+	}
+}
+
+// RemoveChild removes the first occurrence of child (by pointer identity)
+// from n's children and reports whether it was found.
+func (n *Node) RemoveChild(child *Node) bool {
+	for i, c := range n.Children {
+		if c == child {
+			n.Children = append(n.Children[:i], n.Children[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// ReplaceChild replaces the first occurrence of old (by pointer identity)
+// with the given replacements and reports whether old was found.
+func (n *Node) ReplaceChild(old *Node, repl ...*Node) bool {
+	for i, c := range n.Children {
+		if c == old {
+			rest := append([]*Node{}, n.Children[i+1:]...)
+			n.Children = append(n.Children[:i], repl...)
+			n.Children = append(n.Children, rest...)
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks the structural invariants of the data model: non-empty
+// labels everywhere and no mixed content (a node may have children or a
+// value, not both). It returns the first violation found.
+func (n *Node) Validate() error {
+	if n == nil {
+		return errors.New("tree: nil node")
+	}
+	var err error
+	n.Walk(func(m *Node) bool {
+		if m.Label == "" {
+			err = errors.New("tree: node with empty label")
+			return false
+		}
+		if m.Value != "" && len(m.Children) > 0 {
+			err = fmt.Errorf("tree: mixed content at %q (value %q with %d children)",
+				m.Label, m.Value, len(m.Children))
+			return false
+		}
+		return true
+	})
+	return err
+}
+
+// Equal reports whether a and b are isomorphic as unordered trees: same
+// labels, same values, and a bijection between child bags such that
+// corresponding subtrees are Equal.
+func Equal(a, b *Node) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return Canonical(a) == Canonical(b)
+}
+
+// SortCanonical reorders, in place, the children of every node of the
+// subtree rooted at n into canonical order. The tree denotes the same
+// unordered tree afterwards; sorting only makes serialization
+// deterministic.
+func SortCanonical(n *Node) {
+	if n == nil {
+		return
+	}
+	for _, c := range n.Children {
+		SortCanonical(c)
+	}
+	sort.SliceStable(n.Children, func(i, j int) bool {
+		return Canonical(n.Children[i]) < Canonical(n.Children[j])
+	})
+}
+
+// String returns the textual representation of the subtree rooted at n in
+// the format accepted by Parse, with children in their stored order.
+func (n *Node) String() string {
+	return Format(n)
+}

@@ -1,0 +1,214 @@
+package tree
+
+import (
+	"strings"
+	"testing"
+)
+
+// slide5 builds the data tree of slide 5 of the paper:
+// A with children B("foo"), B("foo"), E(C("bar")), D(F("nee")).
+func slide5() *Node {
+	return New("A",
+		NewLeaf("B", "foo"),
+		NewLeaf("B", "foo"),
+		New("E", NewLeaf("C", "bar")),
+		New("D", NewLeaf("F", "nee")),
+	)
+}
+
+func TestNewAndAdd(t *testing.T) {
+	n := New("A").Add(NewLeaf("B", "x"))
+	if n.Label != "A" || len(n.Children) != 1 {
+		t.Fatalf("unexpected node %v", n)
+	}
+	if n.Children[0].Label != "B" || n.Children[0].Value != "x" {
+		t.Fatalf("unexpected child %v", n.Children[0])
+	}
+}
+
+func TestSizeDepthLeaves(t *testing.T) {
+	n := slide5()
+	if got := n.Size(); got != 7 {
+		t.Errorf("Size = %d, want 7", got)
+	}
+	if got := n.Depth(); got != 3 {
+		t.Errorf("Depth = %d, want 3", got)
+	}
+	if got := n.Leaves(); got != 4 {
+		t.Errorf("Leaves = %d, want 4", got)
+	}
+	var nilNode *Node
+	if nilNode.Size() != 0 || nilNode.Depth() != 0 || nilNode.Leaves() != 0 {
+		t.Errorf("nil node should have zero size/depth/leaves")
+	}
+}
+
+func TestIsLeaf(t *testing.T) {
+	if !NewLeaf("B", "x").IsLeaf() {
+		t.Error("leaf not reported as leaf")
+	}
+	if New("A", New("B")).IsLeaf() {
+		t.Error("internal node reported as leaf")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	orig := slide5()
+	c := orig.Clone()
+	if !Equal(orig, c) {
+		t.Fatal("clone not equal to original")
+	}
+	c.Children[0].Value = "changed"
+	if orig.Children[0].Value != "foo" {
+		t.Error("mutating clone affected original")
+	}
+	if Equal(orig, c) {
+		t.Error("trees equal after divergent mutation")
+	}
+}
+
+func TestCloneNil(t *testing.T) {
+	var n *Node
+	if n.Clone() != nil {
+		t.Error("clone of nil should be nil")
+	}
+}
+
+func TestWalkPreorderAndEarlyStop(t *testing.T) {
+	n := slide5()
+	var labels []string
+	n.Walk(func(m *Node) bool {
+		labels = append(labels, m.Label)
+		return true
+	})
+	want := "A B B E C D F"
+	if got := strings.Join(labels, " "); got != want {
+		t.Errorf("preorder = %q, want %q", got, want)
+	}
+
+	count := 0
+	n.Walk(func(m *Node) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("early stop visited %d nodes, want 3", count)
+	}
+}
+
+func TestWalkParent(t *testing.T) {
+	n := slide5()
+	parents := map[string]string{}
+	n.WalkParent(func(node, parent *Node) bool {
+		if parent != nil {
+			parents[node.Label+":"+node.Value] = parent.Label
+		}
+		return true
+	})
+	if parents["C:bar"] != "E" {
+		t.Errorf("parent of C = %q, want E", parents["C:bar"])
+	}
+	if parents["F:nee"] != "D" {
+		t.Errorf("parent of F = %q, want D", parents["F:nee"])
+	}
+}
+
+func TestRemoveChild(t *testing.T) {
+	a := New("A")
+	b1 := NewLeaf("B", "1")
+	b2 := NewLeaf("B", "2")
+	a.Add(b1, b2)
+	if !a.RemoveChild(b1) {
+		t.Fatal("RemoveChild did not find child")
+	}
+	if len(a.Children) != 1 || a.Children[0] != b2 {
+		t.Fatalf("unexpected children after removal: %v", a.Children)
+	}
+	if a.RemoveChild(b1) {
+		t.Error("RemoveChild found already-removed child")
+	}
+}
+
+func TestReplaceChild(t *testing.T) {
+	a := New("A")
+	b := NewLeaf("B", "1")
+	c := NewLeaf("C", "2")
+	a.Add(b, c)
+	r1 := NewLeaf("R", "1")
+	r2 := NewLeaf("R", "2")
+	if !a.ReplaceChild(b, r1, r2) {
+		t.Fatal("ReplaceChild did not find child")
+	}
+	if len(a.Children) != 3 || a.Children[0] != r1 || a.Children[1] != r2 || a.Children[2] != c {
+		t.Fatalf("unexpected children after replace: %v", a.Children)
+	}
+	// Replace with nothing removes the node.
+	if !a.ReplaceChild(c) {
+		t.Fatal("ReplaceChild with empty replacement did not find child")
+	}
+	if len(a.Children) != 2 {
+		t.Fatalf("unexpected children after empty replace: %v", a.Children)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		n    *Node
+		ok   bool
+	}{
+		{"valid", slide5(), true},
+		{"single leaf", NewLeaf("A", "v"), true},
+		{"empty label", New(""), false},
+		{"empty label deep", New("A", New("")), false},
+		{"mixed content", &Node{Label: "A", Value: "v", Children: []*Node{New("B")}}, false},
+		{"nil", nil, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.n.Validate()
+			if (err == nil) != tc.ok {
+				t.Errorf("Validate() error = %v, want ok=%v", err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestEqualUnordered(t *testing.T) {
+	a := New("A", NewLeaf("B", "1"), NewLeaf("C", "2"))
+	b := New("A", NewLeaf("C", "2"), NewLeaf("B", "1"))
+	if !Equal(a, b) {
+		t.Error("sibling order should not matter")
+	}
+}
+
+func TestEqualBagSemantics(t *testing.T) {
+	one := New("A", NewLeaf("B", "foo"))
+	two := New("A", NewLeaf("B", "foo"), NewLeaf("B", "foo"))
+	if Equal(one, two) {
+		t.Error("duplicate children must be distinguished (bag semantics)")
+	}
+	twoAgain := New("A", NewLeaf("B", "foo"), NewLeaf("B", "foo"))
+	if !Equal(two, twoAgain) {
+		t.Error("identical bags should be equal")
+	}
+}
+
+func TestEqualNil(t *testing.T) {
+	if !Equal(nil, nil) {
+		t.Error("nil == nil")
+	}
+	if Equal(nil, New("A")) || Equal(New("A"), nil) {
+		t.Error("nil != non-nil")
+	}
+}
+
+func TestSortCanonicalDeterministic(t *testing.T) {
+	a := New("A", New("E", NewLeaf("C", "bar")), NewLeaf("B", "foo"), NewLeaf("B", "aaa"))
+	b := New("A", NewLeaf("B", "aaa"), NewLeaf("B", "foo"), New("E", NewLeaf("C", "bar")))
+	SortCanonical(a)
+	SortCanonical(b)
+	if Format(a) != Format(b) {
+		t.Errorf("canonical sort not deterministic:\n%s\n%s", Format(a), Format(b))
+	}
+}

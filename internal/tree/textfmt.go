@@ -1,0 +1,205 @@
+package tree
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// The compact text format for data trees used throughout tests, tools and
+// examples:
+//
+//	node  := label [":" value] ["(" node ("," node)* ")"]
+//	label := bareword | quoted Go string
+//	value := bareword | quoted Go string
+//
+// A bareword is a run of letters, digits and the characters '_', '-' and
+// '.'. Anything else must be written as a double-quoted Go string literal.
+// Whitespace between tokens is ignored. Example (the paper's slide-5
+// document):
+//
+//	A(B:foo, B:foo, E(C:bar), D(F:nee))
+
+// Format renders the subtree rooted at n in the text format accepted by
+// Parse, with children in stored order.
+func Format(n *Node) string {
+	if n == nil {
+		return ""
+	}
+	var b strings.Builder
+	writeText(&b, n)
+	return b.String()
+}
+
+func writeText(b *strings.Builder, n *Node) {
+	b.WriteString(quoteIfNeeded(n.Label))
+	if n.Value != "" {
+		b.WriteByte(':')
+		b.WriteString(quoteIfNeeded(n.Value))
+	}
+	if len(n.Children) > 0 {
+		b.WriteByte('(')
+		for i, c := range n.Children {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			writeText(b, c)
+		}
+		b.WriteByte(')')
+	}
+}
+
+func isBareword(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' && r != '-' && r != '.' {
+			return false
+		}
+	}
+	return true
+}
+
+func quoteIfNeeded(s string) string {
+	if isBareword(s) {
+		return s
+	}
+	return strconv.Quote(s)
+}
+
+// Parse parses the text format into a data tree.
+func Parse(s string) (*Node, error) {
+	p := &textParser{input: s}
+	p.skipSpace()
+	n, err := p.parseNode()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.input) {
+		return nil, p.errf("trailing input")
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// MustParse is like Parse but panics on error. It is intended for tests
+// and package-level examples with constant inputs.
+func MustParse(s string) *Node {
+	n, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+type textParser struct {
+	input string
+	pos   int
+}
+
+func (p *textParser) errf(format string, args ...any) error {
+	return fmt.Errorf("tree: parse error at offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *textParser) skipSpace() {
+	for p.pos < len(p.input) {
+		switch p.input[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *textParser) peek() byte {
+	if p.pos < len(p.input) {
+		return p.input[p.pos]
+	}
+	return 0
+}
+
+// parseAtom parses a bareword or a quoted string.
+func (p *textParser) parseAtom() (string, error) {
+	if p.peek() == '"' {
+		start := p.pos
+		// Scan a Go string literal: find the closing unescaped quote.
+		i := p.pos + 1
+		for i < len(p.input) {
+			switch p.input[i] {
+			case '\\':
+				i += 2
+				continue
+			case '"':
+				lit := p.input[start : i+1]
+				s, err := strconv.Unquote(lit)
+				if err != nil {
+					return "", p.errf("bad quoted string %s: %v", lit, err)
+				}
+				p.pos = i + 1
+				return s, nil
+			}
+			i++
+		}
+		return "", p.errf("unterminated quoted string")
+	}
+	start := p.pos
+	for p.pos < len(p.input) {
+		r := rune(p.input[p.pos])
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' || r == '.' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return "", p.errf("expected label or value")
+	}
+	return p.input[start:p.pos], nil
+}
+
+func (p *textParser) parseNode() (*Node, error) {
+	label, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{Label: label}
+	p.skipSpace()
+	if p.peek() == ':' {
+		p.pos++
+		p.skipSpace()
+		v, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		n.Value = v
+		p.skipSpace()
+	}
+	if p.peek() == '(' {
+		p.pos++
+		for {
+			p.skipSpace()
+			c, err := p.parseNode()
+			if err != nil {
+				return nil, err
+			}
+			n.Children = append(n.Children, c)
+			p.skipSpace()
+			switch p.peek() {
+			case ',':
+				p.pos++
+			case ')':
+				p.pos++
+				return n, nil
+			default:
+				return nil, p.errf("expected ',' or ')'")
+			}
+		}
+	}
+	return n, nil
+}

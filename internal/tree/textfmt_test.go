@@ -1,0 +1,133 @@
+package tree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseSlide5(t *testing.T) {
+	n, err := Parse("A(B:foo, B:foo, E(C:bar), D(F:nee))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(n, slide5()) {
+		t.Errorf("parsed tree differs from hand-built slide-5 tree:\n%s\n%s",
+			Format(n), Format(slide5()))
+	}
+}
+
+func TestParseSingleNode(t *testing.T) {
+	n, err := Parse("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Label != "A" || n.Value != "" || len(n.Children) != 0 {
+		t.Errorf("unexpected node: %+v", n)
+	}
+}
+
+func TestParseLeafValue(t *testing.T) {
+	n, err := Parse("name:Alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Label != "name" || n.Value != "Alice" {
+		t.Errorf("unexpected node: %+v", n)
+	}
+}
+
+func TestParseQuoted(t *testing.T) {
+	n, err := Parse(`"weird label":"value, with (chars)"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Label != "weird label" || n.Value != "value, with (chars)" {
+		t.Errorf("unexpected node: %+v", n)
+	}
+}
+
+func TestParseWhitespace(t *testing.T) {
+	n, err := Parse("  A ( B : foo ,\n\tC ( D : bar ) ) ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := New("A", NewLeaf("B", "foo"), New("C", NewLeaf("D", "bar")))
+	if !Equal(n, want) {
+		t.Errorf("got %s, want %s", Format(n), Format(want))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"A(",
+		"A)",
+		"A(B",
+		"A(B,)",
+		"A(,B)",
+		"A B",
+		"A(B))",
+		`"unterminated`,
+		"A:",
+		":v",
+		"A()",
+	}
+	for _, s := range cases {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestParseRejectsMixedContent(t *testing.T) {
+	// label:value(children) is syntactically parseable but violates the
+	// data model.
+	if _, err := Parse("A:v(B:x)"); err == nil {
+		t.Error("mixed content accepted")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse of invalid input did not panic")
+		}
+	}()
+	MustParse("(((")
+}
+
+func TestFormatQuoting(t *testing.T) {
+	n := New("A", NewLeaf("B,", "va(lue"))
+	s := Format(n)
+	if !strings.Contains(s, `"B,"`) || !strings.Contains(s, `"va(lue"`) {
+		t.Errorf("special characters not quoted: %s", s)
+	}
+	back, err := Parse(s)
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", s, err)
+	}
+	if !Equal(n, back) {
+		t.Error("quoting round-trip failed")
+	}
+}
+
+func TestTextRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := randomTree(r, 4)
+		if n.Validate() != nil {
+			return true // random generator made something invalid; skip
+		}
+		back, err := Parse(Format(n))
+		if err != nil {
+			t.Logf("round trip parse failed for %s: %v", Format(n), err)
+			return false
+		}
+		return Equal(n, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

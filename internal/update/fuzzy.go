@@ -1,0 +1,266 @@
+package update
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/event"
+	"repro/internal/fuzzy"
+	"repro/internal/tpwj"
+	"repro/internal/tree"
+)
+
+// FuzzyStats reports what ApplyFuzzy did.
+type FuzzyStats struct {
+	// Valuations is the number of (satisfiable) valuations of the query
+	// on the underlying tree.
+	Valuations int
+	// Event is the confidence event minted for the transaction, or ""
+	// when none was needed (confidence 1, or nothing matched).
+	Event event.ID
+	// Inserted counts attached subtrees.
+	Inserted int
+	// DeletedOutright counts nodes removed without expansion (the match
+	// condition was implied by the node's own existence).
+	DeletedOutright int
+	// Copies counts conditioned copies created by deletion expansion;
+	// this is the quantity that grows exponentially under complex
+	// dependencies (slide 14, experiment E5).
+	Copies int
+}
+
+// ApplyFuzzy applies the transaction directly to a fuzzy tree
+// (slides 14–15), returning a new tree; the input is unchanged.
+//
+// One fresh confidence event w with P(w) = Conf is minted per transaction
+// (none when Conf = 1). For every valuation with satisfiable match
+// condition γ (the conjunction of the conditions of the matched nodes and
+// their ancestors):
+//
+//   - an insertion into target v attaches the subtree conditioned on
+//     (γ ∧ w) minus the literals already implied by v's path, so the new
+//     node exists exactly in the worlds where the update applies;
+//
+//   - a deletion of target v computes the residual ρ = (γ ∧ w) minus v's
+//     path literals; if ρ is empty, v is simply removed; otherwise v is
+//     rewritten into the |ρ| conditioned copies
+//
+//     v[cond ∧ ¬l₁], v[cond ∧ l₁ ∧ ¬l₂], …, v[cond ∧ l₁ … l_{k−1} ∧ ¬l_k]
+//
+//     which together exist exactly when v existed and the deletion did
+//     not apply — the construction of slide 15.
+//
+// By the commutation theorem (slide 14), expanding the result equals
+// applying the transaction to the expansion — tested property,
+// experiment E4.
+func (tx *Transaction) ApplyFuzzy(ft *fuzzy.Tree) (*fuzzy.Tree, *FuzzyStats, error) {
+	if err := tx.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if err := ft.Validate(); err != nil {
+		return nil, nil, err
+	}
+	work := ft.Clone()
+	stats := &FuzzyStats{}
+
+	doc, toFuzzy := underlyingWithMap(work)
+	ix := tree.NewIndex(doc)
+
+	// Pre-update navigational data over the fuzzy tree.
+	fparent := make(map[*fuzzy.Node]*fuzzy.Node)
+	fpath := make(map[*fuzzy.Node]event.Condition)
+	var nav func(n *fuzzy.Node, parent *fuzzy.Node, path event.Condition)
+	nav = func(n *fuzzy.Node, parent *fuzzy.Node, path event.Condition) {
+		fparent[n] = parent
+		eff := path.And(n.Cond)
+		fpath[n] = eff
+		for _, c := range n.Children {
+			nav(c, n, eff)
+		}
+	}
+	nav(work.Root, nil, nil)
+
+	// Collect per-valuation operation instances against the pre-update
+	// tree.
+	vars := tx.Query.Vars()
+	type insApp struct {
+		target  *fuzzy.Node
+		subtree *tree.Node
+		cond    event.Condition // residual, before the confidence event
+	}
+	var inserts []insApp
+	delRho := make(map[*fuzzy.Node][]event.Condition)
+	delSeen := make(map[*fuzzy.Node]map[string]bool)
+	var delOrder []*fuzzy.Node
+
+	err := tpwj.ForEachMatch(tx.Query, ix, func(m tpwj.Match) bool {
+		gamma := matchCondition(ix, m, toFuzzy)
+		if !gamma.Satisfiable() {
+			return true // valuation exists in no world
+		}
+		stats.Valuations++
+		for _, op := range tx.Ops {
+			target := toFuzzy[m[vars[op.Var]]]
+			switch op.Kind {
+			case OpInsert:
+				inserts = append(inserts, insApp{
+					target:  target,
+					subtree: op.Subtree,
+					cond:    gamma.Minus(fpath[target]),
+				})
+			case OpDelete:
+				rho := gamma.Minus(fpath[target])
+				key := rho.String()
+				if delSeen[target] == nil {
+					delSeen[target] = make(map[string]bool)
+					delOrder = append(delOrder, target)
+				}
+				if !delSeen[target][key] {
+					delSeen[target][key] = true
+					delRho[target] = append(delRho[target], rho)
+				}
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if stats.Valuations == 0 {
+		return work, stats, nil
+	}
+
+	// Mint the confidence event.
+	var confLit event.Condition
+	if tx.Conf < 1 {
+		id := tx.ConfEvent
+		if id == "" {
+			fresh, err := work.Table.Fresh("u", tx.Conf)
+			if err != nil {
+				return nil, nil, err
+			}
+			id = fresh
+		} else {
+			if work.Table.Has(id) {
+				return nil, nil, fmt.Errorf("update: confidence event %q already in table", id)
+			}
+			if err := work.Table.Set(id, tx.Conf); err != nil {
+				return nil, nil, err
+			}
+		}
+		stats.Event = id
+		confLit = event.Cond(event.Pos(id))
+	}
+
+	// Insertions first, as in ApplyData.
+	for _, ins := range inserts {
+		if ins.target.Value != "" {
+			return nil, nil, fmt.Errorf("update: insert under value leaf %q would create mixed content", ins.target.Label)
+		}
+		child := fuzzy.FromData(ins.subtree)
+		child.Cond = ins.cond.And(confLit)
+		ins.target.Add(child)
+		stats.Inserted++
+	}
+
+	// Deletions, deepest target first so that expanding a node happens
+	// after all deletions inside its subtree are done.
+	sort.SliceStable(delOrder, func(i, j int) bool {
+		di := len(fpathDepth(fparent, delOrder[i]))
+		dj := len(fpathDepth(fparent, delOrder[j]))
+		return di > dj
+	})
+	for _, target := range delOrder {
+		if target == work.Root {
+			return nil, nil, fmt.Errorf("update: cannot delete the document root")
+		}
+		parent := fparent[target]
+		copies := []*fuzzy.Node{target}
+		for _, rho := range delRho[target] {
+			// The confidence literal goes last, so the expansion tries
+			// the pre-existing condition literals first and only then
+			// the fresh event — reproducing the copy set of slide 15.
+			delta := append(rho.Clone(), confLit...)
+			if len(delta) == 0 {
+				// The deletion applies whenever the node exists.
+				for _, c := range copies {
+					parent.RemoveChild(c)
+					stats.DeletedOutright++
+				}
+				copies = nil
+				break
+			}
+			var next []*fuzzy.Node
+			for _, c := range copies {
+				repl := expandDeletion(c, delta)
+				parent.ReplaceChild(c, repl...)
+				next = append(next, repl...)
+			}
+			stats.Copies += len(next)
+			copies = next
+		}
+	}
+	return work, stats, nil
+}
+
+// expandDeletion rewrites one node copy c for a deletion with residual
+// condition δ = l₁…l_k, producing up to k conditioned copies
+// c[cond ∧ l₁…l_{i−1} ∧ ¬l_i]. Copies whose condition is unsatisfiable on
+// its own are dropped.
+func expandDeletion(c *fuzzy.Node, delta event.Condition) []*fuzzy.Node {
+	var out []*fuzzy.Node
+	var prefix event.Condition
+	for _, l := range delta {
+		cond := c.Cond.And(prefix).And(event.Cond(l.Negate()))
+		if cond.Satisfiable() {
+			copy := c.Clone()
+			copy.Cond = cond
+			out = append(out, copy)
+		}
+		prefix = prefix.And(event.Cond(l))
+	}
+	return out
+}
+
+// matchCondition returns γ: the conjunction of the conditions of all
+// nodes required for the valuation to exist (matched nodes and their
+// ancestors).
+func matchCondition(ix *tree.Index, m tpwj.Match, toFuzzy map[*tree.Node]*fuzzy.Node) event.Condition {
+	seen := make(map[*tree.Node]bool)
+	var gamma event.Condition
+	for _, n := range m {
+		for _, a := range ix.PathToRoot(n) {
+			if seen[a] {
+				continue
+			}
+			seen[a] = true
+			gamma = append(gamma, toFuzzy[a].Cond...)
+		}
+	}
+	return gamma.Normalize()
+}
+
+// fpathDepth returns the ancestor chain of n (used for depth ordering).
+func fpathDepth(parent map[*fuzzy.Node]*fuzzy.Node, n *fuzzy.Node) []*fuzzy.Node {
+	var chain []*fuzzy.Node
+	for p := n; p != nil; p = parent[p] {
+		chain = append(chain, p)
+	}
+	return chain
+}
+
+// underlyingWithMap strips conditions, returning the data tree and the
+// mapping from data nodes back to fuzzy nodes.
+func underlyingWithMap(ft *fuzzy.Tree) (*tree.Node, map[*tree.Node]*fuzzy.Node) {
+	m := make(map[*tree.Node]*fuzzy.Node)
+	var conv func(n *fuzzy.Node) *tree.Node
+	conv = func(n *fuzzy.Node) *tree.Node {
+		d := &tree.Node{Label: n.Label, Value: n.Value}
+		m[d] = n
+		for _, c := range n.Children {
+			d.Children = append(d.Children, conv(c))
+		}
+		return d
+	}
+	return conv(ft.Root), m
+}

@@ -1,0 +1,103 @@
+package update
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/tpwj"
+	"repro/internal/tree"
+)
+
+// ApplyData applies τ to a plain data tree: it finds all valuations of
+// the transaction's query, applies every insertion (once per valuation),
+// then every deletion. The input is not modified; the returned tree is
+// fresh. selected reports whether the query had at least one valuation
+// (if not, the result is an unmodified copy).
+//
+// Two error conditions exist: inserting under a leaf that carries a
+// textual value (which would create mixed content) and deleting the
+// document root.
+func (tx *Transaction) ApplyData(doc *tree.Node) (result *tree.Node, selected bool, err error) {
+	if err := tx.Validate(); err != nil {
+		return nil, false, err
+	}
+	if err := doc.Validate(); err != nil {
+		return nil, false, err
+	}
+	ix := tree.NewIndex(doc)
+	vars := tx.Query.Vars()
+
+	type insApp struct {
+		target  *tree.Node
+		subtree *tree.Node
+	}
+	var inserts []insApp
+	deletes := make(map[*tree.Node]bool)
+
+	err = tpwj.ForEachMatch(tx.Query, ix, func(m tpwj.Match) bool {
+		selected = true
+		for _, op := range tx.Ops {
+			target := m[vars[op.Var]]
+			switch op.Kind {
+			case OpInsert:
+				inserts = append(inserts, insApp{target: target, subtree: op.Subtree})
+			case OpDelete:
+				deletes[target] = true
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	if !selected {
+		return doc.Clone(), false, nil
+	}
+
+	clone, cloneOf := cloneWithMap(doc)
+
+	for _, ins := range inserts {
+		t := cloneOf[ins.target]
+		if t.Value != "" {
+			return nil, true, fmt.Errorf("update: insert under value leaf %q would create mixed content", t.Label)
+		}
+		t.Children = append(t.Children, ins.subtree.Clone())
+	}
+
+	// Deepest first, so that removing a node whose ancestor is also
+	// deleted stays well defined.
+	delNodes := make([]*tree.Node, 0, len(deletes))
+	for n := range deletes {
+		delNodes = append(delNodes, n)
+	}
+	sort.Slice(delNodes, func(i, j int) bool {
+		if d1, d2 := ix.Depth(delNodes[i]), ix.Depth(delNodes[j]); d1 != d2 {
+			return d1 > d2
+		}
+		return ix.Order(delNodes[i]) < ix.Order(delNodes[j])
+	})
+	for _, n := range delNodes {
+		if n == doc {
+			return nil, true, fmt.Errorf("update: cannot delete the document root")
+		}
+		parent := cloneOf[ix.Parent(n)]
+		parent.RemoveChild(cloneOf[n])
+	}
+	return clone, true, nil
+}
+
+// cloneWithMap deep-copies a tree and returns the copy together with the
+// original→copy node mapping.
+func cloneWithMap(n *tree.Node) (*tree.Node, map[*tree.Node]*tree.Node) {
+	m := make(map[*tree.Node]*tree.Node)
+	var rec func(o *tree.Node) *tree.Node
+	rec = func(o *tree.Node) *tree.Node {
+		c := &tree.Node{Label: o.Label, Value: o.Value}
+		m[o] = c
+		for _, ch := range o.Children {
+			c.Children = append(c.Children, rec(ch))
+		}
+		return c
+	}
+	return rec(n), m
+}

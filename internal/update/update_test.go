@@ -1,0 +1,193 @@
+package update
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tpwj"
+	"repro/internal/tree"
+)
+
+func TestValidate(t *testing.T) {
+	q := tpwj.MustParseQuery("A(B $x)")
+	good := New(q, 0.9, Insert("x", tree.MustParse("N:v")))
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid transaction rejected: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		tx   *Transaction
+	}{
+		{"nil", nil},
+		{"bad confidence", New(q, 1.5, Delete("x"))},
+		{"negative confidence", New(q, -0.1, Delete("x"))},
+		{"no ops", New(q, 0.5)},
+		{"unbound var", New(q, 0.5, Delete("nope"))},
+		{"insert nil subtree", New(q, 0.5, Op{Kind: OpInsert, Var: "x"})},
+		{"delete with subtree", New(q, 0.5, Op{Kind: OpDelete, Var: "x", Subtree: tree.New("N")})},
+		{"invalid subtree", New(q, 0.5, Insert("x", &tree.Node{Label: ""}))},
+		{"unknown kind", New(q, 0.5, Op{Kind: OpKind(99), Var: "x"})},
+		{"invalid query", New(tpwj.NewQuery(tpwj.NewPNode("")), 0.5, Delete("x"))},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.tx.Validate(); err == nil {
+				t.Error("invalid transaction accepted")
+			}
+		})
+	}
+}
+
+func TestApplyDataInsert(t *testing.T) {
+	tx := New(tpwj.MustParseQuery("A(B $x)"), 1, Insert("x", tree.MustParse("N:v")))
+	got, selected, err := tx.ApplyData(tree.MustParse("A(B, C)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !selected {
+		t.Error("should be selected")
+	}
+	if !tree.Equal(got, tree.MustParse("A(B(N:v), C)")) {
+		t.Errorf("result = %s", tree.Format(got))
+	}
+}
+
+func TestApplyDataInsertPerValuation(t *testing.T) {
+	// Two B's: each valuation inserts its own copy (under its own B).
+	tx := New(tpwj.MustParseQuery("A(B $x)"), 1, Insert("x", tree.MustParse("N")))
+	got, _, err := tx.ApplyData(tree.MustParse("A(B, B)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Equal(got, tree.MustParse("A(B(N), B(N))")) {
+		t.Errorf("result = %s", tree.Format(got))
+	}
+}
+
+func TestApplyDataDelete(t *testing.T) {
+	tx := New(tpwj.MustParseQuery("A(B $x)"), 1, Delete("x"))
+	got, _, err := tx.ApplyData(tree.MustParse("A(B(C), D)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Equal(got, tree.MustParse("A(D)")) {
+		t.Errorf("result = %s", tree.Format(got))
+	}
+}
+
+func TestApplyDataNotSelected(t *testing.T) {
+	tx := New(tpwj.MustParseQuery("A(Z $x)"), 1, Delete("x"))
+	doc := tree.MustParse("A(B)")
+	got, selected, err := tx.ApplyData(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if selected {
+		t.Error("should not be selected")
+	}
+	if !tree.Equal(got, doc) {
+		t.Error("unselected document should be unchanged")
+	}
+	if got == doc {
+		t.Error("result should be a copy, not the input")
+	}
+}
+
+func TestApplyDataInputUnchanged(t *testing.T) {
+	tx := New(tpwj.MustParseQuery("A(B $x)"), 1, Delete("x"))
+	doc := tree.MustParse("A(B)")
+	if _, _, err := tx.ApplyData(doc); err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Equal(doc, tree.MustParse("A(B)")) {
+		t.Error("ApplyData mutated its input")
+	}
+}
+
+func TestApplyDataInsertThenDeleteSameTransaction(t *testing.T) {
+	// Insert under B and delete B: the deletion wins (inserts first,
+	// then deletes).
+	q := tpwj.MustParseQuery("A(B $x)")
+	tx := New(q, 1, Insert("x", tree.MustParse("N")), Delete("x"))
+	got, _, err := tx.ApplyData(tree.MustParse("A(B, C)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Equal(got, tree.MustParse("A(C)")) {
+		t.Errorf("result = %s", tree.Format(got))
+	}
+}
+
+func TestApplyDataConditionalReplacement(t *testing.T) {
+	// The slide-15 shape on a plain tree: replace C by D when B present.
+	q := tpwj.MustParseQuery("A $a(B $b, C $c)")
+	tx := New(q, 1, Insert("a", tree.MustParse("D")), Delete("c"))
+	got, _, err := tx.ApplyData(tree.MustParse("A(B, C)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Equal(got, tree.MustParse("A(B, D)")) {
+		t.Errorf("result = %s", tree.Format(got))
+	}
+	// Without B, nothing happens.
+	got2, selected, err := tx.ApplyData(tree.MustParse("A(C)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if selected || !tree.Equal(got2, tree.MustParse("A(C)")) {
+		t.Errorf("unmatched doc changed: %s", tree.Format(got2))
+	}
+}
+
+func TestApplyDataNestedDeletes(t *testing.T) {
+	// Delete both a node and its descendant in one transaction.
+	q := tpwj.MustParseQuery("A(B $x(//D $y))")
+	tx := New(q, 1, Delete("x"), Delete("y"))
+	got, _, err := tx.ApplyData(tree.MustParse("A(B(C(D)), E)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Equal(got, tree.MustParse("A(E)")) {
+		t.Errorf("result = %s", tree.Format(got))
+	}
+}
+
+func TestApplyDataErrors(t *testing.T) {
+	// Deleting the root.
+	txRoot := New(tpwj.MustParseQuery("A $x"), 1, Delete("x"))
+	if _, _, err := txRoot.ApplyData(tree.MustParse("A(B)")); err == nil {
+		t.Error("root deletion accepted")
+	}
+	// Inserting under a value leaf.
+	txLeaf := New(tpwj.MustParseQuery("A(B $x)"), 1, Insert("x", tree.MustParse("N")))
+	if _, _, err := txLeaf.ApplyData(tree.MustParse("A(B:val)")); err == nil {
+		t.Error("insert under value leaf accepted")
+	}
+	// Invalid document.
+	txOK := New(tpwj.MustParseQuery("A(B $x)"), 1, Delete("x"))
+	bad := &tree.Node{Label: "A", Value: "v", Children: []*tree.Node{tree.New("B")}}
+	if _, _, err := txOK.ApplyData(bad); err == nil {
+		t.Error("invalid document accepted")
+	}
+}
+
+func TestTransactionString(t *testing.T) {
+	tx := New(tpwj.MustParseQuery("A(B $x)"), 0.9,
+		Insert("x", tree.MustParse("N:v")), Delete("x"))
+	s := tx.String()
+	for _, want := range []string{"conf=0.9", "A(B $x)", "insert N:v into $x", "delete $x"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpInsert.String() != "insert" || OpDelete.String() != "delete" {
+		t.Error("OpKind strings wrong")
+	}
+	if OpKind(42).String() != "OpKind(42)" {
+		t.Error("unknown OpKind string wrong")
+	}
+}

@@ -1,0 +1,36 @@
+package update
+
+import (
+	"repro/internal/worlds"
+)
+
+// ApplyWorlds applies the transaction to a possible-worlds set, following
+// the paper's semantic definition (slide 10) literally:
+//
+//	{(t, p)   | t not selected by Q}
+//	∪ {(τ(t), p·c) | t selected by Q}
+//	∪ {(t, p·(1−c)) | t selected by Q}
+//
+// followed by normalization. This is the exponential baseline against
+// which the fuzzy-tree implementation is validated (commutation theorem,
+// experiment E4) and benchmarked.
+func (tx *Transaction) ApplyWorlds(s *worlds.Set) (*worlds.Set, error) {
+	out := &worlds.Set{}
+	for _, w := range s.Worlds {
+		result, selected, err := tx.ApplyData(w.Tree)
+		if err != nil {
+			return nil, err
+		}
+		if !selected {
+			out.Add(w.Tree, w.P)
+			continue
+		}
+		if tx.Conf > 0 {
+			out.Add(result, w.P*tx.Conf)
+		}
+		if tx.Conf < 1 {
+			out.Add(w.Tree, w.P*(1-tx.Conf))
+		}
+	}
+	return out.Normalize(), nil
+}

@@ -1,0 +1,434 @@
+// Package warehouse implements the probabilistic XML warehouse of the
+// paper (slides 3 and 16): named fuzzy documents stored on the file
+// system, updated by probabilistic transactions and queried with TPWJ
+// queries. The implementation adds the durability a production system
+// needs: atomic document replacement (write-temp-then-rename), a
+// write-ahead journal carrying the full post-state, and roll-forward
+// recovery on open.
+package warehouse
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/fuzzy"
+	"repro/internal/tpwj"
+	"repro/internal/update"
+	"repro/internal/xmlio"
+	"repro/internal/xupdate"
+)
+
+const (
+	docsDir     = "docs"
+	docExt      = ".pxml"
+	journalFile = "journal.log"
+)
+
+// Warehouse is a collection of named fuzzy documents persisted under one
+// directory. All methods are safe for concurrent use.
+type Warehouse struct {
+	dir string
+
+	mu      sync.RWMutex
+	journal *journal
+	cache   map[string]*fuzzy.Tree
+	closed  bool
+}
+
+// Open opens (creating if necessary) a warehouse rooted at dir and
+// performs crash recovery: if the journal's last mutation lacks its
+// commit marker, the mutation is rolled forward from the journaled
+// post-state.
+func Open(dir string) (*Warehouse, error) {
+	if err := os.MkdirAll(filepath.Join(dir, docsDir), 0o755); err != nil {
+		return nil, fmt.Errorf("warehouse: create layout: %w", err)
+	}
+	j, records, err := openJournal(filepath.Join(dir, journalFile))
+	if err != nil {
+		return nil, err
+	}
+	w := &Warehouse{dir: dir, journal: j, cache: make(map[string]*fuzzy.Tree)}
+	if err := w.recover(records); err != nil {
+		j.close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// recover rolls the last journaled mutation forward when its commit
+// marker is missing.
+func (w *Warehouse) recover(records []Record) error {
+	if len(records) == 0 {
+		return nil
+	}
+	last := records[len(records)-1]
+	if last.Op == "commit" {
+		return nil
+	}
+	switch last.Op {
+	case "create", "update":
+		if err := w.writeDocFile(last.Doc, []byte(last.Content)); err != nil {
+			return fmt.Errorf("warehouse: recovery of %q: %w", last.Doc, err)
+		}
+	case "drop":
+		if err := os.Remove(w.docPath(last.Doc)); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("warehouse: recovery drop of %q: %w", last.Doc, err)
+		}
+	default:
+		return fmt.Errorf("warehouse: unknown journal op %q", last.Op)
+	}
+	_, err := w.journal.append(Record{Op: "commit"})
+	return err
+}
+
+// Close releases the journal. The warehouse must not be used afterwards.
+func (w *Warehouse) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	return w.journal.close()
+}
+
+// Dir returns the warehouse root directory.
+func (w *Warehouse) Dir() string { return w.dir }
+
+func (w *Warehouse) docPath(name string) string {
+	return filepath.Join(w.dir, docsDir, name+docExt)
+}
+
+// validName restricts document names to a safe alphabet.
+func validName(name string) error {
+	if name == "" {
+		return errors.New("warehouse: empty document name")
+	}
+	for _, r := range name {
+		ok := r == '_' || r == '-' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+		if !ok {
+			return fmt.Errorf("warehouse: invalid document name %q", name)
+		}
+	}
+	return nil
+}
+
+// writeDocFile atomically replaces the document file.
+func (w *Warehouse) writeDocFile(name string, data []byte) error {
+	path := w.docPath(name)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// mutate journals and applies one mutation under the write lock.
+func (w *Warehouse) mutate(rec Record, apply func() error) error {
+	if w.closed {
+		return errors.New("warehouse: closed")
+	}
+	if _, err := w.journal.append(rec); err != nil {
+		return err
+	}
+	if err := apply(); err != nil {
+		return err
+	}
+	_, err := w.journal.append(Record{Op: "commit"})
+	return err
+}
+
+// Create stores a new document under the given name.
+func (w *Warehouse) Create(name string, ft *fuzzy.Tree) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	if err := ft.Validate(); err != nil {
+		return err
+	}
+	data, err := xmlio.DocXML(ft)
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := os.Stat(w.docPath(name)); err == nil {
+		return fmt.Errorf("warehouse: document %q already exists", name)
+	}
+	return w.mutate(
+		Record{Op: "create", Doc: name, Content: string(data)},
+		func() error {
+			if err := w.writeDocFile(name, data); err != nil {
+				return err
+			}
+			w.cache[name] = ft.Clone()
+			return nil
+		})
+}
+
+// load returns the cached document, reading it from disk on first use.
+// Callers must hold at least the read lock.
+func (w *Warehouse) load(name string) (*fuzzy.Tree, error) {
+	if ft, ok := w.cache[name]; ok {
+		return ft, nil
+	}
+	data, err := os.ReadFile(w.docPath(name))
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("warehouse: no document %q", name)
+	}
+	if err != nil {
+		return nil, err
+	}
+	ft, err := xmlio.ParseDoc(data)
+	if err != nil {
+		return nil, fmt.Errorf("warehouse: document %q corrupt: %w", name, err)
+	}
+	return ft, nil
+}
+
+// loadCaching is load plus cache population; callers must hold the write
+// lock.
+func (w *Warehouse) loadCaching(name string) (*fuzzy.Tree, error) {
+	ft, err := w.load(name)
+	if err != nil {
+		return nil, err
+	}
+	w.cache[name] = ft
+	return ft, nil
+}
+
+// Get returns a deep copy of the named document.
+func (w *Warehouse) Get(name string) (*fuzzy.Tree, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ft, err := w.loadCaching(name)
+	if err != nil {
+		return nil, err
+	}
+	return ft.Clone(), nil
+}
+
+// List returns the sorted names of all stored documents.
+func (w *Warehouse) List() ([]string, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	entries, err := os.ReadDir(filepath.Join(w.dir, docsDir))
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if n, ok := strings.CutSuffix(e.Name(), docExt); ok && !e.IsDir() {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Drop removes the named document.
+func (w *Warehouse) Drop(name string) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := os.Stat(w.docPath(name)); err != nil {
+		return fmt.Errorf("warehouse: no document %q", name)
+	}
+	return w.mutate(
+		Record{Op: "drop", Doc: name},
+		func() error {
+			delete(w.cache, name)
+			return os.Remove(w.docPath(name))
+		})
+}
+
+// Query evaluates a TPWJ query on the named document, returning answers
+// with exact probabilities. Cached documents are treated as immutable
+// (updates install fresh trees), so evaluation runs without holding the
+// lock.
+func (w *Warehouse) Query(name string, q *tpwj.Query) ([]tpwj.ProbAnswer, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	ft, err := w.loadCaching(name)
+	w.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return tpwj.EvalFuzzy(q, ft)
+}
+
+// QueryMC is Query with Monte-Carlo probability estimation, for
+// documents whose condition structure makes exact computation too
+// expensive.
+func (w *Warehouse) QueryMC(name string, q *tpwj.Query, samples int, r *rand.Rand) ([]tpwj.ProbAnswer, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	ft, err := w.loadCaching(name)
+	w.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return tpwj.EvalFuzzyMonteCarlo(q, ft, samples, r)
+}
+
+// Update applies a probabilistic transaction to the named document,
+// journaling and persisting the result durably.
+func (w *Warehouse) Update(name string, tx *update.Transaction) (*update.FuzzyStats, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	txXML, err := xupdate.TransactionXML(tx)
+	if err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ft, err := w.loadCaching(name)
+	if err != nil {
+		return nil, err
+	}
+	next, stats, err := tx.ApplyFuzzy(ft)
+	if err != nil {
+		return nil, err
+	}
+	data, err := xmlio.DocXML(next)
+	if err != nil {
+		return nil, err
+	}
+	err = w.mutate(
+		Record{Op: "update", Doc: name, Tx: string(txXML), Content: string(data)},
+		func() error {
+			if err := w.writeDocFile(name, data); err != nil {
+				return err
+			}
+			w.cache[name] = next
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return stats, nil
+}
+
+// Simplify runs fuzzy-tree simplification on the named document and
+// persists the result.
+func (w *Warehouse) Simplify(name string) (fuzzy.SimplifyStats, error) {
+	if err := validName(name); err != nil {
+		return fuzzy.SimplifyStats{}, err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ft, err := w.loadCaching(name)
+	if err != nil {
+		return fuzzy.SimplifyStats{}, err
+	}
+	next := ft.Clone()
+	stats := next.Simplify()
+	data, err := xmlio.DocXML(next)
+	if err != nil {
+		return fuzzy.SimplifyStats{}, err
+	}
+	err = w.mutate(
+		Record{Op: "update", Doc: name, Tx: "<simplify/>", Content: string(data)},
+		func() error {
+			if err := w.writeDocFile(name, data); err != nil {
+				return err
+			}
+			w.cache[name] = next
+			return nil
+		})
+	if err != nil {
+		return fuzzy.SimplifyStats{}, err
+	}
+	return stats, nil
+}
+
+// Info summarizes a stored document.
+type Info struct {
+	Name   string
+	Nodes  int
+	Events int
+	Worlds int64
+}
+
+// Stat returns summary information about the named document.
+func (w *Warehouse) Stat(name string) (Info, error) {
+	if err := validName(name); err != nil {
+		return Info{}, err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ft, err := w.loadCaching(name)
+	if err != nil {
+		return Info{}, err
+	}
+	return Info{
+		Name:   name,
+		Nodes:  ft.Size(),
+		Events: ft.Table.Len(),
+		Worlds: ft.WorldCount(),
+	}, nil
+}
+
+// Journal returns all journal records (for audit and tests).
+func (w *Warehouse) Journal() ([]Record, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return readJournal(filepath.Join(w.dir, journalFile))
+}
+
+// Compact truncates the journal. Safe whenever the warehouse is in a
+// committed state, which holds under the write lock: every document file
+// already contains its latest post-state, so the journal's only value is
+// the audit trail, which Compact trades for space.
+func (w *Warehouse) Compact() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return errors.New("warehouse: closed")
+	}
+	if err := w.journal.close(); err != nil {
+		return err
+	}
+	path := filepath.Join(w.dir, journalFile)
+	if err := os.Truncate(path, 0); err != nil {
+		return err
+	}
+	j, _, err := openJournal(path)
+	if err != nil {
+		return err
+	}
+	w.journal = j
+	return nil
+}

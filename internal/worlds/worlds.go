@@ -1,0 +1,191 @@
+// Package worlds implements the possible-worlds model of Abiteboul and
+// Senellart (EDBT 2006): the semantic foundation for probabilistic XML.
+// A possible-worlds set is a finite set of (tree, probability) pairs, one
+// per possible world. Query and update semantics over possible-worlds
+// sets are defined in the tpwj and update packages; this package provides
+// the container, normalization (merging isomorphic worlds) and
+// comparisons.
+package worlds
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/tree"
+)
+
+// Eps is the default numeric tolerance for probability comparisons.
+const Eps = 1e-9
+
+// World is one possible world: a data tree together with its probability.
+type World struct {
+	Tree *tree.Node
+	P    float64
+}
+
+// Set is a finite set of possible worlds. The zero value is an empty set
+// ready to use.
+//
+// A Set used as the semantics of a probabilistic document is a
+// distribution (probabilities sum to 1). A Set used as a query result is
+// in general not a distribution: each entry records the probability that
+// the given tree is an answer.
+type Set struct {
+	Worlds []World
+}
+
+// Add appends a world to the set.
+func (s *Set) Add(t *tree.Node, p float64) {
+	s.Worlds = append(s.Worlds, World{Tree: t, P: p})
+}
+
+// Len returns the number of worlds.
+func (s *Set) Len() int { return len(s.Worlds) }
+
+// Total returns the sum of the probabilities.
+func (s *Set) Total() float64 {
+	total := 0.0
+	for _, w := range s.Worlds {
+		total += w.P
+	}
+	return total
+}
+
+// Clone returns a deep copy of the set (trees are cloned).
+func (s *Set) Clone() *Set {
+	c := &Set{Worlds: make([]World, len(s.Worlds))}
+	for i, w := range s.Worlds {
+		c.Worlds[i] = World{Tree: w.Tree.Clone(), P: w.P}
+	}
+	return c
+}
+
+// Normalize merges isomorphic worlds, summing their probabilities, drops
+// zero-probability worlds, and orders the result deterministically
+// (descending probability, then canonical form). This is the
+// normalization operator of the paper's query and update semantics. The
+// receiver is unchanged; a new set is returned. Trees are shared with the
+// receiver, not cloned.
+func (s *Set) Normalize() *Set {
+	type bucket struct {
+		tree  *tree.Node
+		canon string
+		p     float64
+	}
+	byCanon := make(map[string]*bucket)
+	order := make([]string, 0, len(s.Worlds))
+	for _, w := range s.Worlds {
+		c := tree.Canonical(w.Tree)
+		b, ok := byCanon[c]
+		if !ok {
+			b = &bucket{tree: w.Tree, canon: c}
+			byCanon[c] = b
+			order = append(order, c)
+		}
+		b.p += w.P
+	}
+	out := &Set{}
+	for _, c := range order {
+		b := byCanon[c]
+		if b.p <= 0 {
+			continue
+		}
+		out.Add(b.tree, b.p)
+	}
+	sort.SliceStable(out.Worlds, func(i, j int) bool {
+		if math.Abs(out.Worlds[i].P-out.Worlds[j].P) > Eps {
+			return out.Worlds[i].P > out.Worlds[j].P
+		}
+		return tree.Canonical(out.Worlds[i].Tree) < tree.Canonical(out.Worlds[j].Tree)
+	})
+	return out
+}
+
+// IsDistribution reports whether the probabilities are non-negative and
+// sum to 1 within eps (use Eps for the default tolerance).
+func (s *Set) IsDistribution(eps float64) bool {
+	for _, w := range s.Worlds {
+		if w.P < -eps {
+			return false
+		}
+	}
+	return math.Abs(s.Total()-1) <= eps
+}
+
+// ProbOf returns the total probability of worlds isomorphic to t.
+func (s *Set) ProbOf(t *tree.Node) float64 {
+	c := tree.Canonical(t)
+	p := 0.0
+	for _, w := range s.Worlds {
+		if tree.Canonical(w.Tree) == c {
+			p += w.P
+		}
+	}
+	return p
+}
+
+// Equal reports whether s and o denote the same possible-worlds set: after
+// normalization, the same trees with the same probabilities within eps.
+func (s *Set) Equal(o *Set, eps float64) bool {
+	a, b := s.Normalize(), o.Normalize()
+	if len(a.Worlds) != len(b.Worlds) {
+		return false
+	}
+	bm := make(map[string]float64, len(b.Worlds))
+	for _, w := range b.Worlds {
+		bm[tree.Canonical(w.Tree)] += w.P
+	}
+	for _, w := range a.Worlds {
+		q, ok := bm[tree.Canonical(w.Tree)]
+		if !ok || math.Abs(w.P-q) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// Scale multiplies every probability by f and returns a new set sharing
+// the trees.
+func (s *Set) Scale(f float64) *Set {
+	out := &Set{Worlds: make([]World, len(s.Worlds))}
+	for i, w := range s.Worlds {
+		out.Worlds[i] = World{Tree: w.Tree, P: w.P * f}
+	}
+	return out
+}
+
+// Union returns the concatenation of s and o (no normalization).
+func (s *Set) Union(o *Set) *Set {
+	out := &Set{Worlds: make([]World, 0, len(s.Worlds)+len(o.Worlds))}
+	out.Worlds = append(out.Worlds, s.Worlds...)
+	out.Worlds = append(out.Worlds, o.Worlds...)
+	return out
+}
+
+// Validate checks that every world holds a structurally valid tree and a
+// probability in [0, 1].
+func (s *Set) Validate() error {
+	for i, w := range s.Worlds {
+		if err := w.Tree.Validate(); err != nil {
+			return fmt.Errorf("worlds: world %d: %w", i, err)
+		}
+		if w.P < 0 || w.P > 1 || math.IsNaN(w.P) {
+			return fmt.Errorf("worlds: world %d: probability %v outside [0,1]", i, w.P)
+		}
+	}
+	return nil
+}
+
+// String renders the normalized set, one world per line:
+//
+//	P=0.56  A(B:foo)
+func (s *Set) String() string {
+	n := s.Normalize()
+	var b strings.Builder
+	for _, w := range n.Worlds {
+		fmt.Fprintf(&b, "P=%.6g  %s\n", w.P, tree.Format(w.Tree))
+	}
+	return b.String()
+}

@@ -1,0 +1,182 @@
+package worlds
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/tree"
+)
+
+// slide9 builds the possible-worlds set shown on slide 9 of the paper:
+// four worlds over root A with optional children B and C(D).
+//
+//	A(C)       P=0.06
+//	A(C(D))    P=0.14
+//	A(B, C)    P=0.24
+//	A(B, C(D)) P=0.56
+func slide9() *Set {
+	s := &Set{}
+	s.Add(tree.MustParse("A(C)"), 0.06)
+	s.Add(tree.MustParse("A(C(D))"), 0.14)
+	s.Add(tree.MustParse("A(B, C)"), 0.24)
+	s.Add(tree.MustParse("A(B, C(D))"), 0.56)
+	return s
+}
+
+func TestSlide9IsDistribution(t *testing.T) {
+	s := slide9()
+	if !s.IsDistribution(Eps) {
+		t.Errorf("slide-9 set should be a distribution, total=%v", s.Total())
+	}
+	if s.Len() != 4 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestNormalizeMergesIsomorphic(t *testing.T) {
+	s := &Set{}
+	s.Add(tree.MustParse("A(B, C)"), 0.3)
+	s.Add(tree.MustParse("A(C, B)"), 0.2) // isomorphic, different order
+	s.Add(tree.MustParse("A(B)"), 0.5)
+	n := s.Normalize()
+	if n.Len() != 2 {
+		t.Fatalf("Normalize left %d worlds, want 2", n.Len())
+	}
+	if p := n.ProbOf(tree.MustParse("A(C, B)")); math.Abs(p-0.5) > Eps {
+		t.Errorf("merged probability = %v, want 0.5", p)
+	}
+}
+
+func TestNormalizeDropsZero(t *testing.T) {
+	s := &Set{}
+	s.Add(tree.MustParse("A"), 0)
+	s.Add(tree.MustParse("A(B)"), 1)
+	n := s.Normalize()
+	if n.Len() != 1 {
+		t.Errorf("zero-probability world kept: %v", n)
+	}
+}
+
+func TestNormalizeDeterministicOrder(t *testing.T) {
+	s := &Set{}
+	s.Add(tree.MustParse("A(X)"), 0.25)
+	s.Add(tree.MustParse("A(Y)"), 0.25)
+	s.Add(tree.MustParse("A(Z)"), 0.5)
+	n := s.Normalize()
+	if n.Worlds[0].P != 0.5 {
+		t.Error("highest probability should come first")
+	}
+	// Equal probabilities tie-break on canonical form.
+	if tree.Format(n.Worlds[1].Tree) != "A(X)" || tree.Format(n.Worlds[2].Tree) != "A(Y)" {
+		t.Errorf("tie-break order wrong: %s / %s",
+			tree.Format(n.Worlds[1].Tree), tree.Format(n.Worlds[2].Tree))
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := slide9()
+	b := &Set{}
+	// Same set, different insertion order and split probabilities.
+	b.Add(tree.MustParse("A(B, C(D))"), 0.26)
+	b.Add(tree.MustParse("A(C(D), B)"), 0.30)
+	b.Add(tree.MustParse("A(C)"), 0.06)
+	b.Add(tree.MustParse("A(C(D))"), 0.14)
+	b.Add(tree.MustParse("A(B, C)"), 0.24)
+	if !a.Equal(b, Eps) {
+		t.Error("sets should be equal after normalization")
+	}
+	c := slide9()
+	c.Worlds[0].P = 0.07
+	if a.Equal(c, Eps) {
+		t.Error("different probabilities should not compare equal")
+	}
+	d := &Set{}
+	d.Add(tree.MustParse("A"), 1)
+	if a.Equal(d, Eps) {
+		t.Error("different supports should not compare equal")
+	}
+}
+
+func TestEqualDifferentSupportSameLen(t *testing.T) {
+	a := &Set{}
+	a.Add(tree.MustParse("A(X)"), 1)
+	b := &Set{}
+	b.Add(tree.MustParse("A(Y)"), 1)
+	if a.Equal(b, Eps) {
+		t.Error("different trees should not compare equal")
+	}
+}
+
+func TestProbOf(t *testing.T) {
+	s := slide9()
+	if p := s.ProbOf(tree.MustParse("A(C, B)")); math.Abs(p-0.24) > Eps {
+		t.Errorf("ProbOf(A(B,C)) = %v, want 0.24", p)
+	}
+	if p := s.ProbOf(tree.MustParse("Z")); p != 0 {
+		t.Errorf("ProbOf(absent) = %v, want 0", p)
+	}
+}
+
+func TestScaleUnion(t *testing.T) {
+	s := slide9()
+	half := s.Scale(0.5)
+	if math.Abs(half.Total()-0.5) > Eps {
+		t.Errorf("scaled total = %v", half.Total())
+	}
+	u := half.Union(half)
+	if math.Abs(u.Total()-1) > Eps {
+		t.Errorf("union total = %v", u.Total())
+	}
+	if u.Len() != 8 {
+		t.Errorf("union len = %d", u.Len())
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := slide9()
+	c := s.Clone()
+	c.Worlds[0].Tree.Label = "ZZZ"
+	if s.Worlds[0].Tree.Label == "ZZZ" {
+		t.Error("clone shares trees with original")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s := slide9()
+	if err := s.Validate(); err != nil {
+		t.Errorf("valid set rejected: %v", err)
+	}
+	bad := &Set{}
+	bad.Add(tree.MustParse("A"), 1.5)
+	if err := bad.Validate(); err == nil {
+		t.Error("probability > 1 accepted")
+	}
+	mixed := &Set{}
+	mixed.Add(&tree.Node{Label: "A", Value: "v", Children: []*tree.Node{tree.New("B")}}, 1)
+	if err := mixed.Validate(); err == nil {
+		t.Error("mixed content accepted")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := &Set{}
+	s.Add(tree.MustParse("A(B:foo)"), 1)
+	got := s.String()
+	if !strings.Contains(got, "P=1") || !strings.Contains(got, "A(B:foo)") {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestEmptySet(t *testing.T) {
+	s := &Set{}
+	if s.Len() != 0 || s.Total() != 0 {
+		t.Error("empty set should have zero length and total")
+	}
+	if s.Normalize().Len() != 0 {
+		t.Error("normalizing empty set should stay empty")
+	}
+	if s.IsDistribution(Eps) {
+		t.Error("empty set is not a distribution")
+	}
+}

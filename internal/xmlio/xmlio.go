@@ -1,0 +1,459 @@
+// Package xmlio serializes the data model to and from XML, mirroring the
+// storage layer of the paper's implementation (slide 16: file-system
+// storage of probabilistic XML documents).
+//
+// Plain data trees map to ordinary XML elements; leaf values map to text
+// content. Following the paper's model ("no distinction between attribute
+// and element nodes"), XML attributes are parsed as child leaf nodes.
+// Mixed content is rejected.
+//
+// Fuzzy documents use a small wrapper format:
+//
+//	<pxml>
+//	  <events>
+//	    <event name="w1" prob="0.8"/>
+//	  </events>
+//	  <root>
+//	    <A>
+//	      <B cond="w1 !w2">foo</B>
+//	      <C><D cond="w2"/></C>
+//	    </A>
+//	  </root>
+//	</pxml>
+//
+// where the reserved attribute cond carries the node's condition in the
+// textual literal syntax ("w1 !w2").
+package xmlio
+
+import (
+	"bytes"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/event"
+	"repro/internal/fuzzy"
+	"repro/internal/tree"
+)
+
+// CondAttr is the reserved attribute carrying fuzzy conditions.
+const CondAttr = "cond"
+
+// ReadTree parses a plain data tree from XML.
+func ReadTree(r io.Reader) (*tree.Node, error) {
+	n, err := readElement(xml.NewDecoder(r), false)
+	if err != nil {
+		return nil, err
+	}
+	dn := toData(n)
+	if err := dn.Validate(); err != nil {
+		return nil, err
+	}
+	return dn, nil
+}
+
+// ParseTree parses a plain data tree from an XML byte slice.
+func ParseTree(data []byte) (*tree.Node, error) {
+	return ReadTree(bytes.NewReader(data))
+}
+
+// ReadSubtree parses the next element (with its whole subtree) from an
+// already-open decoder as a plain data tree, leaving the decoder
+// positioned just after the element. The xupdate package uses it to read
+// inline insertion content.
+func ReadSubtree(dec *xml.Decoder) (*tree.Node, error) {
+	n, err := readElement(dec, false)
+	if err != nil {
+		return nil, err
+	}
+	dn := toData(n)
+	if err := dn.Validate(); err != nil {
+		return nil, err
+	}
+	return dn, nil
+}
+
+// WriteTree serializes a plain data tree as indented XML.
+func WriteTree(w io.Writer, n *tree.Node) error {
+	if err := n.Validate(); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := encodeData(enc, n); err != nil {
+		return err
+	}
+	return enc.Flush()
+}
+
+// TreeXML returns the XML serialization of a plain data tree.
+func TreeXML(n *tree.Node) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := WriteTree(&buf, n); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// ReadDoc parses a fuzzy document (<pxml> wrapper) and validates it.
+func ReadDoc(r io.Reader) (*fuzzy.Tree, error) {
+	dec := xml.NewDecoder(r)
+	// Find the opening pxml element.
+	start, err := nextStart(dec)
+	if err != nil {
+		return nil, err
+	}
+	if start.Name.Local != "pxml" {
+		return nil, fmt.Errorf("xmlio: expected <pxml> root, found <%s>", start.Name.Local)
+	}
+	tab := event.NewTable()
+	var root *fuzzy.Node
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("xmlio: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			switch t.Name.Local {
+			case "events":
+				if err := readEvents(dec, tab); err != nil {
+					return nil, err
+				}
+			case "root":
+				inner, err := nextStart(dec)
+				if err != nil {
+					return nil, err
+				}
+				root, err = readFuzzyElement(dec, inner)
+				if err != nil {
+					return nil, err
+				}
+				if err := skipToEnd(dec); err != nil { // </root>
+					return nil, err
+				}
+			default:
+				return nil, fmt.Errorf("xmlio: unexpected element <%s> in <pxml>", t.Name.Local)
+			}
+		case xml.EndElement:
+			if root == nil {
+				return nil, errors.New("xmlio: <pxml> without <root>")
+			}
+			ft := &fuzzy.Tree{Root: root, Table: tab}
+			if err := ft.Validate(); err != nil {
+				return nil, err
+			}
+			return ft, nil
+		case xml.CharData:
+			if len(bytes.TrimSpace(t)) > 0 {
+				return nil, errors.New("xmlio: stray text in <pxml>")
+			}
+		}
+	}
+}
+
+// ParseDoc parses a fuzzy document from an XML byte slice.
+func ParseDoc(data []byte) (*fuzzy.Tree, error) {
+	return ReadDoc(bytes.NewReader(data))
+}
+
+// WriteDoc serializes a fuzzy document as indented XML, with events
+// sorted by name for determinism.
+func WriteDoc(w io.Writer, ft *fuzzy.Tree) error {
+	if err := ft.Validate(); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	pxml := xml.StartElement{Name: xml.Name{Local: "pxml"}}
+	if err := enc.EncodeToken(pxml); err != nil {
+		return err
+	}
+	events := xml.StartElement{Name: xml.Name{Local: "events"}}
+	if err := enc.EncodeToken(events); err != nil {
+		return err
+	}
+	for _, id := range ft.Table.Events() {
+		p, _ := ft.Table.Prob(id)
+		ev := xml.StartElement{
+			Name: xml.Name{Local: "event"},
+			Attr: []xml.Attr{
+				{Name: xml.Name{Local: "name"}, Value: string(id)},
+				{Name: xml.Name{Local: "prob"}, Value: strconv.FormatFloat(p, 'g', -1, 64)},
+			},
+		}
+		if err := enc.EncodeToken(ev); err != nil {
+			return err
+		}
+		if err := enc.EncodeToken(ev.End()); err != nil {
+			return err
+		}
+	}
+	if err := enc.EncodeToken(events.End()); err != nil {
+		return err
+	}
+	rootEl := xml.StartElement{Name: xml.Name{Local: "root"}}
+	if err := enc.EncodeToken(rootEl); err != nil {
+		return err
+	}
+	if err := encodeFuzzy(enc, ft.Root); err != nil {
+		return err
+	}
+	if err := enc.EncodeToken(rootEl.End()); err != nil {
+		return err
+	}
+	if err := enc.EncodeToken(pxml.End()); err != nil {
+		return err
+	}
+	return enc.Flush()
+}
+
+// DocXML returns the XML serialization of a fuzzy document.
+func DocXML(ft *fuzzy.Tree) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := WriteDoc(&buf, ft); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// --- internal: generic element reading -----------------------------------
+
+// xnode is the neutral parsed form shared by plain and fuzzy readers.
+type xnode struct {
+	label    string
+	value    string
+	cond     event.Condition
+	children []*xnode
+}
+
+func toData(n *xnode) *tree.Node {
+	d := &tree.Node{Label: n.label, Value: n.value}
+	for _, c := range n.children {
+		d.Children = append(d.Children, toData(c))
+	}
+	return d
+}
+
+func toFuzzy(n *xnode) *fuzzy.Node {
+	f := &fuzzy.Node{Label: n.label, Value: n.value, Cond: n.cond}
+	for _, c := range n.children {
+		f.Children = append(f.Children, toFuzzy(c))
+	}
+	return f
+}
+
+// readElement reads the next element (and its subtree) from the decoder.
+// When allowCond is false, cond attributes are rejected.
+func readElement(dec *xml.Decoder, allowCond bool) (*xnode, error) {
+	start, err := nextStart(dec)
+	if err != nil {
+		return nil, err
+	}
+	n, err := readElementFrom(dec, start, allowCond)
+	if err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+func readElementFrom(dec *xml.Decoder, start xml.StartElement, allowCond bool) (*xnode, error) {
+	n := &xnode{label: start.Name.Local}
+	for _, a := range start.Attr {
+		if a.Name.Local == CondAttr {
+			if !allowCond {
+				return nil, fmt.Errorf("xmlio: cond attribute on <%s> in a plain tree", n.label)
+			}
+			c, err := event.ParseCondition(a.Value)
+			if err != nil {
+				return nil, fmt.Errorf("xmlio: <%s>: %w", n.label, err)
+			}
+			n.cond = c
+			continue
+		}
+		// Attributes become child leaf nodes (the paper's model draws no
+		// attribute/element distinction).
+		n.children = append(n.children, &xnode{label: a.Name.Local, value: a.Value})
+	}
+	var text strings.Builder
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("xmlio: inside <%s>: %w", n.label, err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			child, err := readElementFrom(dec, t, allowCond)
+			if err != nil {
+				return nil, err
+			}
+			n.children = append(n.children, child)
+		case xml.EndElement:
+			n.value = strings.TrimSpace(text.String())
+			if n.value != "" && len(n.children) > 0 {
+				return nil, fmt.Errorf("xmlio: mixed content in <%s>", n.label)
+			}
+			return n, nil
+		case xml.CharData:
+			text.Write(t)
+		}
+	}
+}
+
+func readFuzzyElement(dec *xml.Decoder, start xml.StartElement) (*fuzzy.Node, error) {
+	n, err := readElementFrom(dec, start, true)
+	if err != nil {
+		return nil, err
+	}
+	return toFuzzy(n), nil
+}
+
+func readEvents(dec *xml.Decoder, tab *event.Table) error {
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return fmt.Errorf("xmlio: in <events>: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if t.Name.Local != "event" {
+				return fmt.Errorf("xmlio: unexpected <%s> in <events>", t.Name.Local)
+			}
+			var name, prob string
+			for _, a := range t.Attr {
+				switch a.Name.Local {
+				case "name":
+					name = a.Value
+				case "prob":
+					prob = a.Value
+				}
+			}
+			p, err := strconv.ParseFloat(prob, 64)
+			if err != nil {
+				return fmt.Errorf("xmlio: event %q: bad probability %q", name, prob)
+			}
+			if err := tab.Set(event.ID(name), p); err != nil {
+				return err
+			}
+			if err := skipToEnd(dec); err != nil {
+				return err
+			}
+		case xml.EndElement:
+			return nil
+		case xml.CharData:
+			if len(bytes.TrimSpace(t)) > 0 {
+				return errors.New("xmlio: stray text in <events>")
+			}
+		}
+	}
+}
+
+// nextStart advances to the next StartElement, skipping whitespace,
+// comments and processing instructions.
+func nextStart(dec *xml.Decoder) (xml.StartElement, error) {
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return xml.StartElement{}, fmt.Errorf("xmlio: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			return t, nil
+		case xml.CharData:
+			if len(bytes.TrimSpace(t)) > 0 {
+				return xml.StartElement{}, errors.New("xmlio: unexpected text before element")
+			}
+		case xml.EndElement:
+			return xml.StartElement{}, errors.New("xmlio: unexpected end element")
+		}
+	}
+}
+
+// skipToEnd consumes tokens until the end of the current element.
+func skipToEnd(dec *xml.Decoder) error {
+	depth := 0
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return fmt.Errorf("xmlio: %w", err)
+		}
+		switch tok.(type) {
+		case xml.StartElement:
+			depth++
+		case xml.EndElement:
+			if depth == 0 {
+				return nil
+			}
+			depth--
+		}
+	}
+}
+
+// --- internal: encoding ---------------------------------------------------
+
+// checkName rejects labels that cannot be XML element names.
+func checkName(label string) error {
+	if label == "" {
+		return errors.New("xmlio: empty label")
+	}
+	for i, r := range label {
+		ok := r == '_' || r == '-' || r == '.' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0) || r > 127
+		if !ok || (i == 0 && (r == '-' || r == '.')) {
+			return fmt.Errorf("xmlio: label %q is not a valid XML element name", label)
+		}
+	}
+	return nil
+}
+
+func encodeData(enc *xml.Encoder, n *tree.Node) error {
+	if err := checkName(n.Label); err != nil {
+		return err
+	}
+	start := xml.StartElement{Name: xml.Name{Local: n.Label}}
+	if err := enc.EncodeToken(start); err != nil {
+		return err
+	}
+	if n.Value != "" {
+		if err := enc.EncodeToken(xml.CharData(n.Value)); err != nil {
+			return err
+		}
+	}
+	for _, c := range n.Children {
+		if err := encodeData(enc, c); err != nil {
+			return err
+		}
+	}
+	return enc.EncodeToken(start.End())
+}
+
+func encodeFuzzy(enc *xml.Encoder, n *fuzzy.Node) error {
+	if err := checkName(n.Label); err != nil {
+		return err
+	}
+	start := xml.StartElement{Name: xml.Name{Local: n.Label}}
+	if c := n.Cond.Normalize(); len(c) > 0 {
+		start.Attr = append(start.Attr, xml.Attr{
+			Name:  xml.Name{Local: CondAttr},
+			Value: c.String(),
+		})
+	}
+	if err := enc.EncodeToken(start); err != nil {
+		return err
+	}
+	if n.Value != "" {
+		if err := enc.EncodeToken(xml.CharData(n.Value)); err != nil {
+			return err
+		}
+	}
+	for _, c := range n.Children {
+		if err := encodeFuzzy(enc, c); err != nil {
+			return err
+		}
+	}
+	return enc.EncodeToken(start.End())
+}

@@ -1,0 +1,281 @@
+// Package xpath compiles a standard XPath subset into TPWJ queries. The
+// paper describes its query language as "a standard subset of XQuery"
+// and its implementation as a compilation onto an XQuery engine; this
+// package provides the same front end in reverse: familiar path syntax
+// in, pattern queries out.
+//
+// Supported grammar:
+//
+//	xpath     := ("/" | "//") step (("/" | "//") step)*
+//	step      := nametest predicate*
+//	nametest  := NAME | "*"
+//	predicate := "[" pred "]"
+//	pred      := relpath
+//	           | relpath "=" literal
+//	           | "." "=" literal
+//	           | "not(" pred ")"
+//	relpath   := ["//"] step (("/" | "//") step)*
+//	literal   := 'text' | "text"
+//
+// "/A/B" anchors at the document root; "//B" starts anywhere.
+// Predicates test existence of a relative path, optionally with a value
+// comparison on its final step; "not(...)" compiles to a forbidden
+// (negated) sub-pattern. The node selected by the final step of the main
+// path is bound to the variable "result".
+//
+// Examples:
+//
+//	/A/B                      ≡  A(B $result)
+//	//person[name='Alice']    ≡  //person $result(name=Alice)
+//	/A//C[D][not(E)]          ≡  A(//C $result(D, !E))
+//	//B[.='foo']              ≡  //B=foo $result
+package xpath
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"repro/internal/tpwj"
+)
+
+// ResultVar is the variable bound to the main path's final step.
+const ResultVar = "result"
+
+// Compile parses the XPath subset and returns the equivalent TPWJ query.
+func Compile(s string) (*tpwj.Query, error) {
+	p := &parser{input: s}
+	p.skipSpace()
+	first, err := p.eatAxis()
+	if err != nil {
+		return nil, err
+	}
+	root, last, err := p.parsePath(first)
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.input) {
+		return nil, p.errf("trailing input")
+	}
+	last.Var = ResultVar
+	q := tpwj.NewQuery(root)
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustCompile is Compile panicking on error; for constant inputs.
+func MustCompile(s string) *tpwj.Query {
+	q, err := Compile(s)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	input string
+	pos   int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("xpath: parse error at offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.input) && (p.input[p.pos] == ' ' || p.input[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos < len(p.input) {
+		return p.input[p.pos]
+	}
+	return 0
+}
+
+// eatAxis consumes a mandatory "/" or "//" and reports whether the
+// descendant axis was chosen.
+func (p *parser) eatAxis() (bool, error) {
+	if p.peek() != '/' {
+		return false, p.errf("expected '/' or '//'")
+	}
+	p.pos++
+	if p.peek() == '/' {
+		p.pos++
+		return true, nil
+	}
+	return false, nil
+}
+
+// parsePath parses step ("/" step)* and returns the chain's root and
+// final node. firstDesc is the axis of the first step.
+func (p *parser) parsePath(firstDesc bool) (root, last *tpwj.PNode, err error) {
+	desc := firstDesc
+	for {
+		step, err := p.parseStep(desc)
+		if err != nil {
+			return nil, nil, err
+		}
+		if root == nil {
+			root = step
+		} else {
+			last.Add(step)
+		}
+		last = step
+		p.skipSpace()
+		if p.peek() != '/' {
+			return root, last, nil
+		}
+		desc, err = p.eatAxis()
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+}
+
+func (p *parser) parseStep(desc bool) (*tpwj.PNode, error) {
+	p.skipSpace()
+	var label string
+	if p.peek() == '*' {
+		p.pos++
+		label = tpwj.Wildcard
+	} else {
+		var err error
+		label, err = p.parseName()
+		if err != nil {
+			return nil, err
+		}
+	}
+	n := &tpwj.PNode{Label: label, Desc: desc}
+	for {
+		p.skipSpace()
+		if p.peek() != '[' {
+			return n, nil
+		}
+		p.pos++
+		if err := p.parsePredicate(n); err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.peek() != ']' {
+			return nil, p.errf("expected ']'")
+		}
+		p.pos++
+	}
+}
+
+// parsePredicate attaches one predicate to n.
+func (p *parser) parsePredicate(n *tpwj.PNode) error {
+	p.skipSpace()
+	if strings.HasPrefix(p.input[p.pos:], "not(") {
+		p.pos += len("not(")
+		branch, err := p.parsePredicateBranch()
+		if err != nil {
+			return err
+		}
+		p.skipSpace()
+		if p.peek() != ')' {
+			return p.errf("expected ')' after not(...)")
+		}
+		p.pos++
+		branch.Forbidden = true
+		n.Add(branch)
+		return nil
+	}
+	if p.peek() == '.' {
+		// Value test on the current node: . = 'literal'.
+		p.pos++
+		p.skipSpace()
+		if p.peek() != '=' {
+			return p.errf("expected '=' after '.'")
+		}
+		p.pos++
+		v, err := p.parseLiteral()
+		if err != nil {
+			return err
+		}
+		n.Value, n.HasValue = v, true
+		return nil
+	}
+	branch, err := p.parsePredicateBranch()
+	if err != nil {
+		return err
+	}
+	n.Add(branch)
+	return nil
+}
+
+// parsePredicateBranch parses a relative path, optionally followed by a
+// value comparison on its final step, returning the branch's root.
+func (p *parser) parsePredicateBranch() (*tpwj.PNode, error) {
+	p.skipSpace()
+	desc := false
+	if p.peek() == '/' {
+		var err error
+		desc, err = p.eatAxis()
+		if err != nil {
+			return nil, err
+		}
+		if !desc {
+			return nil, p.errf("absolute paths are not allowed in predicates; use '//' or a bare name")
+		}
+	}
+	root, last, err := p.parsePath(desc)
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.peek() == '=' {
+		p.pos++
+		v, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		last.Value, last.HasValue = v, true
+	}
+	return root, nil
+}
+
+func (p *parser) parseName() (string, error) {
+	start := p.pos
+	for p.pos < len(p.input) {
+		r := rune(p.input[p.pos])
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' || r == '.' {
+			// '.' only allowed after the first character to keep the
+			// "." value test unambiguous.
+			if r == '.' && p.pos == start {
+				break
+			}
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return "", p.errf("expected name")
+	}
+	return p.input[start:p.pos], nil
+}
+
+func (p *parser) parseLiteral() (string, error) {
+	p.skipSpace()
+	quote := p.peek()
+	if quote != '\'' && quote != '"' {
+		return "", p.errf("expected quoted literal")
+	}
+	p.pos++
+	start := p.pos
+	for p.pos < len(p.input) && p.input[p.pos] != quote {
+		p.pos++
+	}
+	if p.pos == len(p.input) {
+		return "", p.errf("unterminated literal")
+	}
+	v := p.input[start:p.pos]
+	p.pos++
+	return v, nil
+}

@@ -1,0 +1,275 @@
+// Package xupdate implements the XML update-transaction language of the
+// warehouse, in the spirit of the XUpdate syntax the paper's
+// implementation used (slide 16: "updates expressed in XUpdate").
+//
+// A transaction document looks like:
+//
+//	<transaction confidence="0.9" event="w3">
+//	  <where>A $a(B $b, C $c)</where>
+//	  <insert into="$a"><D>value</D></insert>
+//	  <delete select="$c"/>
+//	</transaction>
+//
+// The <where> element carries the TPWJ query in the textual syntax of the
+// tpwj package; <insert into="$v"> carries one XML subtree to insert as a
+// child of the node bound to $v; <delete select="$v"/> deletes the
+// subtree rooted at the node bound to $v. The optional event attribute
+// names the confidence event minted on fuzzy application. Several
+// transactions can be grouped under <transactions>.
+package xupdate
+
+import (
+	"bytes"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/event"
+	"repro/internal/tpwj"
+	"repro/internal/update"
+	"repro/internal/xmlio"
+)
+
+// ReadTransaction parses one <transaction> document.
+func ReadTransaction(r io.Reader) (*update.Transaction, error) {
+	dec := xml.NewDecoder(r)
+	start, err := nextStart(dec)
+	if err != nil {
+		return nil, err
+	}
+	if start.Name.Local != "transaction" {
+		return nil, fmt.Errorf("xupdate: expected <transaction>, found <%s>", start.Name.Local)
+	}
+	return readTransactionFrom(dec, start)
+}
+
+// ParseTransaction parses one <transaction> from a byte slice.
+func ParseTransaction(data []byte) (*update.Transaction, error) {
+	return ReadTransaction(bytes.NewReader(data))
+}
+
+// ReadTransactions parses a <transactions> document into its list of
+// transactions (an empty list is allowed).
+func ReadTransactions(r io.Reader) ([]*update.Transaction, error) {
+	dec := xml.NewDecoder(r)
+	start, err := nextStart(dec)
+	if err != nil {
+		return nil, err
+	}
+	if start.Name.Local != "transactions" {
+		return nil, fmt.Errorf("xupdate: expected <transactions>, found <%s>", start.Name.Local)
+	}
+	var out []*update.Transaction
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("xupdate: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if t.Name.Local != "transaction" {
+				return nil, fmt.Errorf("xupdate: unexpected <%s> in <transactions>", t.Name.Local)
+			}
+			tx, err := readTransactionFrom(dec, t)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, tx)
+		case xml.EndElement:
+			return out, nil
+		case xml.CharData:
+			if len(bytes.TrimSpace(t)) > 0 {
+				return nil, errors.New("xupdate: stray text in <transactions>")
+			}
+		}
+	}
+}
+
+func readTransactionFrom(dec *xml.Decoder, start xml.StartElement) (*update.Transaction, error) {
+	tx := &update.Transaction{Conf: 1}
+	for _, a := range start.Attr {
+		switch a.Name.Local {
+		case "confidence":
+			c, err := strconv.ParseFloat(a.Value, 64)
+			if err != nil {
+				return nil, fmt.Errorf("xupdate: bad confidence %q", a.Value)
+			}
+			tx.Conf = c
+		case "event":
+			tx.ConfEvent = event.ID(a.Value)
+		default:
+			return nil, fmt.Errorf("xupdate: unknown attribute %q on <transaction>", a.Name.Local)
+		}
+	}
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("xupdate: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			switch t.Name.Local {
+			case "where":
+				text, err := elementText(dec)
+				if err != nil {
+					return nil, err
+				}
+				q, err := tpwj.ParseQuery(strings.TrimSpace(text))
+				if err != nil {
+					return nil, fmt.Errorf("xupdate: in <where>: %w", err)
+				}
+				tx.Query = q
+			case "insert":
+				varName, err := varAttr(t, "into")
+				if err != nil {
+					return nil, err
+				}
+				subtree, err := xmlio.ReadSubtree(dec)
+				if err != nil {
+					return nil, fmt.Errorf("xupdate: in <insert>: %w", err)
+				}
+				if err := skipToEnd(dec); err != nil { // consume </insert>
+					return nil, err
+				}
+				tx.Ops = append(tx.Ops, update.Insert(varName, subtree))
+			case "delete":
+				varName, err := varAttr(t, "select")
+				if err != nil {
+					return nil, err
+				}
+				if err := skipToEnd(dec); err != nil {
+					return nil, err
+				}
+				tx.Ops = append(tx.Ops, update.Delete(varName))
+			default:
+				return nil, fmt.Errorf("xupdate: unexpected <%s> in <transaction>", t.Name.Local)
+			}
+		case xml.EndElement:
+			if tx.Query == nil {
+				return nil, errors.New("xupdate: <transaction> without <where>")
+			}
+			if err := tx.Validate(); err != nil {
+				return nil, err
+			}
+			return tx, nil
+		case xml.CharData:
+			if len(bytes.TrimSpace(t)) > 0 {
+				return nil, errors.New("xupdate: stray text in <transaction>")
+			}
+		}
+	}
+}
+
+// varAttr extracts a variable reference ("$v" or "v") from the given
+// attribute.
+func varAttr(start xml.StartElement, attr string) (string, error) {
+	for _, a := range start.Attr {
+		if a.Name.Local == attr {
+			return strings.TrimPrefix(a.Value, "$"), nil
+		}
+	}
+	return "", fmt.Errorf("xupdate: <%s> missing %q attribute", start.Name.Local, attr)
+}
+
+// elementText collects the text content of the current element up to its
+// end tag, rejecting child elements.
+func elementText(dec *xml.Decoder) (string, error) {
+	var b strings.Builder
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return "", fmt.Errorf("xupdate: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.CharData:
+			b.Write(t)
+		case xml.EndElement:
+			return b.String(), nil
+		case xml.StartElement:
+			return "", fmt.Errorf("xupdate: unexpected <%s> inside text element", t.Name.Local)
+		}
+	}
+}
+
+func nextStart(dec *xml.Decoder) (xml.StartElement, error) {
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return xml.StartElement{}, fmt.Errorf("xupdate: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			return t, nil
+		case xml.CharData:
+			if len(bytes.TrimSpace(t)) > 0 {
+				return xml.StartElement{}, errors.New("xupdate: unexpected text before element")
+			}
+		}
+	}
+}
+
+func skipToEnd(dec *xml.Decoder) error {
+	depth := 0
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return fmt.Errorf("xupdate: %w", err)
+		}
+		switch tok.(type) {
+		case xml.StartElement:
+			depth++
+		case xml.EndElement:
+			if depth == 0 {
+				return nil
+			}
+			depth--
+		}
+	}
+}
+
+// WriteTransaction serializes a transaction in the format accepted by
+// ReadTransaction.
+func WriteTransaction(w io.Writer, tx *update.Transaction) error {
+	if err := tx.Validate(); err != nil {
+		return err
+	}
+	var b bytes.Buffer
+	fmt.Fprintf(&b, `<transaction confidence="%s"`, strconv.FormatFloat(tx.Conf, 'g', -1, 64))
+	if tx.ConfEvent != "" {
+		fmt.Fprintf(&b, ` event="%s"`, tx.ConfEvent)
+	}
+	b.WriteString(">\n  <where>")
+	if err := xml.EscapeText(&b, []byte(tpwj.FormatQuery(tx.Query))); err != nil {
+		return err
+	}
+	b.WriteString("</where>\n")
+	for _, op := range tx.Ops {
+		switch op.Kind {
+		case update.OpInsert:
+			fmt.Fprintf(&b, `  <insert into="$%s">`, op.Var)
+			sub, err := xmlio.TreeXML(op.Subtree)
+			if err != nil {
+				return err
+			}
+			b.Write(sub)
+			b.WriteString("</insert>\n")
+		case update.OpDelete:
+			fmt.Fprintf(&b, `  <delete select="$%s"/>`+"\n", op.Var)
+		}
+	}
+	b.WriteString("</transaction>\n")
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// TransactionXML returns the XML serialization of a transaction.
+func TransactionXML(tx *update.Transaction) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := WriteTransaction(&buf, tx); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,179 @@
+package xupdate
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/fuzzy"
+	"repro/internal/tpwj"
+	"repro/internal/tree"
+	"repro/internal/update"
+)
+
+const slide15TX = `<transaction confidence="0.9" event="w3">
+  <where>A $a(B $b, C $c)</where>
+  <insert into="$a"><D/></insert>
+  <delete select="$c"/>
+</transaction>`
+
+func TestParseTransactionSlide15(t *testing.T) {
+	tx, err := ParseTransaction([]byte(slide15TX))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tx.Conf != 0.9 {
+		t.Errorf("Conf = %v", tx.Conf)
+	}
+	if tx.ConfEvent != "w3" {
+		t.Errorf("ConfEvent = %q", tx.ConfEvent)
+	}
+	if got := tpwj.FormatQuery(tx.Query); got != "A $a(B $b, C $c)" {
+		t.Errorf("query = %q", got)
+	}
+	if len(tx.Ops) != 2 {
+		t.Fatalf("ops = %d", len(tx.Ops))
+	}
+	if tx.Ops[0].Kind != update.OpInsert || tx.Ops[0].Var != "a" ||
+		!tree.Equal(tx.Ops[0].Subtree, tree.MustParse("D")) {
+		t.Errorf("op0 = %+v", tx.Ops[0])
+	}
+	if tx.Ops[1].Kind != update.OpDelete || tx.Ops[1].Var != "c" {
+		t.Errorf("op1 = %+v", tx.Ops[1])
+	}
+}
+
+// TestParsedTransactionReproducesSlide15 wires the parsed XUpdate
+// document through ApplyFuzzy and checks the slide-15 output.
+func TestParsedTransactionReproducesSlide15(t *testing.T) {
+	tx, err := ParseTransaction([]byte(slide15TX))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := fuzzy.MustParseTree("A(B[w1], C[w2])",
+		map[event.ID]float64{"w1": 0.8, "w2": 0.7})
+	got, _, err := tx.ApplyFuzzy(ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fuzzy.MustParse("A(B[w1], C[!w1 w2], C[w1 w2 !w3], D[w1 w2 w3])")
+	if !fuzzy.Equal(got.Root, want) {
+		t.Errorf("result = %s", fuzzy.Format(got.Root))
+	}
+}
+
+func TestParseTransactionDefaults(t *testing.T) {
+	tx, err := ParseTransaction([]byte(
+		`<transaction><where>A(B $x)</where><delete select="x"/></transaction>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tx.Conf != 1 {
+		t.Errorf("default confidence = %v, want 1", tx.Conf)
+	}
+	if tx.Ops[0].Var != "x" {
+		t.Errorf("variable without $ prefix: %q", tx.Ops[0].Var)
+	}
+}
+
+func TestParseTransactionInsertWithContent(t *testing.T) {
+	tx, err := ParseTransaction([]byte(`<transaction confidence="0.5">
+	  <where>A(B $x)</where>
+	  <insert into="$x"><person name="Alice"><city>Paris</city></person></insert>
+	</transaction>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tree.MustParse("person(name:Alice, city:Paris)")
+	if !tree.Equal(tx.Ops[0].Subtree, want) {
+		t.Errorf("subtree = %s", tree.Format(tx.Ops[0].Subtree))
+	}
+}
+
+func TestParseTransactionErrors(t *testing.T) {
+	cases := []struct {
+		name, xml string
+	}{
+		{"wrong root", `<nope/>`},
+		{"no where", `<transaction><delete select="x"/></transaction>`},
+		{"bad query", `<transaction><where>A((</where><delete select="x"/></transaction>`},
+		{"bad confidence", `<transaction confidence="zzz"><where>A $x</where><delete select="x"/></transaction>`},
+		{"confidence out of range", `<transaction confidence="2"><where>A(B $x)</where><delete select="x"/></transaction>`},
+		{"unknown attribute", `<transaction bogus="1"><where>A(B $x)</where><delete select="x"/></transaction>`},
+		{"insert without into", `<transaction><where>A(B $x)</where><insert><D/></insert></transaction>`},
+		{"delete without select", `<transaction><where>A(B $x)</where><delete/></transaction>`},
+		{"unbound variable", `<transaction><where>A(B $x)</where><delete select="y"/></transaction>`},
+		{"no ops", `<transaction><where>A(B $x)</where></transaction>`},
+		{"stray element", `<transaction><where>A(B $x)</where><bogus/><delete select="x"/></transaction>`},
+		{"element in where", `<transaction><where><q/></where><delete select="x"/></transaction>`},
+		{"stray text", `<transaction>hi<where>A(B $x)</where><delete select="x"/></transaction>`},
+		{"mixed insert content", `<transaction><where>A(B $x)</where><insert into="$x"><D>t<E/></D></insert></transaction>`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseTransaction([]byte(tc.xml)); err == nil {
+				t.Errorf("accepted %q", tc.xml)
+			}
+		})
+	}
+}
+
+func TestReadTransactions(t *testing.T) {
+	doc := `<transactions>
+	  <transaction confidence="0.5"><where>A(B $x)</where><delete select="$x"/></transaction>
+	  <transaction confidence="0.6"><where>A(C $y)</where><insert into="$y"><N/></insert></transaction>
+	</transactions>`
+	txs, err := ReadTransactions(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txs) != 2 {
+		t.Fatalf("transactions = %d", len(txs))
+	}
+	if txs[0].Conf != 0.5 || txs[1].Conf != 0.6 {
+		t.Errorf("confidences = %v, %v", txs[0].Conf, txs[1].Conf)
+	}
+}
+
+func TestReadTransactionsErrors(t *testing.T) {
+	if _, err := ReadTransactions(strings.NewReader(`<transaction/>`)); err == nil {
+		t.Error("wrong root accepted")
+	}
+	if _, err := ReadTransactions(strings.NewReader(`<transactions><bogus/></transactions>`)); err == nil {
+		t.Error("stray element accepted")
+	}
+}
+
+func TestWriteTransactionRoundTrip(t *testing.T) {
+	orig := update.New(
+		tpwj.MustParseQuery("A $a(B $b, C $c) where $b = $c"),
+		0.75,
+		update.Insert("a", tree.MustParse("D(E:val)")),
+		update.Delete("c"),
+	)
+	orig.ConfEvent = "w9"
+	data, err := TransactionXML(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseTransaction(data)
+	if err != nil {
+		t.Fatalf("re-parse of %s: %v", data, err)
+	}
+	if back.Conf != orig.Conf || back.ConfEvent != orig.ConfEvent {
+		t.Errorf("conf round trip: %v %q", back.Conf, back.ConfEvent)
+	}
+	if tpwj.FormatQuery(back.Query) != tpwj.FormatQuery(orig.Query) {
+		t.Errorf("query round trip: %q", tpwj.FormatQuery(back.Query))
+	}
+	if len(back.Ops) != 2 || !tree.Equal(back.Ops[0].Subtree, orig.Ops[0].Subtree) {
+		t.Errorf("ops round trip: %+v", back.Ops)
+	}
+}
+
+func TestWriteTransactionValidates(t *testing.T) {
+	bad := update.New(tpwj.MustParseQuery("A(B $x)"), 2, update.Delete("x"))
+	if _, err := TransactionXML(bad); err == nil {
+		t.Error("invalid transaction serialized")
+	}
+}

@@ -1,0 +1,208 @@
+package fuzzyxml_test
+
+// paper_test.go walks every worked example and theorem of the paper
+// through the public API, in slide order — the one-file review of the
+// reproduction's fidelity. Package-internal tests cover the same ground
+// in more depth; this file is the top-level index.
+
+import (
+	"math"
+	"testing"
+
+	fuzzyxml "repro"
+)
+
+// Slide 5: the data model — finite unordered trees, duplicate siblings
+// allowed, no mixed content.
+func TestPaperSlide5DataModel(t *testing.T) {
+	doc := fuzzyxml.MustParseTree("A(B:foo, B:foo, E(C:bar), D(F:nee))")
+	reordered := fuzzyxml.MustParseTree("A(D(F:nee), B:foo, E(C:bar), B:foo)")
+	if fuzzyxml.FormatTree(doc) == "" {
+		t.Fatal("empty format")
+	}
+	// Unordered equality with bag semantics.
+	onceB := fuzzyxml.MustParseTree("A(B:foo, E(C:bar), D(F:nee))")
+	if !treeEqual(doc, reordered) {
+		t.Error("sibling order must not matter")
+	}
+	if treeEqual(doc, onceB) {
+		t.Error("duplicate siblings must count (bag semantics)")
+	}
+}
+
+func treeEqual(a, b *fuzzyxml.Tree) bool {
+	s1, _ := fuzzyxml.EvalQueryOnTree(fuzzyxml.MustParseQuery("//* $x"), a, fuzzyxml.MinimalSubtree)
+	_ = s1
+	// Equality through the canonical form exposed by formatting of the
+	// facade is not provided; compare via possible-worlds containers.
+	w1 := &fuzzyxml.Worlds{}
+	w1.Add(a, 1)
+	w2 := &fuzzyxml.Worlds{}
+	w2.Add(b, 1)
+	return w1.Equal(w2, 1e-12)
+}
+
+// Slide 6: TPWJ queries — the example shape with a value join.
+func TestPaperSlide6Query(t *testing.T) {
+	q := fuzzyxml.MustParseQuery("A(B $x, C(//D=val $y)) where $x = $y")
+	doc := fuzzyxml.MustParseTree(`A(B:val, C(E(D:val)))`)
+	answers, err := fuzzyxml.EvalQueryOnTree(q, doc, fuzzyxml.MinimalSubtree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 1 {
+		t.Fatalf("answers = %d", len(answers))
+	}
+	// The minimal subtree contains the join witnesses and their paths.
+	want := fuzzyxml.MustParseTree("A(B:val, C(E(D:val)))")
+	if !treeEqual(answers[0], want) {
+		t.Errorf("answer = %s", fuzzyxml.FormatTree(answers[0]))
+	}
+}
+
+// Slide 9: the possible-worlds example.
+func TestPaperSlide9Worlds(t *testing.T) {
+	doc := fuzzyxml.MustParseFuzzy("A(B[w1], C(D[w2]))",
+		map[fuzzyxml.EventID]float64{"w1": 0.8, "w2": 0.7})
+	pw, err := fuzzyxml.PossibleWorlds(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for text, p := range map[string]float64{
+		"A(C)":       0.06,
+		"A(C(D))":    0.14,
+		"A(B, C)":    0.24,
+		"A(B, C(D))": 0.56,
+	} {
+		if got := pw.ProbOf(fuzzyxml.MustParseTree(text)); math.Abs(got-p) > 1e-9 {
+			t.Errorf("P(%s) = %v, want %v", text, got, p)
+		}
+	}
+}
+
+// Slide 12: fuzzy-tree semantics and the expressiveness theorem.
+func TestPaperSlide12SemanticsAndExpressiveness(t *testing.T) {
+	doc := fuzzyxml.MustParseFuzzy("A(B[w1 !w2], C(D[w2]))",
+		map[fuzzyxml.EventID]float64{"w1": 0.8, "w2": 0.7})
+	pw, err := fuzzyxml.PossibleWorlds(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pw.Len() != 3 {
+		t.Fatalf("worlds = %d, want 3", pw.Len())
+	}
+	for text, p := range map[string]float64{
+		"A(C)":    0.06,
+		"A(C(D))": 0.70,
+		"A(B, C)": 0.24,
+	} {
+		if got := pw.ProbOf(fuzzyxml.MustParseTree(text)); math.Abs(got-p) > 1e-9 {
+			t.Errorf("P(%s) = %v, want %v", text, got, p)
+		}
+	}
+	// Expressiveness: encode the set back into a fuzzy tree.
+	enc, err := fuzzyxml.FromWorlds(pw, "e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := fuzzyxml.PossibleWorlds(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(pw, 1e-9) {
+		t.Error("expressiveness round trip failed")
+	}
+}
+
+// Slide 13: queries on fuzzy trees commute with the semantics.
+func TestPaperSlide13QueryCommutation(t *testing.T) {
+	doc := fuzzyxml.MustParseFuzzy("A(B[w1 !w2], C(D[w2]))",
+		map[fuzzyxml.EventID]float64{"w1": 0.8, "w2": 0.7})
+	q := fuzzyxml.MustParseQuery("A(B)")
+	direct, err := fuzzyxml.EvalQuery(q, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw, _ := fuzzyxml.PossibleWorlds(doc)
+	viaWorlds, err := fuzzyxml.EvalQueryOnWorlds(q, pw, fuzzyxml.MinimalSubtree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct) != viaWorlds.Len() {
+		t.Fatalf("count mismatch: %d vs %d", len(direct), viaWorlds.Len())
+	}
+	for _, a := range direct {
+		if math.Abs(a.P-viaWorlds.ProbOf(a.Tree)) > 1e-9 {
+			t.Errorf("P(%s): %v vs %v", fuzzyxml.FormatTree(a.Tree), a.P, viaWorlds.ProbOf(a.Tree))
+		}
+	}
+}
+
+// Slides 14–15: updates commute; the conditional-replacement example is
+// reproduced literally.
+func TestPaperSlide15Update(t *testing.T) {
+	doc := fuzzyxml.MustParseFuzzy("A(B[w1], C[w2])",
+		map[fuzzyxml.EventID]float64{"w1": 0.8, "w2": 0.7})
+	tx := fuzzyxml.NewTransaction(
+		fuzzyxml.MustParseQuery("A $a(B $b, C $c)"), 0.9,
+		fuzzyxml.InsertOp("a", fuzzyxml.MustParseTree("D")),
+		fuzzyxml.DeleteOp("c"))
+	tx.ConfEvent = "w3"
+
+	updated, stats, err := fuzzyxml.ApplyUpdate(tx, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fuzzyxml.FormatFuzzy(updated.Root); got != "A(B[w1], C[!w1 w2], C[w1 w2 !w3], D[w1 w2 w3])" {
+		t.Errorf("slide-15 output = %s", got)
+	}
+	if stats.Copies != 2 || stats.Inserted != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+
+	// Commutation (slide 14).
+	viaFuzzy, err := fuzzyxml.PossibleWorlds(updated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw, _ := fuzzyxml.PossibleWorlds(doc)
+	viaWorlds, err := fuzzyxml.ApplyUpdateToWorlds(tx, pw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !viaFuzzy.Equal(viaWorlds, 1e-9) {
+		t.Error("update commutation failed")
+	}
+}
+
+// Slide 19 (perspectives): the implemented extensions in one sweep.
+func TestPaperSlide19Extensions(t *testing.T) {
+	doc := fuzzyxml.MustParseFuzzy("A(B[w1], C[w2])",
+		map[fuzzyxml.EventID]float64{"w1": 0.8, "w2": 0.7})
+
+	// Negation.
+	neg, err := fuzzyxml.EvalQuery(fuzzyxml.MustParseQuery("A $x(C, !B)"), doc)
+	if err != nil || len(neg) != 1 || math.Abs(neg[0].P-0.7*0.2) > 1e-12 {
+		t.Errorf("negation: %v, %v", neg, err)
+	}
+
+	// Limited order.
+	ord, err := fuzzyxml.EvalQuery(fuzzyxml.MustParseQuery("ordered A(B $x, C $y)"), doc)
+	if err != nil || len(ord) != 1 {
+		t.Errorf("ordered: %v, %v", ord, err)
+	}
+
+	// Simplification.
+	noisy := fuzzyxml.MustParseFuzzy("A(B[w1 !w1])", map[fuzzyxml.EventID]float64{"w1": 0.5})
+	if stats := fuzzyxml.Simplify(noisy); stats.NodesRemoved != 1 {
+		t.Errorf("simplify stats = %+v", stats)
+	}
+
+	// Query optimization preserves answers.
+	opt := fuzzyxml.OptimizeQuery(fuzzyxml.MustParseQuery("A(//B $b, //C $c)"), doc.Underlying())
+	a1, _ := fuzzyxml.EvalQuery(fuzzyxml.MustParseQuery("A(//B $b, //C $c)"), doc)
+	a2, _ := fuzzyxml.EvalQuery(opt, doc)
+	if len(a1) != len(a2) {
+		t.Error("optimization changed fuzzy answers")
+	}
+}
