@@ -7,6 +7,7 @@ import (
 	"repro/internal/event"
 	"repro/internal/fuzzy"
 	"repro/internal/infer"
+	"repro/internal/server"
 	"repro/internal/tpwj"
 	"repro/internal/tree"
 	"repro/internal/update"
@@ -74,7 +75,34 @@ type (
 	Warehouse = warehouse.Warehouse
 	// WarehouseInfo summarizes a stored document.
 	WarehouseInfo = warehouse.Info
+	// Server is an http.Handler exposing a warehouse over an HTTP/JSON
+	// API with per-document concurrency and a query-result cache.
+	Server = server.Server
+	// ServerOptions configures NewServer (cache size, request logging).
+	ServerOptions = server.Options
+	// ServerStats is the GET /stats response: request counters and
+	// cache hit rate.
+	ServerStats = server.StatsSnapshot
 )
+
+// Warehouse error categories, for mapping failures to responses; test
+// with errors.Is.
+var (
+	// ErrDocNotFound reports an operation on a missing document.
+	ErrDocNotFound = warehouse.ErrNotFound
+	// ErrDocExists reports creating a document name already in use.
+	ErrDocExists = warehouse.ErrExists
+	// ErrInvalidDocName reports a document name outside [A-Za-z0-9_-].
+	ErrInvalidDocName = warehouse.ErrInvalidName
+	// ErrWarehouseClosed reports use of a warehouse after Close.
+	ErrWarehouseClosed = warehouse.ErrClosed
+)
+
+// NewServer builds an HTTP handler serving the warehouse: document
+// CRUD, TPWJ/XPath queries (exact or Monte-Carlo), probabilistic
+// updates, simplification and admin routes. See repro/internal/server
+// for the route list.
+func NewServer(w *Warehouse, opts ServerOptions) *Server { return server.New(w, opts) }
 
 // Answer materialization modes.
 const (

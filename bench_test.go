@@ -7,8 +7,12 @@
 package fuzzyxml_test
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"testing"
 
@@ -413,5 +417,85 @@ func BenchmarkAblationCanonicalNormalize(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pw.Normalize()
+	}
+}
+
+// --- Server: HTTP query throughput ----------------------------------------
+
+// BenchmarkServerQuery measures end-to-end HTTP query latency against
+// pxserve's handler stack: sequential and parallel clients, with the
+// result cache cold (disabled, every request evaluates) and warm (the
+// repeated identical query is served from the LRU).
+func BenchmarkServerQuery(b *testing.B) {
+	newServer := func(b *testing.B, cacheSize int) *httptest.Server {
+		b.Helper()
+		wh, err := fuzzyxml.OpenWarehouse(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := wh.Create("doc", exp.SectionDoc(8)); err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(fuzzyxml.NewServer(wh, fuzzyxml.ServerOptions{CacheSize: cacheSize}))
+		b.Cleanup(func() {
+			ts.Close()
+			wh.Close()
+		})
+		return ts
+	}
+	body := []byte(`{"query":"A(//L $x)"}`)
+	post := func(ts *httptest.Server) error {
+		resp, err := http.Post(ts.URL+"/docs/doc/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return nil
+	}
+	for _, bc := range []struct {
+		name  string
+		cache int
+	}{
+		{"cold", -1},
+		{"warm", 1024},
+	} {
+		b.Run("sequential/"+bc.name, func(b *testing.B) {
+			ts := newServer(b, bc.cache)
+			if bc.cache > 0 {
+				// Prime the cache so every timed iteration is a hit.
+				if err := post(ts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := post(ts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("parallel/"+bc.name, func(b *testing.B) {
+			ts := newServer(b, bc.cache)
+			if bc.cache > 0 {
+				if err := post(ts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if err := post(ts); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
 	}
 }

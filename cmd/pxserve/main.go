@@ -1,0 +1,72 @@
+// Command pxserve serves a probabilistic XML warehouse over HTTP: the
+// multi-client front end of the paper's warehouse architecture. Many
+// clients can create, query and update documents concurrently;
+// operations on different documents never contend, and repeated
+// identical queries are answered from an LRU result cache.
+//
+// Usage:
+//
+//	pxserve -dir ./wh
+//	pxserve -dir ./wh -addr :9090 -cache 1024 -v
+//
+// See the package documentation of repro/internal/server for the route
+// list, and the repository README for curl examples.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	fuzzyxml "repro"
+)
+
+func main() {
+	var (
+		dir       = flag.String("dir", "", "warehouse directory (required)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		cacheSize = flag.Int("cache", 0, "query cache entries (0 = default, negative = disabled)")
+		verbose   = flag.Bool("v", false, "log every request")
+	)
+	flag.Parse()
+	if *dir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	wh, err := fuzzyxml.OpenWarehouse(*dir)
+	if err != nil {
+		log.Fatalf("pxserve: %v", err)
+	}
+	defer wh.Close()
+
+	opts := fuzzyxml.ServerOptions{CacheSize: *cacheSize}
+	if *verbose {
+		opts.Logf = log.Printf
+	}
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: fuzzyxml.NewServer(wh, opts),
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx) //nolint:errcheck
+	}()
+
+	fmt.Printf("pxserve: warehouse %s listening on %s\n", wh.Dir(), *addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("pxserve: %v", err)
+	}
+}

@@ -53,6 +53,18 @@
 // recovery. Updates can also be expressed in an XUpdate-style XML syntax
 // (ParseTransactionXML).
 //
+// # Server
+//
+// NewServer wraps a warehouse in an HTTP/JSON API (the cmd/pxserve
+// binary): document CRUD under /docs/{name}, POST query and update
+// routes accepting the TPWJ or XPath query syntaxes and the textual or
+// XUpdate transaction forms, plus simplify, stat, compact and /stats
+// admin routes. The warehouse locks per document — a striped table of
+// reader/writer lock pairs — so requests on different documents never
+// contend and queries run in parallel with the computation phase of
+// updates; repeated identical queries are answered from an LRU result
+// cache that document mutations invalidate.
+//
 // The quickest way in:
 //
 //	doc := fuzzyxml.MustParseFuzzy("A(B[w1 !w2], C(D[w2]))",

@@ -1,0 +1,136 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// queryKey identifies one cached query result: the document, the
+// canonical textual form of the query (so syntactic variants of the
+// same pattern share an entry), and the evaluation mode.
+type queryKey struct {
+	doc   string
+	query string
+	mode  string // "exact" or "mc:<samples>:<seed>"
+}
+
+// lruCache is a fixed-capacity LRU map from queryKey to the encoded
+// answers. Entries for a document are dropped when the document is
+// mutated. A capacity < 1 disables the cache entirely.
+//
+// Each document also carries a generation counter, bumped by
+// invalidateDoc. A filler reads docGen before evaluating and passes it
+// back to put, which rejects the entry when the generation moved — so
+// a slow query racing a mutation can never install a stale result.
+// The generation map is bounded: past maxGenEntries documents it is
+// reset and the epoch (folded into every docGen token) advances, which
+// voids all outstanding tokens instead of ever readmitting a stale one.
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[queryKey]*list.Element
+	gens  map[string]uint64
+	epoch uint64
+}
+
+// maxGenEntries caps the per-document generation map so churn through
+// many uniquely named documents cannot grow it forever.
+const maxGenEntries = 4096
+
+type lruEntry struct {
+	key     queryKey
+	answers []Answer
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[queryKey]*list.Element),
+		gens:  make(map[string]uint64),
+	}
+}
+
+func (c *lruCache) enabled() bool { return c.cap > 0 }
+
+// get returns the cached answers and refreshes the entry's recency.
+func (c *lruCache) get(k queryKey) ([]Answer, bool) {
+	if !c.enabled() {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).answers, true
+}
+
+// docGen returns the document's current invalidation token (epoch and
+// generation), to be passed back to put by a filler that evaluated
+// outside the lock.
+func (c *lruCache) docGen(doc string) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch<<32 | c.gens[doc]
+}
+
+// put inserts (or refreshes) an entry, evicting the least recently used
+// one beyond capacity. gen is the docGen value read before the answers
+// were computed; if the document was invalidated in between, the stale
+// entry is discarded.
+func (c *lruCache) put(k queryKey, answers []Answer, gen uint64) {
+	if !c.enabled() {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.epoch<<32|c.gens[k.doc] != gen {
+		return
+	}
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).answers = answers
+		return
+	}
+	c.items[k] = c.ll.PushFront(&lruEntry{key: k, answers: answers})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*lruEntry).key)
+	}
+}
+
+// invalidateDoc drops every entry of the named document and bumps its
+// generation. Called on update, simplify and drop. The scan is bounded
+// by the cache capacity, which is small next to the cost of the
+// mutation that triggers it.
+func (c *lruCache) invalidateDoc(doc string) {
+	if !c.enabled() {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.gens) >= maxGenEntries {
+		c.gens = make(map[string]uint64)
+		c.epoch++
+	}
+	c.gens[doc]++
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if e := el.Value.(*lruEntry); e.key.doc == doc {
+			c.ll.Remove(el)
+			delete(c.items, e.key)
+		}
+		el = next
+	}
+}
+
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

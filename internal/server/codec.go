@@ -1,0 +1,179 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/tpwj"
+	"repro/internal/tree"
+	"repro/internal/update"
+	"repro/internal/xupdate"
+)
+
+// QueryRequest is the POST /docs/{name}/query body.
+type QueryRequest struct {
+	// Query is the query text, in the TPWJ syntax by default:
+	// "A(B $x, C(//D=val $y)) where $x = $y".
+	Query string `json:"query"`
+	// Syntax selects the query language: "tpwj" (default) or "xpath".
+	Syntax string `json:"syntax,omitempty"`
+	// Mode selects probability computation: "exact" (default) or "mc"
+	// for Monte-Carlo estimation.
+	Mode string `json:"mode,omitempty"`
+	// Samples is the Monte-Carlo sample count (mode "mc" only);
+	// defaults to 1000.
+	Samples int `json:"samples,omitempty"`
+	// Seed makes Monte-Carlo estimation reproducible (mode "mc" only);
+	// defaults to 1 so identical requests are cacheable.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// Answer is one query answer: its probability, the answer tree in the
+// compact text format, and the condition under which it appears.
+type Answer struct {
+	P         float64 `json:"p"`
+	Tree      string  `json:"tree"`
+	Condition string  `json:"condition,omitempty"`
+}
+
+// QueryResponse is the POST /docs/{name}/query response body.
+type QueryResponse struct {
+	Answers []Answer `json:"answers"`
+	Count   int      `json:"count"`
+	// Cached reports whether the answers came from the result cache.
+	Cached bool `json:"cached"`
+}
+
+// UpdateOp is one elementary operation of a textual update request.
+type UpdateOp struct {
+	// Op is "insert" or "delete".
+	Op string `json:"op"`
+	// Var names the query variable the operation targets ("x" or "$x").
+	Var string `json:"var"`
+	// Tree is the inserted subtree in the compact text format
+	// ("B(C:foo)"); insert only.
+	Tree string `json:"tree,omitempty"`
+}
+
+// UpdateRequest is the POST /docs/{name}/update body. Exactly one of
+// the two forms must be used: TxXML carrying an XUpdate-style
+// <transaction> document, or the textual form (Query, Confidence, Ops).
+type UpdateRequest struct {
+	TxXML      string     `json:"tx_xml,omitempty"`
+	Query      string     `json:"query,omitempty"`
+	Confidence float64    `json:"confidence,omitempty"`
+	Ops        []UpdateOp `json:"ops,omitempty"`
+}
+
+// UpdateResponse reports what applying the transaction did.
+type UpdateResponse struct {
+	Valuations      int    `json:"valuations"`
+	Inserted        int    `json:"inserted"`
+	DeletedOutright int    `json:"deleted_outright"`
+	Copies          int    `json:"copies"`
+	Event           string `json:"event,omitempty"`
+}
+
+// SimplifyResponse reports what simplification removed.
+type SimplifyResponse struct {
+	NodesRemoved    int `json:"nodes_removed"`
+	LiteralsRemoved int `json:"literals_removed"`
+	SiblingsMerged  int `json:"siblings_merged"`
+	EventsRemoved   int `json:"events_removed"`
+}
+
+// DocInfo is the GET /docs/{name}/stat response body and the PUT
+// response body.
+type DocInfo struct {
+	Name   string `json:"name"`
+	Nodes  int    `json:"nodes"`
+	Events int    `json:"events"`
+	Worlds int64  `json:"worlds"`
+}
+
+// ListResponse is the GET /docs response body.
+type ListResponse struct {
+	Documents []string `json:"documents"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// toTransaction builds the update transaction from either request form.
+func (req *UpdateRequest) toTransaction() (*update.Transaction, error) {
+	hasXML := req.TxXML != ""
+	hasText := req.Query != "" || len(req.Ops) > 0
+	switch {
+	case hasXML && hasText:
+		return nil, errors.New("use either tx_xml or query/confidence/ops, not both")
+	case hasXML:
+		return xupdate.ParseTransaction([]byte(req.TxXML))
+	case hasText:
+		q, err := tpwj.ParseQuery(req.Query)
+		if err != nil {
+			return nil, err
+		}
+		ops := make([]update.Op, len(req.Ops))
+		for i, op := range req.Ops {
+			varName := strings.TrimPrefix(op.Var, "$")
+			switch op.Op {
+			case "insert":
+				sub, err := tree.Parse(op.Tree)
+				if err != nil {
+					return nil, fmt.Errorf("op %d: %w", i, err)
+				}
+				ops[i] = update.Insert(varName, sub)
+			case "delete":
+				ops[i] = update.Delete(varName)
+			default:
+				return nil, fmt.Errorf("op %d: unknown op %q (want insert or delete)", i, op.Op)
+			}
+		}
+		tx := update.New(q, req.Confidence, ops...)
+		if err := tx.Validate(); err != nil {
+			return nil, err
+		}
+		return tx, nil
+	default:
+		return nil, errors.New("empty update: provide tx_xml or query/confidence/ops")
+	}
+}
+
+// encodeAnswers converts evaluator answers to their wire form.
+func encodeAnswers(answers []tpwj.ProbAnswer) []Answer {
+	out := make([]Answer, len(answers))
+	for i, a := range answers {
+		out[i] = Answer{P: a.P, Tree: tree.Format(a.Tree)}
+		switch {
+		case a.Cond != nil:
+			out[i].Condition = a.Cond.String()
+		case a.Formula != nil:
+			out[i].Condition = a.Formula.String()
+		}
+	}
+	return out
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the connection is gone anyway
+}
+
+// readJSON decodes the request body into v, rejecting unknown fields.
+func readJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("invalid JSON body: %w", err)
+	}
+	return nil
+}

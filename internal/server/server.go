@@ -1,0 +1,404 @@
+// Package server exposes a warehouse.Warehouse over an HTTP/JSON API:
+// the multi-client front end of the paper's probabilistic XML warehouse
+// architecture.
+//
+// Routes:
+//
+//	GET    /docs                  list document names
+//	PUT    /docs/{name}           create a document from a <pxml> body
+//	GET    /docs/{name}           fetch the document as <pxml> XML
+//	DELETE /docs/{name}           drop the document
+//	GET    /docs/{name}/stat      node/event/world counts
+//	POST   /docs/{name}/query     evaluate a TPWJ or XPath query
+//	POST   /docs/{name}/update    apply a probabilistic transaction
+//	POST   /docs/{name}/simplify  run simplification passes
+//	POST   /admin/compact         truncate the journal
+//	GET    /stats                 request counters and cache hit rate
+//	GET    /healthz               liveness probe
+//
+// Query results are served from an LRU cache keyed by (document,
+// canonical query, mode); any mutation of a document drops its entries.
+// Errors are reported as {"error": "..."} with conventional status
+// codes (400 bad input, 404 missing document, 409 name conflict).
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"time"
+
+	"repro/internal/tpwj"
+	"repro/internal/warehouse"
+	"repro/internal/xmlio"
+	"repro/internal/xpath"
+)
+
+// DefaultCacheSize is the query-result cache capacity used when
+// Options.CacheSize is zero.
+const DefaultCacheSize = 256
+
+// DefaultMaxBodyBytes bounds request bodies (documents, queries,
+// updates) when Options.MaxBodyBytes is zero.
+const DefaultMaxBodyBytes = 64 << 20
+
+// MaxSamples bounds the Monte-Carlo sample count a single query
+// request may demand, so one client cannot monopolize the server's CPU
+// with an absurd samples value.
+const MaxSamples = 1_000_000
+
+// Options configures a Server.
+type Options struct {
+	// CacheSize is the query-result cache capacity in entries. Zero
+	// selects DefaultCacheSize; a negative value disables the cache.
+	CacheSize int
+	// MaxBodyBytes bounds request bodies. Zero selects
+	// DefaultMaxBodyBytes. Oversized requests get 413.
+	MaxBodyBytes int64
+	// Logf, when set, receives one line per request.
+	Logf func(format string, args ...any)
+}
+
+// Server is an http.Handler serving a warehouse. Create one with New.
+type Server struct {
+	wh      *warehouse.Warehouse
+	cache   *lruCache
+	stats   *stats
+	mux     *http.ServeMux
+	maxBody int64
+	logf    func(format string, args ...any)
+}
+
+// New builds a Server over an open warehouse. The caller remains
+// responsible for closing the warehouse.
+func New(wh *warehouse.Warehouse, opts Options) *Server {
+	size := opts.CacheSize
+	if size == 0 {
+		size = DefaultCacheSize
+	}
+	maxBody := opts.MaxBodyBytes
+	if maxBody == 0 {
+		maxBody = DefaultMaxBodyBytes
+	}
+	s := &Server{
+		wh:      wh,
+		cache:   newLRU(size),
+		stats:   newStats(),
+		mux:     http.NewServeMux(),
+		maxBody: maxBody,
+		logf:    opts.Logf,
+	}
+	s.route("GET /docs", s.handleList)
+	s.route("PUT /docs/{name}", s.handleCreate)
+	s.route("GET /docs/{name}", s.handleGet)
+	s.route("DELETE /docs/{name}", s.handleDrop)
+	s.route("GET /docs/{name}/stat", s.handleStat)
+	s.route("POST /docs/{name}/query", s.handleQuery)
+	s.route("POST /docs/{name}/update", s.handleUpdate)
+	s.route("POST /docs/{name}/simplify", s.handleSimplify)
+	s.route("POST /admin/compact", s.handleCompact)
+	s.route("GET /stats", s.handleStats)
+	s.route("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	s.mux.ServeHTTP(w, r)
+}
+
+// route registers a handler wrapped with stats recording and logging,
+// labeled by the route pattern.
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		d := time.Since(start)
+		s.stats.record(pattern, rec.status, d)
+		if s.logf != nil {
+			s.logf("%s %s -> %d (%s)", r.Method, r.URL.Path, rec.status, d)
+		}
+	})
+}
+
+// statusRecorder captures the response status for the stats layer.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+// errStatus maps warehouse and parse failures to HTTP status codes.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, warehouse.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, warehouse.ErrExists):
+		return http.StatusConflict
+	case errors.Is(err, warehouse.ErrInvalidName):
+		return http.StatusBadRequest
+	case errors.Is(err, warehouse.ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// bodyStatus distinguishes an oversized body (the MaxBytesReader
+// tripped — 413, back off) from malformed input (400, fix the payload).
+func bodyStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// --- document CRUD ---------------------------------------------------------
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	names, err := s.wh.List()
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	if names == nil {
+		names = []string{}
+	}
+	writeJSON(w, http.StatusOK, ListResponse{Documents: names})
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := warehouse.ValidateName(name); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, bodyStatus(err), fmt.Errorf("read body: %w", err))
+		return
+	}
+	doc, err := xmlio.ParseDoc(data)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.wh.Create(name, doc); err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, DocInfo{
+		Name:   name,
+		Nodes:  doc.Size(),
+		Events: doc.Table.Len(),
+		Worlds: doc.WorldCount(),
+	})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	data, err := s.wh.GetXML(r.PathValue("name"))
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/xml")
+	w.Write(data) //nolint:errcheck
+}
+
+func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.wh.Drop(name); err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	s.cache.invalidateDoc(name)
+	writeJSON(w, http.StatusOK, map[string]string{"dropped": name})
+}
+
+func (s *Server) handleStat(w http.ResponseWriter, r *http.Request) {
+	info, err := s.wh.Stat(r.PathValue("name"))
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, DocInfo{
+		Name:   info.Name,
+		Nodes:  info.Nodes,
+		Events: info.Events,
+		Worlds: info.Worlds,
+	})
+}
+
+// --- querying --------------------------------------------------------------
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := warehouse.ValidateName(name); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var req QueryRequest
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, bodyStatus(err), err)
+		return
+	}
+
+	var (
+		q   *tpwj.Query
+		err error
+	)
+	switch req.Syntax {
+	case "", "tpwj":
+		q, err = tpwj.ParseQuery(req.Query)
+	case "xpath":
+		q, err = xpath.Compile(req.Query)
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("unknown syntax %q (want tpwj or xpath)", req.Syntax))
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	samples := req.Samples
+	if samples <= 0 {
+		samples = 1000
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	var mode string
+	switch req.Mode {
+	case "", "exact":
+		mode = "exact"
+	case "mc":
+		if samples > MaxSamples {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("samples %d exceeds the limit %d", samples, MaxSamples))
+			return
+		}
+		mode = fmt.Sprintf("mc:%d:%d", samples, seed)
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("unknown mode %q (want exact or mc)", req.Mode))
+		return
+	}
+
+	// The canonical form makes syntactic variants ("A( B )", XPath
+	// compilations) share cache entries. The generation is read before
+	// evaluating so a result computed against a snapshot that a
+	// concurrent mutation replaced is never installed.
+	key := queryKey{doc: name, query: tpwj.FormatQuery(q), mode: mode}
+	gen := s.cache.docGen(name)
+	if answers, ok := s.cache.get(key); ok {
+		s.stats.hit()
+		writeJSON(w, http.StatusOK, QueryResponse{
+			Answers: answers, Count: len(answers), Cached: true,
+		})
+		return
+	}
+	s.stats.miss()
+
+	var raw []tpwj.ProbAnswer
+	if mode == "exact" {
+		raw, err = s.wh.Query(name, q)
+	} else {
+		raw, err = s.wh.QueryMC(name, q, samples, rand.New(rand.NewSource(seed)))
+	}
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	answers := encodeAnswers(raw)
+	s.cache.put(key, answers, gen)
+	writeJSON(w, http.StatusOK, QueryResponse{
+		Answers: answers, Count: len(answers), Cached: false,
+	})
+}
+
+// --- updating --------------------------------------------------------------
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := warehouse.ValidateName(name); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var req UpdateRequest
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, bodyStatus(err), err)
+		return
+	}
+	tx, err := req.toTransaction()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	stats, err := s.wh.Update(name, tx)
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	s.cache.invalidateDoc(name)
+	writeJSON(w, http.StatusOK, UpdateResponse{
+		Valuations:      stats.Valuations,
+		Inserted:        stats.Inserted,
+		DeletedOutright: stats.DeletedOutright,
+		Copies:          stats.Copies,
+		Event:           string(stats.Event),
+	})
+}
+
+func (s *Server) handleSimplify(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	stats, err := s.wh.Simplify(name)
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	s.cache.invalidateDoc(name)
+	writeJSON(w, http.StatusOK, SimplifyResponse{
+		NodesRemoved:    stats.NodesRemoved,
+		LiteralsRemoved: stats.LiteralsRemoved,
+		SiblingsMerged:  stats.SiblingsMerged,
+		EventsRemoved:   stats.EventsRemoved,
+	})
+}
+
+// --- admin -----------------------------------------------------------------
+
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if err := s.wh.Compact(); err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"compacted": true})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	capacity := s.cache.cap
+	if capacity < 0 {
+		capacity = 0
+	}
+	writeJSON(w, http.StatusOK, s.stats.snapshot(s.cache.len(), capacity))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,107 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// stats accumulates per-route request counters and cache counters.
+type stats struct {
+	mu     sync.Mutex
+	routes map[string]*routeStats
+	hits   int64
+	misses int64
+}
+
+type routeStats struct {
+	count  int64
+	errors int64 // responses with status >= 400
+	total  time.Duration
+	max    time.Duration
+}
+
+func newStats() *stats {
+	return &stats{routes: make(map[string]*routeStats)}
+}
+
+func (s *stats) record(route string, status int, d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rs, ok := s.routes[route]
+	if !ok {
+		rs = &routeStats{}
+		s.routes[route] = rs
+	}
+	rs.count++
+	if status >= 400 {
+		rs.errors++
+	}
+	rs.total += d
+	if d > rs.max {
+		rs.max = d
+	}
+}
+
+func (s *stats) hit() {
+	s.mu.Lock()
+	s.hits++
+	s.mu.Unlock()
+}
+
+func (s *stats) miss() {
+	s.mu.Lock()
+	s.misses++
+	s.mu.Unlock()
+}
+
+// RouteSnapshot reports the request counters of one route.
+type RouteSnapshot struct {
+	Count  int64   `json:"count"`
+	Errors int64   `json:"errors"`
+	AvgMS  float64 `json:"avg_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// CacheSnapshot reports the query-result cache counters.
+type CacheSnapshot struct {
+	Hits     int64   `json:"hits"`
+	Misses   int64   `json:"misses"`
+	HitRate  float64 `json:"hit_rate"`
+	Entries  int     `json:"entries"`
+	Capacity int     `json:"capacity"`
+}
+
+// StatsSnapshot is the GET /stats response body.
+type StatsSnapshot struct {
+	Requests map[string]RouteSnapshot `json:"requests"`
+	Cache    CacheSnapshot            `json:"cache"`
+}
+
+func (s *stats) snapshot(entries, capacity int) StatsSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := StatsSnapshot{
+		Requests: make(map[string]RouteSnapshot, len(s.routes)),
+		Cache: CacheSnapshot{
+			Hits:     s.hits,
+			Misses:   s.misses,
+			Entries:  entries,
+			Capacity: capacity,
+		},
+	}
+	if total := s.hits + s.misses; total > 0 {
+		out.Cache.HitRate = float64(s.hits) / float64(total)
+	}
+	for route, rs := range s.routes {
+		snap := RouteSnapshot{
+			Count:  rs.count,
+			Errors: rs.errors,
+			MaxMS:  float64(rs.max) / float64(time.Millisecond),
+		}
+		if rs.count > 0 {
+			snap.AvgMS = float64(rs.total) / float64(rs.count) / float64(time.Millisecond)
+		}
+		out.Requests[route] = snap
+	}
+	return out
+}

@@ -1,0 +1,253 @@
+package warehouse
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/fuzzy"
+	"repro/internal/tpwj"
+	"repro/internal/tree"
+	"repro/internal/update"
+)
+
+// stressDoc builds a small fuzzy document with a couple of events.
+func stressDoc() *fuzzy.Tree {
+	return fuzzy.MustParseTree("A(B[w1]:x, C(D[w2]))",
+		map[event.ID]float64{"w1": 0.8, "w2": 0.7})
+}
+
+// TestStressParallelMixed hammers a warehouse with parallel Query,
+// QueryMC, Update, Get, Stat, Create and Drop calls across overlapping
+// documents. It asserts no data races (run under -race), no unexpected
+// errors, and that every document left standing is readable.
+func TestStressParallelMixed(t *testing.T) {
+	w := openTemp(t)
+
+	const (
+		docs    = 6
+		workers = 8
+		rounds  = 20
+	)
+	names := make([]string, docs)
+	for i := range names {
+		names[i] = fmt.Sprintf("doc%d", i)
+		if err := w.Create(names[i], stressDoc()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	q := tpwj.MustParseQuery("A(//D)")
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*rounds)
+	// benign reports errors that are expected under churn: readers and
+	// writers racing Drop/Create legitimately see "no such document" or
+	// "already exists".
+	benign := func(err error) bool {
+		return errors.Is(err, ErrNotFound) || errors.Is(err, ErrExists)
+	}
+
+	for wkr := 0; wkr < workers; wkr++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < rounds; i++ {
+				name := names[r.Intn(docs)]
+				switch r.Intn(7) {
+				case 0:
+					if _, err := w.Query(name, q); err != nil && !benign(err) {
+						errs <- err
+					}
+				case 1:
+					if _, err := w.QueryMC(name, q, 50, r); err != nil && !benign(err) {
+						errs <- err
+					}
+				case 2:
+					tx := update.New(tpwj.MustParseQuery("A $a"), 0.5,
+						update.Insert("a", tree.MustParse("N")))
+					if _, err := w.Update(name, tx); err != nil && !benign(err) {
+						errs <- err
+					}
+				case 3:
+					if _, err := w.Get(name); err != nil && !benign(err) {
+						errs <- err
+					}
+				case 4:
+					if _, err := w.Stat(name); err != nil && !benign(err) {
+						errs <- err
+					}
+				case 5:
+					// Churn: drop and immediately recreate.
+					if err := w.Drop(name); err != nil {
+						if !benign(err) {
+							errs <- err
+						}
+						continue
+					}
+					if err := w.Create(name, stressDoc()); err != nil && !benign(err) {
+						errs <- err
+					}
+				case 6:
+					if _, err := w.List(); err != nil {
+						errs <- err
+					}
+				}
+			}
+		}(int64(wkr))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Concurrent installs must keep each journal (mutation, marker)
+	// pair adjacent — the invariant crash recovery relies on.
+	recs, err := w.Journal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rec := range recs {
+		if rec.Op == "commit" || rec.Op == "abort" {
+			continue
+		}
+		if i+1 >= len(recs) || (recs[i+1].Op != "commit" && recs[i+1].Op != "abort") {
+			t.Fatalf("journal record %d (%s %q) not followed by its marker", i, rec.Op, rec.Doc)
+		}
+	}
+
+	// Whatever survives the churn must be consistently readable.
+	left, err := w.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range left {
+		if _, err := w.Get(name); err != nil {
+			t.Errorf("Get(%q) after stress: %v", name, err)
+		}
+		if _, err := w.Query(name, q); err != nil {
+			t.Errorf("Query(%q) after stress: %v", name, err)
+		}
+	}
+}
+
+// TestParallelQueriesSameDoc checks that many concurrent queries on one
+// document all see the same snapshot while an update runs, and that the
+// update's result becomes visible afterwards.
+func TestParallelQueriesSameDoc(t *testing.T) {
+	w := openTemp(t)
+	if err := w.Create("doc", stressDoc()); err != nil {
+		t.Fatal(err)
+	}
+	q := tpwj.MustParseQuery("A(B)")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				answers, err := w.Query("doc", q)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(answers) != 1 {
+					t.Errorf("answers = %d, want 1", len(answers))
+				}
+			}
+		}()
+	}
+	tx := update.New(tpwj.MustParseQuery("A $a"), 1,
+		update.Insert("a", tree.MustParse("E:new")))
+	if _, err := w.Update("doc", tx); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	got, err := w.Get("doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	got.Root.Walk(func(n *fuzzy.Node) bool {
+		if n.Label == "E" {
+			found = true
+		}
+		return true
+	})
+	if !found {
+		t.Error("updated node not visible after concurrent queries")
+	}
+}
+
+// TestLockTableBounded pins that operations on nonexistent documents —
+// the names clients can probe freely over HTTP — never allocate lock
+// entries, so the table is bounded by real documents.
+func TestLockTableBounded(t *testing.T) {
+	w := openTemp(t)
+	if err := w.Create("real", stressDoc()); err != nil {
+		t.Fatal(err)
+	}
+	base := w.locks.size()
+	q := tpwj.MustParseQuery("A")
+	tx := update.New(q, 0.5, update.Delete(""))
+	for i := 0; i < 50; i++ {
+		name := fmt.Sprintf("ghost%d", i)
+		w.Query(name, q)                                    //nolint:errcheck
+		w.Get(name)                                         //nolint:errcheck
+		w.Stat(name)                                        //nolint:errcheck
+		w.Drop(name)                                        //nolint:errcheck
+		w.Update(name, tx)                                  //nolint:errcheck
+		w.Simplify(name)                                    //nolint:errcheck
+		w.QueryMC(name, q, 10, rand.New(rand.NewSource(1))) //nolint:errcheck
+	}
+	if got := w.locks.size(); got != base {
+		t.Errorf("lock table grew from %d to %d on nonexistent names", base, got)
+	}
+
+	// Create/drop churn of unique names must not grow it either: Drop
+	// releases the entry.
+	for i := 0; i < 20; i++ {
+		name := fmt.Sprintf("churn%d", i)
+		if err := w.Create(name, stressDoc()); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Drop(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := w.locks.size(); got != base {
+		t.Errorf("lock table grew from %d to %d under create/drop churn", base, got)
+	}
+}
+
+// TestSentinelErrors pins the error categories the HTTP layer maps to
+// status codes.
+func TestSentinelErrors(t *testing.T) {
+	w := openTemp(t)
+	if _, err := w.Get("missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get(missing) = %v, want ErrNotFound", err)
+	}
+	if err := w.Drop("missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Drop(missing) = %v, want ErrNotFound", err)
+	}
+	if err := w.Create("bad name!", stressDoc()); !errors.Is(err, ErrInvalidName) {
+		t.Errorf("Create(bad name) = %v, want ErrInvalidName", err)
+	}
+	if err := w.Create("dup", stressDoc()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Create("dup", stressDoc()); !errors.Is(err, ErrExists) {
+		t.Errorf("Create(dup) = %v, want ErrExists", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Get("dup"); !errors.Is(err, ErrClosed) {
+		t.Errorf("Get after Close = %v, want ErrClosed", err)
+	}
+}

@@ -5,15 +5,16 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sync"
 )
 
 // Record is one entry of the write-ahead journal. Mutations are logged
 // with the full post-state content before the document file is replaced,
-// then marked committed; recovery rolls the last mutation forward if the
-// commit marker is missing.
+// then marked committed ("abort" marks a mutation whose apply failed);
+// recovery rolls the last mutation forward if neither marker follows it.
 type Record struct {
 	Seq int64  `json:"seq"`
-	Op  string `json:"op"`            // "create", "update", "drop", "commit"
+	Op  string `json:"op"`            // "create", "update", "drop", "commit", "abort"
 	Doc string `json:"doc,omitempty"` // document name (mutations only)
 	// Tx is the XUpdate serialization of the applied transaction
 	// (op "update" only), kept for auditability.
@@ -23,8 +24,17 @@ type Record struct {
 	Content string `json:"content,omitempty"`
 }
 
-// journal is an append-only JSON-lines file.
+// maxRecordBytes bounds one journal record, enforced at append time so
+// an oversized mutation fails cleanly instead of writing a line the
+// scanner in readJournal could never re-read — which would make the
+// warehouse permanently unopenable. The cap leaves generous headroom
+// over the server's 64MB body limit after JSON string escaping.
+const maxRecordBytes = 512 << 20
+
+// journal is an append-only JSON-lines file. Appends from concurrent
+// per-document mutations are serialized by its own mutex.
 type journal struct {
+	mu  sync.Mutex
 	f   *os.File
 	seq int64
 }
@@ -58,7 +68,7 @@ func readJournal(path string) ([]Record, error) {
 	defer f.Close()
 	var records []Record
 	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	sc.Buffer(make([]byte, 0, 1<<20), maxRecordBytes)
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(line) == 0 {
@@ -79,11 +89,16 @@ func readJournal(path string) ([]Record, error) {
 
 // append durably writes a record and returns its sequence number.
 func (j *journal) append(r Record) (int64, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	j.seq++
 	r.Seq = j.seq
 	data, err := json.Marshal(r)
 	if err != nil {
 		return 0, fmt.Errorf("warehouse: marshal journal record: %w", err)
+	}
+	if len(data) >= maxRecordBytes {
+		return 0, fmt.Errorf("warehouse: journal record of %d bytes exceeds the %d limit", len(data), maxRecordBytes)
 	}
 	data = append(data, '\n')
 	if _, err := j.f.Write(data); err != nil {

@@ -1,0 +1,97 @@
+package warehouse
+
+import "sync"
+
+// nStripes sizes the lock table. Lookups hash the document name to a
+// stripe, so handing out locks never becomes a global contention point.
+const nStripes = 64
+
+// docLock coordinates access to one document.
+//
+// writers serializes mutations (Create, Update, Simplify, Drop) on the
+// document; it is held across the whole mutation so concurrent writers
+// see each other's results. Expensive work — query valuation, update
+// application, serialization — runs while holding only writers, never
+// state, so readers proceed in parallel with it.
+//
+// state guards the installed snapshot (the cache entry and the document
+// file): writers hold it just long enough to journal and install the
+// new state, and a cold-loading reader holds it while populating the
+// cache from disk. The hot read path (cache hit) takes no per-document
+// lock at all — installed trees are immutable and swapped atomically.
+type docLock struct {
+	writers sync.Mutex
+	state   sync.Mutex
+}
+
+// lockTable hands out per-document locks from a striped map of lazily
+// created entries. Callers guard get behind an existence check (see
+// Warehouse.statGuard), Drop deletes its entry, and operations that
+// find the document vanished release any entry they re-created in the
+// race window (see Warehouse.snapshot and releaseIfGone) — so the
+// table is bounded by documents that currently exist or are being
+// created, never by arbitrary names clients probe or create/drop
+// churn.
+type lockTable struct {
+	stripes [nStripes]struct {
+		mu    sync.Mutex
+		locks map[string]*docLock
+	}
+}
+
+func (t *lockTable) get(name string) *docLock {
+	s := &t.stripes[fnv32(name)%nStripes]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.locks == nil {
+		s.locks = make(map[string]*docLock)
+	}
+	dl, ok := s.locks[name]
+	if !ok {
+		dl = &docLock{}
+		s.locks[name] = dl
+	}
+	return dl
+}
+
+// peek returns the entry without creating one.
+func (t *lockTable) peek(name string) (*docLock, bool) {
+	s := &t.stripes[fnv32(name)%nStripes]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dl, ok := s.locks[name]
+	return dl, ok
+}
+
+// del removes the entry. Goroutines still blocked on the removed
+// lock's mutexes recheck table membership after acquiring them (see
+// Warehouse.lockWriter and Warehouse.snapshot) and retry on the
+// successor entry.
+func (t *lockTable) del(name string) {
+	s := &t.stripes[fnv32(name)%nStripes]
+	s.mu.Lock()
+	delete(s.locks, name)
+	s.mu.Unlock()
+}
+
+// size reports the number of allocated lock entries (for tests).
+func (t *lockTable) size() int {
+	n := 0
+	for i := range t.stripes {
+		s := &t.stripes[i]
+		s.mu.Lock()
+		n += len(s.locks)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// fnv32 is the 32-bit FNV-1a hash.
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}

@@ -5,6 +5,17 @@
 // needs: atomic document replacement (write-temp-then-rename), a
 // write-ahead journal carrying the full post-state, and roll-forward
 // recovery on open.
+//
+// Concurrency is per document: each document has its own lock pair
+// (see docLock), handed out by a striped lock table, so reads on
+// different documents never contend and queries on the same document
+// run in parallel with each other — and with the expensive phase of an
+// update, which computes its result before briefly taking the
+// document's state lock to install it. Cached snapshots are immutable,
+// so the hot read path is lock-free. Mutations on different documents
+// overlap in their computation phase but serialize briefly at the
+// journal (installMu), which keeps each (mutation, marker) record pair
+// adjacent for recovery's last-record check.
 package warehouse
 
 import (
@@ -30,15 +41,50 @@ const (
 	journalFile = "journal.log"
 )
 
+// Sentinel errors, for callers (such as the HTTP server) that map
+// failures to categories. Returned errors wrap these; test with
+// errors.Is.
+var (
+	// ErrNotFound reports an operation on a missing document.
+	ErrNotFound = errors.New("no such document")
+	// ErrExists reports a Create of a name already in use.
+	ErrExists = errors.New("document already exists")
+	// ErrInvalidName reports a document name outside the safe alphabet
+	// [A-Za-z0-9_-].
+	ErrInvalidName = errors.New("invalid document name")
+	// ErrClosed reports use of a closed warehouse.
+	ErrClosed = errors.New("warehouse: closed")
+)
+
 // Warehouse is a collection of named fuzzy documents persisted under one
 // directory. All methods are safe for concurrent use.
 type Warehouse struct {
 	dir string
 
+	// mu guards closed and the journal pointer. Operations hold it
+	// shared for their duration; Close and Compact hold it exclusively,
+	// so they wait out in-flight operations and nothing starts while
+	// they run.
 	mu      sync.RWMutex
-	journal *journal
-	cache   map[string]*fuzzy.Tree
 	closed  bool
+	journal *journal
+
+	// locks hands out the per-document locks.
+	locks lockTable
+
+	// installMu serializes the install phase of mutations across
+	// documents, keeping each journal (mutation, commit) record pair
+	// adjacent — the invariant recover's last-record check relies on.
+	// Only the cheap install (two appends plus a file rename) runs
+	// under it; the expensive computation preceding it does not.
+	installMu sync.Mutex
+
+	// cacheMu guards the cache map itself. The trees inside are
+	// immutable once installed: mutations build fresh trees and swap
+	// the entry, so a snapshot handed to a reader stays valid without
+	// any lock.
+	cacheMu sync.Mutex
+	cache   map[string]*fuzzy.Tree
 }
 
 // Open opens (creating if necessary) a warehouse rooted at dir and
@@ -68,7 +114,7 @@ func (w *Warehouse) recover(records []Record) error {
 		return nil
 	}
 	last := records[len(records)-1]
-	if last.Op == "commit" {
+	if last.Op == "commit" || last.Op == "abort" {
 		return nil
 	}
 	switch last.Op {
@@ -105,19 +151,55 @@ func (w *Warehouse) docPath(name string) string {
 	return filepath.Join(w.dir, docsDir, name+docExt)
 }
 
+// ValidateName reports whether name is usable as a document name,
+// wrapping ErrInvalidName otherwise. Callers such as the HTTP server
+// use it to reject requests before doing expensive work (parsing a
+// large document body) on a name the warehouse would refuse anyway.
+func ValidateName(name string) error { return validName(name) }
+
 // validName restricts document names to a safe alphabet.
 func validName(name string) error {
 	if name == "" {
-		return errors.New("warehouse: empty document name")
+		return fmt.Errorf("warehouse: %w: empty name", ErrInvalidName)
 	}
 	for _, r := range name {
 		ok := r == '_' || r == '-' ||
 			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
 		if !ok {
-			return fmt.Errorf("warehouse: invalid document name %q", name)
+			return fmt.Errorf("warehouse: %w: %q", ErrInvalidName, name)
 		}
 	}
 	return nil
+}
+
+// startOp pins the warehouse open for the duration of one operation.
+// The returned release function must be called when the operation ends.
+func (w *Warehouse) startOp() (release func(), err error) {
+	w.mu.RLock()
+	if w.closed {
+		w.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	return w.mu.RUnlock, nil
+}
+
+func (w *Warehouse) cacheGet(name string) (*fuzzy.Tree, bool) {
+	w.cacheMu.Lock()
+	defer w.cacheMu.Unlock()
+	ft, ok := w.cache[name]
+	return ft, ok
+}
+
+func (w *Warehouse) cacheSet(name string, ft *fuzzy.Tree) {
+	w.cacheMu.Lock()
+	defer w.cacheMu.Unlock()
+	w.cache[name] = ft
+}
+
+func (w *Warehouse) cacheDel(name string) {
+	w.cacheMu.Lock()
+	defer w.cacheMu.Unlock()
+	delete(w.cache, name)
 }
 
 // writeDocFile atomically replaces the document file.
@@ -145,15 +227,142 @@ func (w *Warehouse) writeDocFile(name string, data []byte) error {
 	return os.Rename(tmp, path)
 }
 
-// mutate journals and applies one mutation under the write lock.
-func (w *Warehouse) mutate(rec Record, apply func() error) error {
-	if w.closed {
-		return errors.New("warehouse: closed")
+// statGuard rejects names that exist neither in the cache nor on disk
+// before any per-document lock is allocated, so clients probing
+// arbitrary names (missing documents, typos, scans) can never grow the
+// lock table. Callers performing mutations must re-check existence
+// under the document's locks; this pre-check only bounds allocation.
+func (w *Warehouse) statGuard(name string) error {
+	if _, ok := w.cacheGet(name); ok {
+		return nil
 	}
+	if _, err := os.Stat(w.docPath(name)); err != nil {
+		if os.IsNotExist(err) {
+			return fmt.Errorf("warehouse: %w: %q", ErrNotFound, name)
+		}
+		return err
+	}
+	return nil
+}
+
+// releaseIfGone drops the document's lock entry when err reports the
+// document missing. The caller holds the entry's writers mutex (so it
+// is the current entry and no Drop can race the deletion), having just
+// discovered the document vanished — keeping the entry would leak it,
+// since only a successful Drop otherwise deletes entries.
+func (w *Warehouse) releaseIfGone(name string, err error) {
+	if errors.Is(err, ErrNotFound) {
+		w.locks.del(name)
+	}
+}
+
+// lockWriter returns the document's lock with its writers mutex held.
+// Drop removes lock entries, so after acquiring the mutex the entry is
+// rechecked against the table and the acquisition retried if a
+// concurrent Drop removed it — every writer critical section thus
+// holds the mutex of the entry currently in the table. With mustExist,
+// each attempt re-verifies the document first, so writers racing a
+// Drop return ErrNotFound instead of re-creating table entries for
+// names that no longer exist.
+func (w *Warehouse) lockWriter(name string, mustExist bool) (*docLock, error) {
+	for {
+		if mustExist {
+			if err := w.statGuard(name); err != nil {
+				return nil, err
+			}
+		}
+		dl := w.locks.get(name)
+		dl.writers.Lock()
+		if cur, ok := w.locks.peek(name); ok && cur == dl {
+			return dl, nil
+		}
+		dl.writers.Unlock()
+	}
+}
+
+// readDocFile parses the document file from disk.
+func (w *Warehouse) readDocFile(name string) (*fuzzy.Tree, error) {
+	data, err := os.ReadFile(w.docPath(name))
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("warehouse: %w: %q", ErrNotFound, name)
+	}
+	if err != nil {
+		return nil, err
+	}
+	ft, err := xmlio.ParseDoc(data)
+	if err != nil {
+		return nil, fmt.Errorf("warehouse: document %q corrupt: %w", name, err)
+	}
+	return ft, nil
+}
+
+// snapshot returns the current immutable tree of the document, loading
+// and caching it on first use. The returned tree must not be mutated;
+// it stays valid after the locks are released because mutations install
+// fresh trees instead of editing in place.
+//
+// Cached trees are swapped atomically and never edited, so the fast
+// path needs no lock. Names that exist neither in the cache nor on
+// disk are rejected before touching the lock table, so clients probing
+// arbitrary names can never grow it. The cold path rechecks table
+// membership after locking, like lockWriter, so a reader never
+// populates the cache while a concurrent Drop/Create cycle proceeds
+// under a successor entry.
+func (w *Warehouse) snapshot(name string) (*fuzzy.Tree, error) {
+	for {
+		if ft, ok := w.cacheGet(name); ok {
+			return ft, nil
+		}
+		if err := w.statGuard(name); err != nil {
+			return nil, err
+		}
+		dl := w.locks.get(name)
+		dl.state.Lock()
+		if cur, ok := w.locks.peek(name); !ok || cur != dl {
+			dl.state.Unlock()
+			continue
+		}
+		if ft, ok := w.cacheGet(name); ok {
+			dl.state.Unlock()
+			return ft, nil
+		}
+		ft, err := w.readDocFile(name)
+		if err == nil {
+			w.cacheSet(name, ft)
+		} else if errors.Is(err, ErrNotFound) && dl.writers.TryLock() {
+			// The document vanished between statGuard and the load, so
+			// the locks.get above may have re-created an entry for a
+			// name that no longer exists. No writer owns it (TryLock
+			// succeeded — a blocked writer would recheck and retry),
+			// so release it to keep the table bounded under churn.
+			w.locks.del(name)
+			dl.writers.Unlock()
+		}
+		dl.state.Unlock()
+		return ft, err
+	}
+}
+
+// install journals and applies one mutation under the document's state
+// lock. The caller holds the document's writers lock and has done all
+// expensive computation already, so the state lock — the one a
+// cold-loading reader contends on — is held only for the journal
+// appends and the file swap.
+func (w *Warehouse) install(dl *docLock, rec Record, apply func() error) error {
+	w.installMu.Lock()
+	defer w.installMu.Unlock()
+	dl.state.Lock()
+	defer dl.state.Unlock()
 	if _, err := w.journal.append(rec); err != nil {
 		return err
 	}
 	if err := apply(); err != nil {
+		// Best-effort abort marker: without it, recovery would roll
+		// the journaled mutation forward even though the caller was
+		// told it failed. If this append also fails (the disk is going
+		// away), recovery re-applies the post-state — safe, if
+		// surprising, since the journaled content is complete.
+		w.journal.append(Record{Op: "abort"}) //nolint:errcheck
 		return err
 	}
 	_, err := w.journal.append(Record{Op: "commit"})
@@ -172,71 +381,69 @@ func (w *Warehouse) Create(name string, ft *fuzzy.Tree) error {
 	if err != nil {
 		return err
 	}
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if _, err := os.Stat(w.docPath(name)); err == nil {
-		return fmt.Errorf("warehouse: document %q already exists", name)
+	release, err := w.startOp()
+	if err != nil {
+		return err
 	}
-	return w.mutate(
+	defer release()
+	dl, err := w.lockWriter(name, false)
+	if err != nil {
+		return err
+	}
+	defer dl.writers.Unlock()
+	if _, err := os.Stat(w.docPath(name)); err == nil {
+		return fmt.Errorf("warehouse: %w: %q", ErrExists, name)
+	}
+	clone := ft.Clone()
+	err = w.install(dl,
 		Record{Op: "create", Doc: name, Content: string(data)},
 		func() error {
 			if err := w.writeDocFile(name, data); err != nil {
 				return err
 			}
-			w.cache[name] = ft.Clone()
+			w.cacheSet(name, clone)
 			return nil
 		})
+	if err != nil {
+		// The document never came to exist (journal or file-write
+		// failure), so the entry allocated for it must not outlive
+		// this call — nothing else would ever delete it.
+		if _, statErr := os.Stat(w.docPath(name)); os.IsNotExist(statErr) {
+			w.locks.del(name)
+		}
+		return err
+	}
+	return nil
 }
 
-// load returns the cached document, reading it from disk on first use.
-// Callers must hold at least the read lock.
-func (w *Warehouse) load(name string) (*fuzzy.Tree, error) {
-	if ft, ok := w.cache[name]; ok {
-		return ft, nil
-	}
-	data, err := os.ReadFile(w.docPath(name))
-	if os.IsNotExist(err) {
-		return nil, fmt.Errorf("warehouse: no document %q", name)
-	}
-	if err != nil {
-		return nil, err
-	}
-	ft, err := xmlio.ParseDoc(data)
-	if err != nil {
-		return nil, fmt.Errorf("warehouse: document %q corrupt: %w", name, err)
-	}
-	return ft, nil
-}
-
-// loadCaching is load plus cache population; callers must hold the write
-// lock.
-func (w *Warehouse) loadCaching(name string) (*fuzzy.Tree, error) {
-	ft, err := w.load(name)
-	if err != nil {
-		return nil, err
-	}
-	w.cache[name] = ft
-	return ft, nil
-}
-
-// Get returns a deep copy of the named document.
+// Get returns a deep copy of the named document. The copy is made
+// outside every lock.
 func (w *Warehouse) Get(name string) (*fuzzy.Tree, error) {
-	if err := validName(name); err != nil {
-		return nil, err
-	}
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	ft, err := w.loadCaching(name)
+	ft, err := w.readSnapshot(name)
 	if err != nil {
 		return nil, err
 	}
 	return ft.Clone(), nil
 }
 
+// GetXML returns the document serialized as pxml XML. Unlike Get it
+// copies nothing: the snapshot is immutable, so it is serialized in
+// place — the cheap path for read-heavy servers.
+func (w *Warehouse) GetXML(name string) ([]byte, error) {
+	ft, err := w.readSnapshot(name)
+	if err != nil {
+		return nil, err
+	}
+	return xmlio.DocXML(ft)
+}
+
 // List returns the sorted names of all stored documents.
 func (w *Warehouse) List() ([]string, error) {
-	w.mu.RLock()
-	defer w.mu.RUnlock()
+	release, err := w.startOp()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	entries, err := os.ReadDir(filepath.Join(w.dir, docsDir))
 	if err != nil {
 		return nil, err
@@ -256,30 +463,48 @@ func (w *Warehouse) Drop(name string) error {
 	if err := validName(name); err != nil {
 		return err
 	}
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if _, err := os.Stat(w.docPath(name)); err != nil {
-		return fmt.Errorf("warehouse: no document %q", name)
+	release, err := w.startOp()
+	if err != nil {
+		return err
 	}
-	return w.mutate(
+	defer release()
+	dl, err := w.lockWriter(name, true)
+	if err != nil {
+		return err
+	}
+	defer dl.writers.Unlock()
+	// Re-verify now that the lock is held: a concurrent Drop may have
+	// removed the document between statGuard and acquisition, in which
+	// case the entry lockWriter re-created must be released too.
+	if err := w.statGuard(name); err != nil {
+		w.releaseIfGone(name, err)
+		return err
+	}
+	err = w.install(dl,
 		Record{Op: "drop", Doc: name},
 		func() error {
-			delete(w.cache, name)
+			w.cacheDel(name)
 			return os.Remove(w.docPath(name))
 		})
+	if err != nil {
+		return err
+	}
+	// The document is gone; release its lock entry so create/drop
+	// churn of unique names cannot grow the table. Writers blocked on
+	// this entry re-check and retry (see lockWriter).
+	w.locks.del(name)
+	return nil
 }
 
 // Query evaluates a TPWJ query on the named document, returning answers
-// with exact probabilities. Cached documents are treated as immutable
-// (updates install fresh trees), so evaluation runs without holding the
-// lock.
+// with exact probabilities. Snapshots are immutable (updates install
+// fresh trees), so evaluation runs after every lock is released —
+// including the warehouse pin, so a slow query never stalls a pending
+// Close or Compact, and queries on the same document proceed in
+// parallel with each other and with the computation phase of a
+// concurrent update.
 func (w *Warehouse) Query(name string, q *tpwj.Query) ([]tpwj.ProbAnswer, error) {
-	if err := validName(name); err != nil {
-		return nil, err
-	}
-	w.mu.Lock()
-	ft, err := w.loadCaching(name)
-	w.mu.Unlock()
+	ft, err := w.readSnapshot(name)
 	if err != nil {
 		return nil, err
 	}
@@ -290,51 +515,89 @@ func (w *Warehouse) Query(name string, q *tpwj.Query) ([]tpwj.ProbAnswer, error)
 // documents whose condition structure makes exact computation too
 // expensive.
 func (w *Warehouse) QueryMC(name string, q *tpwj.Query, samples int, r *rand.Rand) ([]tpwj.ProbAnswer, error) {
-	if err := validName(name); err != nil {
-		return nil, err
-	}
-	w.mu.Lock()
-	ft, err := w.loadCaching(name)
-	w.mu.Unlock()
+	ft, err := w.readSnapshot(name)
 	if err != nil {
 		return nil, err
 	}
 	return tpwj.EvalFuzzyMonteCarlo(q, ft, samples, r)
 }
 
-// Update applies a probabilistic transaction to the named document,
-// journaling and persisting the result durably.
-func (w *Warehouse) Update(name string, tx *update.Transaction) (*update.FuzzyStats, error) {
+// readSnapshot validates the name and fetches the document's immutable
+// snapshot, holding the warehouse pin only for the fetch itself so the
+// caller can compute on the snapshot without blocking Close or Compact.
+func (w *Warehouse) readSnapshot(name string) (*fuzzy.Tree, error) {
 	if err := validName(name); err != nil {
 		return nil, err
 	}
-	txXML, err := xupdate.TransactionXML(tx)
+	release, err := w.startOp()
 	if err != nil {
 		return nil, err
 	}
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	ft, err := w.loadCaching(name)
-	if err != nil {
-		return nil, err
+	defer release()
+	return w.snapshot(name)
+}
+
+// mutateDoc runs the shared writer path for document-transforming
+// operations: pin the warehouse open, acquire the document's writers
+// lock, snapshot, run compute outside the state lock (concurrent
+// queries on the same document are never blocked by it), then journal
+// and install the successor tree. compute returns the successor and
+// the journal's Tx annotation. The lock-entry lifecycle bookkeeping
+// (releaseIfGone on vanished documents) lives only here.
+func (w *Warehouse) mutateDoc(name string, compute func(ft *fuzzy.Tree) (*fuzzy.Tree, string, error)) error {
+	if err := validName(name); err != nil {
+		return err
 	}
-	next, stats, err := tx.ApplyFuzzy(ft)
+	release, err := w.startOp()
 	if err != nil {
-		return nil, err
+		return err
+	}
+	defer release()
+	dl, err := w.lockWriter(name, true)
+	if err != nil {
+		return err
+	}
+	defer dl.writers.Unlock()
+	ft, err := w.snapshot(name)
+	if err != nil {
+		w.releaseIfGone(name, err)
+		return err
+	}
+	next, txNote, err := compute(ft)
+	if err != nil {
+		return err
 	}
 	data, err := xmlio.DocXML(next)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	err = w.mutate(
-		Record{Op: "update", Doc: name, Tx: string(txXML), Content: string(data)},
+	return w.install(dl,
+		Record{Op: "update", Doc: name, Tx: txNote, Content: string(data)},
 		func() error {
 			if err := w.writeDocFile(name, data); err != nil {
 				return err
 			}
-			w.cache[name] = next
+			w.cacheSet(name, next)
 			return nil
 		})
+}
+
+// Update applies a probabilistic transaction to the named document,
+// journaling and persisting the result durably.
+func (w *Warehouse) Update(name string, tx *update.Transaction) (*update.FuzzyStats, error) {
+	txXML, err := xupdate.TransactionXML(tx)
+	if err != nil {
+		return nil, err
+	}
+	var stats *update.FuzzyStats
+	err = w.mutateDoc(name, func(ft *fuzzy.Tree) (*fuzzy.Tree, string, error) {
+		next, s, err := tx.ApplyFuzzy(ft)
+		if err != nil {
+			return nil, "", err
+		}
+		stats = s
+		return next, string(txXML), nil
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -344,30 +607,12 @@ func (w *Warehouse) Update(name string, tx *update.Transaction) (*update.FuzzySt
 // Simplify runs fuzzy-tree simplification on the named document and
 // persists the result.
 func (w *Warehouse) Simplify(name string) (fuzzy.SimplifyStats, error) {
-	if err := validName(name); err != nil {
-		return fuzzy.SimplifyStats{}, err
-	}
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	ft, err := w.loadCaching(name)
-	if err != nil {
-		return fuzzy.SimplifyStats{}, err
-	}
-	next := ft.Clone()
-	stats := next.Simplify()
-	data, err := xmlio.DocXML(next)
-	if err != nil {
-		return fuzzy.SimplifyStats{}, err
-	}
-	err = w.mutate(
-		Record{Op: "update", Doc: name, Tx: "<simplify/>", Content: string(data)},
-		func() error {
-			if err := w.writeDocFile(name, data); err != nil {
-				return err
-			}
-			w.cache[name] = next
-			return nil
-		})
+	var stats fuzzy.SimplifyStats
+	err := w.mutateDoc(name, func(ft *fuzzy.Tree) (*fuzzy.Tree, string, error) {
+		next := ft.Clone()
+		stats = next.Simplify()
+		return next, "<simplify/>", nil
+	})
 	if err != nil {
 		return fuzzy.SimplifyStats{}, err
 	}
@@ -384,12 +629,7 @@ type Info struct {
 
 // Stat returns summary information about the named document.
 func (w *Warehouse) Stat(name string) (Info, error) {
-	if err := validName(name); err != nil {
-		return Info{}, err
-	}
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	ft, err := w.loadCaching(name)
+	ft, err := w.readSnapshot(name)
 	if err != nil {
 		return Info{}, err
 	}
@@ -401,22 +641,31 @@ func (w *Warehouse) Stat(name string) (Info, error) {
 	}, nil
 }
 
-// Journal returns all journal records (for audit and tests).
+// Journal returns all journal records (for audit and tests). It takes
+// no install lock — stalling every mutation for the duration of a
+// potentially large file read would be worse than the alternative —
+// so a call concurrent with mutations may stop short at a record
+// caught mid-append (the torn-tail semantics readJournal already has
+// for crashes). Quiescent reads are exact.
 func (w *Warehouse) Journal() ([]Record, error) {
-	w.mu.RLock()
-	defer w.mu.RUnlock()
+	release, err := w.startOp()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	return readJournal(filepath.Join(w.dir, journalFile))
 }
 
 // Compact truncates the journal. Safe whenever the warehouse is in a
-// committed state, which holds under the write lock: every document file
-// already contains its latest post-state, so the journal's only value is
-// the audit trail, which Compact trades for space.
+// committed state, which holds under the exclusive warehouse lock: it
+// waits out all in-flight operations, so every document file already
+// contains its latest post-state and the journal's only value is the
+// audit trail, which Compact trades for space.
 func (w *Warehouse) Compact() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
-		return errors.New("warehouse: closed")
+		return ErrClosed
 	}
 	if err := w.journal.close(); err != nil {
 		return err
