@@ -307,29 +307,14 @@ func BenchmarkE10QueryScaling(b *testing.B) {
 // --- Ablations (design choices called out in DESIGN.md) ------------------------
 
 // BenchmarkAblationProbDNF compares the memoized Shannon expansion with
-// brute-force world enumeration for the same DNFs.
+// brute-force world enumeration for the same DNFs. The workload builder
+// is shared with the pxbench -json probes (exp.AblationDNF) so the two
+// stay comparable.
 func BenchmarkAblationProbDNF(b *testing.B) {
-	mk := func(m int) (*event.Table, event.DNF) {
-		tab := event.NewTable()
-		r := rand.New(rand.NewSource(int64(m)))
-		var ids []event.ID
-		for i := 0; i < m; i++ {
-			id, _ := tab.Fresh("e", 0.1+0.8*r.Float64())
-			ids = append(ids, id)
-		}
-		var d event.DNF
-		for i := 0; i < m; i++ {
-			c := event.Cond(
-				event.Literal{Event: ids[r.Intn(m)], Neg: r.Intn(2) == 0},
-				event.Literal{Event: ids[r.Intn(m)], Neg: r.Intn(2) == 0},
-			)
-			d = append(d, c.Normalize())
-		}
-		return tab, d
-	}
 	for _, m := range []int{6, 10, 14} {
-		tab, d := mk(m)
+		tab, d := exp.AblationDNF(m)
 		b.Run(fmt.Sprintf("shannon/events=%d", m), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := tab.ProbDNF(d); err != nil {
 					b.Fatal(err)
@@ -337,6 +322,7 @@ func BenchmarkAblationProbDNF(b *testing.B) {
 			}
 		})
 		b.Run(fmt.Sprintf("brute/events=%d", m), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := tab.ProbDNFBrute(d); err != nil {
 					b.Fatal(err)

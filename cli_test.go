@@ -4,6 +4,7 @@ package fuzzyxml_test
 // once into a temp dir and driven the way a user would drive it.
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -185,5 +186,52 @@ func TestCLIPxbenchSelected(t *testing.T) {
 	out = run(t, bins["pxbench"], "-list")
 	if !strings.Contains(out, "E10") {
 		t.Errorf("pxbench -list:\n%s", out)
+	}
+}
+
+// TestCLIPxbenchJSON checks the machine-readable benchmark output: the
+// BENCH_<date>.json document must parse and carry ns/op and allocs/op
+// for the probability-engine probes.
+func TestCLIPxbenchJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and runs benchmark probes; skipped in -short mode")
+	}
+	bins := buildTools(t, "pxbench")
+	path := filepath.Join(t.TempDir(), "bench.json")
+	out := run(t, bins["pxbench"], "-e", "E1", "-json-out", path)
+	if !strings.Contains(out, "wrote "+path) {
+		t.Errorf("pxbench -json-out output:\n%s", out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Date       string `json:"date"`
+		Benchmarks []struct {
+			Name        string  `json:"name"`
+			NsPerOp     float64 `json:"ns_per_op"`
+			AllocsPerOp int64   `json:"allocs_per_op"`
+		} `json:"benchmarks"`
+		Experiments []struct {
+			ID string `json:"id"`
+			OK bool   `json:"ok"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("BENCH json does not parse: %v\n%s", err, data)
+	}
+	names := map[string]bool{}
+	for _, b := range report.Benchmarks {
+		names[b.Name] = true
+		if b.NsPerOp <= 0 {
+			t.Errorf("probe %q has ns_per_op %v", b.Name, b.NsPerOp)
+		}
+	}
+	if !names["probdnf/exact/events=14"] || !names["probdnf/brute/events=14"] {
+		t.Errorf("probability-engine probes missing from report: %v", names)
+	}
+	if len(report.Experiments) != 1 || report.Experiments[0].ID != "E1" || !report.Experiments[0].OK {
+		t.Errorf("experiments = %+v, want E1 ok", report.Experiments)
 	}
 }

@@ -9,6 +9,7 @@
 //
 //	pxbench             # run all experiments
 //	pxbench -e E3,E5    # run selected experiments
+//	pxbench -json       # also write BENCH_<date>.json (see README)
 package main
 
 import (
@@ -16,14 +17,17 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/exp"
 )
 
 func main() {
 	var (
-		sel  = flag.String("e", "", "comma-separated experiment ids (default: all)")
-		list = flag.Bool("list", false, "list experiments and exit")
+		sel      = flag.String("e", "", "comma-separated experiment ids (default: all)")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		emitJSON = flag.Bool("json", false, "write machine-readable benchmark results to BENCH_<date>.json")
+		jsonOut  = flag.String("json-out", "", "override the -json output path")
 	)
 	flag.Parse()
 
@@ -50,15 +54,46 @@ func main() {
 	}
 
 	failed := 0
+	var results []exp.ExperimentResult
 	for _, e := range chosen {
 		t := e.Run()
 		t.Render(os.Stdout)
+		results = append(results, exp.ExperimentResult{ID: t.ID, OK: t.OK})
 		if !t.OK {
 			failed++
 		}
 	}
+
+	if *emitJSON || *jsonOut != "" {
+		date := time.Now().Format("2006-01-02")
+		path := *jsonOut
+		if path == "" {
+			path = "BENCH_" + date + ".json"
+		}
+		report := exp.RunProbes(date)
+		report.Experiments = results
+		if err := writeReport(report, path); err != nil {
+			fmt.Fprintf(os.Stderr, "pxbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "pxbench: %d experiment(s) FAILED\n", failed)
 		os.Exit(1)
 	}
+}
+
+// writeReport writes the benchmark report to path.
+func writeReport(report exp.BenchReport, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := report.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -34,6 +34,29 @@
 // probability (computed by memoized Shannon expansion; Monte-Carlo
 // estimation is available for heavy condition structures).
 //
+// # Probability engine
+//
+// Every exact answer probability ends in one computation: P(c₁ ∨ … ∨ c_k)
+// for a DNF of event conjunctions (#P-hard in general). The engine
+// compiles each DNF before evaluating it: event IDs are interned
+// per-table to dense integer indexes, clauses become canonically sorted
+// integer-literal slices (deduplicated, contradictions dropped,
+// absorbed clauses removed), and — whenever the DNF touches at most 64
+// distinct events, which covers practically every query answer — each
+// clause additionally carries positive/negative bitset masks so
+// absorption and world checks are single word operations. Evaluation
+// is memoized Shannon expansion over that form: sub-DNFs are keyed by
+// structural 64-bit hash (verified against the stored key, so a
+// collision can only cost a recomputation, never correctness),
+// cofactors maintain canonical form incrementally instead of
+// re-normalizing, and clauses that share no events are split into
+// independent components whose probabilities combine as 1-∏(1-pᵢ) —
+// collapsing the exponential blow-up for answers whose valuations touch
+// disjoint event sets. Monte-Carlo estimation samples the same compiled
+// form: on the bitset path a possible world is one uint64 and a clause
+// check two word operations. The engine exposes counters (compiles,
+// memo hits/misses, components) through the server's /stats route.
+//
 // # Updates
 //
 // Updates are transactions: a TPWJ query locating the operations,

@@ -1,0 +1,285 @@
+package event
+
+import (
+	"fmt"
+	"slices"
+	"sync/atomic"
+)
+
+// This file implements the compilation front end of the exact
+// probability engine: interning of event IDs to dense integers, the
+// canonical integer-literal clause representation with a bitset fast
+// path, and the engine counters surfaced by the pxserve /stats route.
+//
+// A compiled literal is slot<<1|neg where slot is the index of the
+// event in the DNF-local universe (events ordered by their per-table
+// interned index, so the expansion order — and hence the floating-point
+// rounding — is deterministic for a given table). A compiled clause
+// keeps its literals sorted ascending; when the whole DNF touches at
+// most 64 distinct events every clause additionally carries pos/neg
+// uint64 masks over the local slots, making contradiction, subset
+// (absorption) and sample-evaluation checks single word operations.
+
+// engine counters (package-global, atomic: tables are read concurrently
+// by query evaluation running outside warehouse locks).
+var (
+	engineCompiles       atomic.Int64
+	engineBitsetCompiles atomic.Int64
+	engineMemoHits       atomic.Int64
+	engineMemoMisses     atomic.Int64
+	engineComponents     atomic.Int64
+	engineHashCollisions atomic.Int64
+)
+
+// EngineCounters is a snapshot of the probability-engine counters:
+// how many DNFs were compiled (and how many qualified for the ≤64-event
+// bitset fast path), Shannon-expansion memo hits and misses, the number
+// of independent components the decomposition produced, and structural
+// hash collisions (checked, never trusted — a collision only costs a
+// recomputation).
+type EngineCounters struct {
+	Compiles       int64 `json:"compiles"`
+	BitsetCompiles int64 `json:"bitset_compiles"`
+	MemoHits       int64 `json:"memo_hits"`
+	MemoMisses     int64 `json:"memo_misses"`
+	Components     int64 `json:"components"`
+	HashCollisions int64 `json:"hash_collisions"`
+}
+
+// ReadEngineCounters returns the current engine counter values.
+func ReadEngineCounters() EngineCounters {
+	return EngineCounters{
+		Compiles:       engineCompiles.Load(),
+		BitsetCompiles: engineBitsetCompiles.Load(),
+		MemoHits:       engineMemoHits.Load(),
+		MemoMisses:     engineMemoMisses.Load(),
+		Components:     engineComponents.Load(),
+		HashCollisions: engineHashCollisions.Load(),
+	}
+}
+
+// ResetEngineCounters zeroes the engine counters (tests, benchmarks).
+func ResetEngineCounters() {
+	engineCompiles.Store(0)
+	engineBitsetCompiles.Store(0)
+	engineMemoHits.Store(0)
+	engineMemoMisses.Store(0)
+	engineComponents.Store(0)
+	engineHashCollisions.Store(0)
+}
+
+// cclause is one compiled conjunctive clause: sorted local literals,
+// plus pos/neg slot masks when the owning Compiled is small.
+type cclause struct {
+	lits []int32
+	pos  uint64
+	neg  uint64
+}
+
+// Compiled is a DNF compiled against a Table: normalized (unsatisfiable
+// clauses dropped, duplicate literals and absorbed clauses removed),
+// with events interned to dense local slots. It is immutable and safe
+// for concurrent use; Prob and Estimate both run on it.
+type Compiled struct {
+	clauses []cclause
+	probs   []float64 // local slot -> event probability (0 for unused slots)
+	small   bool      // at most 64 local slots: clause masks are valid
+	isTrue  bool      // the DNF contains an always-true clause
+}
+
+// Small reports whether the compiled DNF uses the ≤64-event bitset
+// representation.
+func (c *Compiled) Small() bool { return c.small }
+
+// NumClauses returns the number of clauses after normalization.
+func (c *Compiled) NumClauses() int { return len(c.clauses) }
+
+// cmpClause orders clauses canonically: shorter first, then
+// lexicographically by literal.
+func cmpClause(a, b cclause) int {
+	if len(a.lits) != len(b.lits) {
+		return len(a.lits) - len(b.lits)
+	}
+	return slices.Compare(a.lits, b.lits)
+}
+
+// subsetClause reports whether every literal of a occurs in b.
+func subsetClause(a, b cclause, small bool) bool {
+	if small {
+		return a.pos&^b.pos == 0 && a.neg&^b.neg == 0
+	}
+	i := 0
+	for _, l := range a.lits {
+		for i < len(b.lits) && b.lits[i] < l {
+			i++
+		}
+		if i >= len(b.lits) || b.lits[i] != l {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// absorb filters a canonically sorted clause list in place, dropping
+// every clause that contains all literals of an earlier kept clause
+// (including exact duplicates). The input must be sorted by cmpClause
+// so that weaker (shorter) clauses come first.
+func absorb(cls []cclause, small bool) []cclause {
+	kept := cls[:0]
+	for _, c := range cls {
+		absorbed := false
+		for _, k := range kept {
+			if subsetClause(k, c, small) {
+				absorbed = true
+				break
+			}
+		}
+		if !absorbed {
+			kept = append(kept, c)
+		}
+	}
+	return kept
+}
+
+// clauseMasks computes the pos/neg slot masks of a clause.
+func clauseMasks(lits []int32) (pos, neg uint64) {
+	for _, l := range lits {
+		if l&1 == 1 {
+			neg |= 1 << uint(l>>1)
+		} else {
+			pos |= 1 << uint(l>>1)
+		}
+	}
+	return pos, neg
+}
+
+// CompileDNF compiles d against the table. Events are interned through
+// the table's dense index; events unknown to the table are an error
+// only if they survive normalization (an unknown event confined to an
+// unsatisfiable or absorbed clause is never consulted, matching the
+// possible-worlds semantics and the historical ProbDNF behavior).
+func (t *Table) CompileDNF(d DNF) (*Compiled, error) {
+	engineCompiles.Add(1)
+	c := &Compiled{}
+	if len(d) == 0 {
+		return c, nil // constant false
+	}
+
+	// Pass 1: intern every literal to a global index (table interner,
+	// with a compile-local overflow for events the table doesn't know).
+	var overflow []ID
+	globOf := func(id ID) int32 {
+		if g, ok := t.idx[id]; ok {
+			return g
+		}
+		for i, o := range overflow {
+			if o == id {
+				return int32(len(t.rev) + i)
+			}
+		}
+		overflow = append(overflow, id)
+		return int32(len(t.rev) + len(overflow) - 1)
+	}
+	total := 0
+	for _, cl := range d {
+		total += len(cl)
+	}
+	rawLits := make([]int32, 0, total)
+	ends := make([]int, 0, len(d))
+	for _, cl := range d {
+		for _, l := range cl {
+			g := globOf(l.Event) << 1
+			if l.Neg {
+				g |= 1
+			}
+			rawLits = append(rawLits, g)
+		}
+		ends = append(ends, len(rawLits))
+	}
+
+	// Distinct globals, ascending: the local slot universe. Ordering by
+	// interned index keeps expansion order deterministic per table.
+	globals := make([]int32, len(rawLits))
+	for i, l := range rawLits {
+		globals[i] = l >> 1
+	}
+	slices.Sort(globals)
+	globals = slices.Compact(globals)
+	c.small = len(globals) <= 64
+	if c.small {
+		engineBitsetCompiles.Add(1)
+	}
+
+	// Pass 2: build normalized clauses over local slots.
+	litArena := make([]int32, 0, total)
+	clauses := make([]cclause, 0, len(d))
+	start := 0
+	for _, end := range ends {
+		raw := rawLits[start:end]
+		start = end
+		if len(raw) == 0 {
+			// Always-true clause: the whole DNF is true; no event of any
+			// other clause is ever consulted.
+			c.isTrue = true
+			c.clauses = []cclause{{}}
+			c.probs = make([]float64, len(globals))
+			return c, nil
+		}
+		// Remap to local slots, sort, dedup, drop on contradiction.
+		lits := litArena[len(litArena):len(litArena):cap(litArena)]
+		for _, l := range raw {
+			slot, _ := slices.BinarySearch(globals, l>>1)
+			lits = append(lits, int32(slot)<<1|l&1)
+		}
+		litArena = litArena[:len(litArena)+len(lits)]
+		slices.Sort(lits)
+		lits = slices.Compact(lits)
+		contradicted := false
+		for i := 0; i+1 < len(lits); i++ {
+			if lits[i]>>1 == lits[i+1]>>1 {
+				contradicted = true
+				break
+			}
+		}
+		if contradicted {
+			continue
+		}
+		cl := cclause{lits: lits}
+		if c.small {
+			cl.pos, cl.neg = clauseMasks(lits)
+		}
+		clauses = append(clauses, cl)
+	}
+
+	slices.SortFunc(clauses, cmpClause)
+	clauses = absorb(clauses, c.small)
+	c.clauses = clauses
+
+	// Only events that survive normalization must be known; resolve
+	// their probabilities into the dense local table.
+	c.probs = make([]float64, len(globals))
+	seen := make([]bool, len(globals))
+	for _, cl := range clauses {
+		for _, l := range cl.lits {
+			slot := l >> 1
+			if seen[slot] {
+				continue
+			}
+			seen[slot] = true
+			g := globals[slot]
+			var id ID
+			if int(g) < len(t.rev) {
+				id = t.rev[g]
+			} else {
+				id = overflow[int(g)-len(t.rev)]
+			}
+			p, ok := t.probs[id]
+			if !ok {
+				return nil, fmt.Errorf("event: unknown event %q in DNF %q", id, d)
+			}
+			c.probs[slot] = p
+		}
+	}
+	return c, nil
+}

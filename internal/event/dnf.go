@@ -15,8 +15,15 @@ import (
 // is true.
 type DNF []Condition
 
-// Or appends a clause and returns the extended DNF.
-func (d DNF) Or(c Condition) DNF { return append(d, c) }
+// Or returns the DNF extended by one clause. The receiver is never
+// modified and the result never shares a backing array with it, so two
+// DNFs branched from the same prefix cannot overwrite each other (the
+// aliasing hazard of a bare append).
+func (d DNF) Or(c Condition) DNF {
+	out := make(DNF, len(d), len(d)+1)
+	copy(out, d)
+	return append(out, c)
+}
 
 // Clone returns a deep copy of d.
 func (d DNF) Clone() DNF {
@@ -126,101 +133,21 @@ func (d DNF) String() string {
 	return strings.Join(parts, " | ")
 }
 
-// key returns a canonical memoization key. d must already be normalized.
-func (d DNF) key() string {
-	parts := make([]string, len(d))
-	for i, c := range d {
-		parts[i] = c.String()
-	}
-	return strings.Join(parts, "|")
-}
-
 // ProbDNF computes the exact probability P(c₁ ∨ … ∨ c_k) under the
-// independence assumptions of the table, by memoized Shannon expansion:
-// the DNF is conditioned on its most frequent event and the two cofactors
-// are solved recursively. Worst-case exponential in the number of events
-// (the problem is #P-hard), but fast on the overlapping condition sets
-// produced by query evaluation.
+// independence assumptions of the table. The DNF is compiled to an
+// interned integer-literal form (CompileDNF) and evaluated by memoized
+// Shannon expansion with independent-component decomposition: clauses
+// sharing no event are split into components whose probabilities
+// combine as 1-∏(1-pᵢ), and each component is conditioned on its most
+// frequent event with both cofactors solved recursively. Worst-case
+// exponential in the number of events (the problem is #P-hard), but
+// fast on the overlapping condition sets produced by query evaluation.
 func (t *Table) ProbDNF(d DNF) (float64, error) {
-	n := d.Normalize()
-	for _, e := range n.Events() {
-		if !t.Has(e) {
-			return 0, fmt.Errorf("event: unknown event %q in DNF %q", e, d)
-		}
+	c, err := t.CompileDNF(d)
+	if err != nil {
+		return 0, err
 	}
-	memo := make(map[string]float64)
-	return t.probDNF(n, memo), nil
-}
-
-func (t *Table) probDNF(d DNF, memo map[string]float64) float64 {
-	if len(d) == 0 {
-		return 0
-	}
-	for _, c := range d {
-		if len(c) == 0 {
-			return 1
-		}
-	}
-	key := d.key()
-	if p, ok := memo[key]; ok {
-		return p
-	}
-	e := mostFrequentEvent(d)
-	pe := t.probs[e]
-	pTrue := t.probDNF(cofactor(d, e, true), memo)
-	pFalse := t.probDNF(cofactor(d, e, false), memo)
-	p := pe*pTrue + (1-pe)*pFalse
-	memo[key] = p
-	return p
-}
-
-// mostFrequentEvent returns the event occurring in the largest number of
-// clauses, breaking ties by name for determinism.
-func mostFrequentEvent(d DNF) ID {
-	count := make(map[ID]int)
-	for _, c := range d {
-		for _, l := range c {
-			count[l.Event]++
-		}
-	}
-	var best ID
-	bestN := -1
-	for id, n := range count {
-		if n > bestN || (n == bestN && id < best) {
-			best, bestN = id, n
-		}
-	}
-	return best
-}
-
-// cofactor substitutes the truth value v for event e in d and returns the
-// normalized residual DNF. Clauses contradicted by the substitution are
-// dropped; satisfied literals are removed; a clause that becomes empty
-// makes the whole cofactor true, represented by the single empty clause.
-func cofactor(d DNF, e ID, v bool) DNF {
-	var out DNF
-	for _, c := range d {
-		var residual Condition
-		contradicted := false
-		for _, l := range c {
-			if l.Event != e {
-				residual = append(residual, l)
-				continue
-			}
-			if l.Neg == v { // literal is false under substitution
-				contradicted = true
-				break
-			}
-		}
-		if contradicted {
-			continue
-		}
-		if len(residual) == 0 {
-			return DNF{Condition{}} // true
-		}
-		out = append(out, residual)
-	}
-	return out.Normalize()
+	return c.Prob(), nil
 }
 
 // ProbDNFBrute computes P(d) by enumerating all assignments over the
@@ -239,24 +166,24 @@ func (t *Table) ProbDNFBrute(d DNF) (float64, error) {
 	return total, nil
 }
 
-// EstimateDNF estimates P(d) by Monte Carlo sampling of assignments. It
-// is the scalable alternative when exact Shannon expansion becomes
-// expensive; the standard error decreases as 1/sqrt(samples).
+// EstimateDNF estimates P(d) by Monte Carlo sampling. It is the
+// scalable alternative when exact Shannon expansion becomes expensive;
+// the standard error decreases as 1/sqrt(samples). Sampling runs on the
+// same compiled form as the exact engine: on the ≤64-event fast path a
+// sampled world is one uint64 and each clause check is two word
+// operations.
 func (t *Table) EstimateDNF(d DNF, samples int, r *rand.Rand) (float64, error) {
 	if samples <= 0 {
 		return 0, fmt.Errorf("event: non-positive sample count %d", samples)
 	}
-	events := d.Events()
-	for _, e := range events {
+	for _, e := range d.Events() {
 		if !t.Has(e) {
 			return 0, fmt.Errorf("event: unknown event %q in DNF %q", e, d)
 		}
 	}
-	hits := 0
-	for i := 0; i < samples; i++ {
-		if d.Eval(t.SampleAssignment(events, r)) {
-			hits++
-		}
+	c, err := t.CompileDNF(d)
+	if err != nil {
+		return 0, err
 	}
-	return float64(hits) / float64(samples), nil
+	return c.Estimate(samples, r), nil
 }

@@ -219,3 +219,24 @@ func TestDNFOr(t *testing.T) {
 		t.Errorf("Or produced %d clauses", len(d))
 	}
 }
+
+// TestDNFOrNoAliasing is the regression test for the append-aliasing
+// hazard: two DNFs branched from the same prefix must not share a
+// backing array, or the second Or silently overwrites the first
+// branch's clause.
+func TestDNFOrNoAliasing(t *testing.T) {
+	base := make(DNF, 1, 4) // spare capacity, the dangerous case for append
+	base[0] = MustParseCondition("w1")
+	d1 := base.Or(MustParseCondition("w2"))
+	d2 := base.Or(MustParseCondition("w3"))
+	if got := d1[1].String(); got != "w2" {
+		t.Errorf("first branch clause = %q, want \"w2\" (clobbered by aliasing)", got)
+	}
+	if got := d2[1].String(); got != "w3" {
+		t.Errorf("second branch clause = %q, want \"w3\"", got)
+	}
+	// The receiver itself must stay untouched.
+	if len(base) != 1 || base[0].String() != "w1" {
+		t.Errorf("receiver mutated by Or: %v", base)
+	}
+}

@@ -1,0 +1,86 @@
+package event
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// decodeFuzzDNF deterministically decodes a byte stream into an event
+// table (2–12 events with probabilities from the stream, including the
+// 0 and 1 edge cases) and a DNF over those events. Bytes past the end
+// of the stream read as zero, so every input decodes.
+func decodeFuzzDNF(data []byte) (*Table, DNF) {
+	cur := 0
+	next := func() byte {
+		if cur < len(data) {
+			b := data[cur]
+			cur++
+			return b
+		}
+		cur++
+		return 0
+	}
+	n := 2 + int(next())%11 // 2..12 events
+	tab := NewTable()
+	ids := make([]ID, n)
+	for i := range ids {
+		ids[i] = ID(fmt.Sprintf("e%d", i))
+		tab.MustSet(ids[i], float64(next())/255)
+	}
+	k := 1 + int(next())%8 // 1..8 clauses
+	var d DNF
+	for i := 0; i < k; i++ {
+		m := int(next()) % 6 // 0..5 literals; 0 is the always-true clause
+		var c Condition
+		for j := 0; j < m; j++ {
+			b := next()
+			c = append(c, Literal{Event: ids[int(b&0x7f)%n], Neg: b&0x80 != 0})
+		}
+		d = append(d, c)
+	}
+	return tab, d
+}
+
+// FuzzProbDNFDifferential checks the compiled exact engine against the
+// brute-force world-enumeration oracle on random tables and DNFs of up
+// to 12 events, and checks normalization invariance of the result. In
+// normal `go test` runs (and CI) the checked-in seed corpus under
+// testdata/fuzz plus the f.Add seeds below execute as regular test
+// cases; `go test -fuzz=FuzzProbDNFDifferential` explores further.
+func FuzzProbDNFDifferential(f *testing.F) {
+	// Adversarial shapes mirroring dnf_test.go: contradictions,
+	// absorption pairs, an always-true clause, repeated literals, dense
+	// overlap, and degenerate probabilities 0 and 1.
+	f.Add([]byte{})                                          // minimal: all-zero stream
+	f.Add([]byte{0, 255, 0, 1, 2, 0x02, 0x82})               // w and !w in one clause (contradiction)
+	f.Add([]byte{0, 128, 128, 2, 1, 0x00, 2, 0x00, 0x01})    // "e0" absorbs "e0 e1"
+	f.Add([]byte{1, 10, 200, 30, 2, 0, 3, 0x01, 0x81, 0x02}) // true clause disables event checks
+	f.Add([]byte{3, 0, 255, 64, 192, 4, 3, 1, 1, 1, 2, 0x83, 0x04, 1, 0x82})
+	f.Add([]byte{10, 9, 18, 27, 36, 45, 54, 63, 72, 81, 90, 99, 108, 7,
+		2, 0x01, 0x82, 2, 0x03, 0x84, 2, 0x05, 0x86, 2, 0x07, 0x88,
+		2, 0x09, 0x8a, 3, 0x01, 0x03, 0x05, 3, 0x02, 0x04, 0x06}) // disjoint pairs: component decomposition
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tab, d := decodeFuzzDNF(data)
+		exact, err := tab.ProbDNF(d)
+		if err != nil {
+			t.Fatalf("ProbDNF(%v) over %v: %v", d, tab, err)
+		}
+		brute, err := tab.ProbDNFBrute(d)
+		if err != nil {
+			t.Fatalf("ProbDNFBrute(%v): %v", d, err)
+		}
+		if math.Abs(exact-brute) > 1e-12 {
+			t.Errorf("ProbDNF = %.17g, brute = %.17g (diff %g)\n dnf: %v\n table: %v",
+				exact, brute, exact-brute, d, tab)
+		}
+		norm, err := tab.ProbDNF(d.Normalize())
+		if err != nil {
+			t.Fatalf("ProbDNF(normalized %v): %v", d.Normalize(), err)
+		}
+		if math.Abs(exact-norm) > 1e-12 {
+			t.Errorf("normalization changed the probability: %.17g vs %.17g\n dnf: %v",
+				exact, norm, d)
+		}
+	})
+}

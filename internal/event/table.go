@@ -12,11 +12,18 @@ import (
 type Table struct {
 	probs   map[ID]float64
 	counter int // monotonically increasing suffix for Fresh
+
+	// Interner for the probability engine: every event ever Set gets a
+	// dense int32 index (append-only; Delete leaves a tombstone so
+	// indexes stay stable). Mutated only under Set, so the read-only
+	// compile path is safe for concurrent queries.
+	idx map[ID]int32
+	rev []ID
 }
 
 // NewTable returns an empty event table.
 func NewTable() *Table {
-	return &Table{probs: make(map[ID]float64)}
+	return &Table{probs: make(map[ID]float64), idx: make(map[ID]int32)}
 }
 
 // Set records the probability of event e. It returns an error if p is
@@ -29,6 +36,10 @@ func (t *Table) Set(e ID, p float64) error {
 		return fmt.Errorf("event: probability %v of %q outside [0,1]", p, e)
 	}
 	t.probs[e] = p
+	if _, ok := t.idx[e]; !ok {
+		t.idx[e] = int32(len(t.rev))
+		t.rev = append(t.rev, e)
+	}
 	return nil
 }
 
@@ -70,11 +81,22 @@ func (t *Table) Events() []ID {
 	return out
 }
 
-// Clone returns a deep copy of the table.
+// Clone returns a deep copy of the table. The interner is compacted to
+// the live events (Delete leaves tombstones in the original so indexes
+// stay stable under concurrent reads; a fresh clone has no readers, so
+// reclaiming them here keeps long-lived clone chains — one per
+// warehouse update — from growing without bound).
 func (t *Table) Clone() *Table {
 	c := NewTable()
 	for id, p := range t.probs {
 		c.probs[id] = p
+	}
+	c.rev = make([]ID, 0, len(t.probs))
+	for _, id := range t.rev {
+		if _, ok := t.probs[id]; ok {
+			c.idx[id] = int32(len(c.rev))
+			c.rev = append(c.rev, id)
+		}
 	}
 	c.counter = t.counter
 	return c

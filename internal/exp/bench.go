@@ -1,0 +1,158 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/tpwj"
+)
+
+// This file backs pxbench's machine-readable output (-json): a fixed
+// set of named probes measured with testing.Benchmark, serialized as
+// BENCH_<date>.json so the performance trajectory of the hot paths can
+// be tracked across PRs. The probe shapes deliberately mirror the
+// repository-root testing.B benchmarks (bench_test.go) so the two
+// views stay comparable.
+
+// Probe is one named micro-benchmark.
+type Probe struct {
+	Name string
+	Run  func(b *testing.B)
+}
+
+// AblationDNF builds the ablation workload of BenchmarkAblationProbDNF:
+// m events and m random two-literal clauses over them.
+func AblationDNF(m int) (*event.Table, event.DNF) {
+	tab := event.NewTable()
+	r := rand.New(rand.NewSource(int64(m)))
+	ids := make([]event.ID, 0, m)
+	for i := 0; i < m; i++ {
+		id, _ := tab.Fresh("e", 0.1+0.8*r.Float64())
+		ids = append(ids, id)
+	}
+	var d event.DNF
+	for i := 0; i < m; i++ {
+		c := event.Cond(
+			event.Literal{Event: ids[r.Intn(m)], Neg: r.Intn(2) == 0},
+			event.Literal{Event: ids[r.Intn(m)], Neg: r.Intn(2) == 0},
+		)
+		d = append(d, c.Normalize())
+	}
+	return tab, d
+}
+
+// Probes returns the probe set: the exact probability engine against
+// its brute-force oracle, Monte-Carlo estimation, and the end-to-end
+// fuzzy query and update paths that sit on top of them.
+func Probes() []Probe {
+	return []Probe{
+		{"probdnf/exact/events=14", func(b *testing.B) {
+			tab, d := AblationDNF(14)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := tab.ProbDNF(d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"probdnf/brute/events=14", func(b *testing.B) {
+			tab, d := AblationDNF(14)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := tab.ProbDNFBrute(d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"probdnf/estimate/events=14/samples=10000", func(b *testing.B) {
+			tab, d := AblationDNF(14)
+			r := rand.New(rand.NewSource(1))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := tab.EstimateDNF(d, 10000, r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"query/fuzzy/events=12", func(b *testing.B) {
+			ft := SectionDoc(12)
+			q := tpwj.MustParseQuery("A(//L $x)")
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := tpwj.EvalFuzzy(q, ft); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"expand/worlds/events=12", func(b *testing.B) {
+			ft := SectionDoc(12)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ft.Expand(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+}
+
+// BenchResult is one probe's measurement.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// ExperimentResult is one experiment's pass/fail status.
+type ExperimentResult struct {
+	ID string `json:"id"`
+	OK bool   `json:"ok"`
+}
+
+// BenchReport is the BENCH_<date>.json document (see README, section
+// "Benchmark tracking").
+type BenchReport struct {
+	Date        string               `json:"date"`
+	GoVersion   string               `json:"go_version"`
+	Engine      event.EngineCounters `json:"engine_counters"`
+	Benchmarks  []BenchResult        `json:"benchmarks"`
+	Experiments []ExperimentResult   `json:"experiments,omitempty"`
+}
+
+// RunProbes measures every probe with testing.Benchmark and returns the
+// report skeleton (Date and Experiments are filled by the caller). The
+// engine counters accumulated while probing are included, giving a
+// coarse view of memo and component behavior alongside the timings.
+func RunProbes(date string) BenchReport {
+	event.ResetEngineCounters()
+	rep := BenchReport{Date: date, GoVersion: runtime.Version()}
+	for _, p := range Probes() {
+		res := testing.Benchmark(p.Run)
+		rep.Benchmarks = append(rep.Benchmarks, BenchResult{
+			Name:        p.Name,
+			Iterations:  res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		})
+	}
+	rep.Engine = event.ReadEngineCounters()
+	return rep
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("exp: encoding bench report: %w", err)
+	}
+	return nil
+}

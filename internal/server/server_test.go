@@ -366,6 +366,27 @@ func TestStatsTracksRoutes(t *testing.T) {
 	}
 }
 
+// TestStatsSurfacesEngineCounters checks that /stats reports the
+// probability-engine counters and that running an exact query advances
+// them (the counters are process-global, so only growth is asserted).
+func TestStatsSurfacesEngineCounters(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	if status, _ := do(t, "PUT", ts.URL+"/docs/ex", sampleDocXML(t)); status != 201 {
+		t.Fatal("setup create failed")
+	}
+	before := serverStats(t, ts).Engine
+	if status, _ := query(t, ts, "ex", QueryRequest{Query: "A(B $b)"}); status != 200 {
+		t.Fatal("query failed")
+	}
+	after := serverStats(t, ts).Engine
+	if after.Compiles <= before.Compiles {
+		t.Errorf("engine compiles did not advance: %d -> %d", before.Compiles, after.Compiles)
+	}
+	if after.BitsetCompiles <= before.BitsetCompiles {
+		t.Errorf("bitset compiles did not advance: %d -> %d", before.BitsetCompiles, after.BitsetCompiles)
+	}
+}
+
 func TestCacheDisabled(t *testing.T) {
 	ts, _ := newTestServer(t, Options{CacheSize: -1})
 	if status, _ := do(t, "PUT", ts.URL+"/docs/ex", sampleDocXML(t)); status != 201 {

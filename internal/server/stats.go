@@ -3,6 +3,8 @@ package server
 import (
 	"sync"
 	"time"
+
+	"repro/internal/event"
 )
 
 // stats accumulates per-route request counters and cache counters.
@@ -71,10 +73,14 @@ type CacheSnapshot struct {
 	Capacity int     `json:"capacity"`
 }
 
-// StatsSnapshot is the GET /stats response body.
+// StatsSnapshot is the GET /stats response body. Engine reports the
+// probability-engine counters (DNF compiles, bitset fast-path share,
+// Shannon memo hits/misses, component decompositions) accumulated over
+// the whole process.
 type StatsSnapshot struct {
 	Requests map[string]RouteSnapshot `json:"requests"`
 	Cache    CacheSnapshot            `json:"cache"`
+	Engine   event.EngineCounters     `json:"engine"`
 }
 
 func (s *stats) snapshot(entries, capacity int) StatsSnapshot {
@@ -88,6 +94,7 @@ func (s *stats) snapshot(entries, capacity int) StatsSnapshot {
 			Entries:  entries,
 			Capacity: capacity,
 		},
+		Engine: event.ReadEngineCounters(),
 	}
 	if total := s.hits + s.misses; total > 0 {
 		out.Cache.HitRate = float64(s.hits) / float64(total)
