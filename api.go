@@ -75,6 +75,12 @@ type (
 	Warehouse = warehouse.Warehouse
 	// WarehouseInfo summarizes a stored document.
 	WarehouseInfo = warehouse.Info
+	// JournalStats reports warehouse journal counters: durable
+	// appends, group-commit fsync batches, recovery outcomes.
+	JournalStats = warehouse.JournalStats
+	// JournalSummary describes a warehouse journal file as found on
+	// disk, without recovering it (see InspectJournal).
+	JournalSummary = warehouse.JournalSummary
 	// Server is an http.Handler exposing a warehouse over an HTTP/JSON
 	// API with per-document concurrency and a query-result cache.
 	Server = server.Server
@@ -195,8 +201,15 @@ func FromWorlds(s *Worlds, eventPrefix string) (*FuzzyTree, error) {
 func Simplify(doc *FuzzyTree) SimplifyStats { return doc.Simplify() }
 
 // OpenWarehouse opens (creating if necessary) a warehouse directory and
-// runs crash recovery.
+// runs scan-based crash recovery: each document is restored to its last
+// committed journaled state and in-flight mutations are rolled back.
 func OpenWarehouse(dir string) (*Warehouse, error) { return warehouse.Open(dir) }
+
+// InspectJournal summarizes a warehouse directory's journal — record
+// and outcome counts, in-flight mutations, torn tails, structural
+// problems — without opening the warehouse or running recovery (the
+// pxwarehouse verify-journal subcommand).
+func InspectJournal(dir string) (JournalSummary, error) { return warehouse.InspectJournal(dir) }
 
 // --- parsing and formatting ------------------------------------------------
 

@@ -170,6 +170,17 @@ func TestCLIEndToEnd(t *testing.T) {
 	if strings.Contains(out, "demo") {
 		t.Errorf("document survived drop:\n%s", out)
 	}
+
+	// verify-journal inspects without recovering; recover reports the
+	// recovery outcome of an open (a no-op on this healthy warehouse).
+	out = run(t, bins["pxwarehouse"], "-dir", wh, "verify-journal")
+	if !strings.Contains(out, "0 pending") || strings.Contains(out, "problem:") {
+		t.Errorf("pxwarehouse verify-journal:\n%s", out)
+	}
+	out = run(t, bins["pxwarehouse"], "-dir", wh, "recover")
+	if !strings.Contains(out, "0 rollbacks") {
+		t.Errorf("pxwarehouse recover:\n%s", out)
+	}
 }
 
 func TestCLIPxbenchSelected(t *testing.T) {

@@ -72,9 +72,46 @@
 //
 // OpenWarehouse provides the durable store of the paper's architecture:
 // named fuzzy documents on the file system with atomic replacement, a
-// write-ahead journal carrying full post-states, and roll-forward crash
+// write-ahead journal carrying full post-states, and scan-based crash
 // recovery. Updates can also be expressed in an XUpdate-style XML syntax
 // (ParseTransactionXML).
+//
+// # Durability and recovery
+//
+// The warehouse applies each probabilistic update atomically, matching
+// the paper's update semantics (Section 5): a mutation either happened
+// in full or not at all, and which one the caller was told is what a
+// crash preserves. Concretely:
+//
+//   - A mutation (Create, Update, Simplify, Drop) is durable exactly
+//     when the call returns nil. By then the journal holds the
+//     mutation record — its own sequence number and the full
+//     post-state, fsynced before the document file is touched — and a
+//     fsynced commit marker naming that sequence number. Mutations on
+//     different documents interleave their durable phases; concurrent
+//     fsyncs are group-committed. The journal, not the document file,
+//     is the durable copy of recent content: file swaps defer their
+//     fsync to it, and Compact syncs the files before dropping it.
+//
+//   - A mutation that returned an error, or that was in flight at a
+//     crash (record journaled, marker missing), never happened:
+//     recovery at OpenWarehouse scans the whole journal, restores
+//     every document to its last committed journaled state, and
+//     resolves each in-flight mutation with an abort marker. An abort
+//     in the journal always means "the caller was told this failed
+//     and the document is unchanged". One narrow exception: an error
+//     from journaling the outcome marker itself (a failing disk)
+//     leaves the result visible to the live process, and the next
+//     OpenWarehouse resolves it either way.
+//
+//   - Visibility precedes durability: a concurrent reader of the same
+//     document may observe a mutation's result between its install
+//     and the commit fsync. The returned nil — not the first read
+//     that sees the data — is the durability acknowledgment.
+//
+// The on-disk record format, the torn-write rules and a worked
+// recovery example are in docs/JOURNAL.md; pxwarehouse verify-journal
+// inspects a journal without recovering it.
 //
 // # Server
 //

@@ -13,7 +13,7 @@
 //	POST   /docs/{name}/update    apply a probabilistic transaction
 //	POST   /docs/{name}/simplify  run simplification passes
 //	POST   /admin/compact         truncate the journal
-//	GET    /stats                 request counters and cache hit rate
+//	GET    /stats                 request, cache, engine and journal counters
 //	GET    /healthz               liveness probe
 //
 // Query results are served from an LRU cache keyed by (document,
@@ -396,7 +396,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if capacity < 0 {
 		capacity = 0
 	}
-	writeJSON(w, http.StatusOK, s.stats.snapshot(s.cache.len(), capacity))
+	writeJSON(w, http.StatusOK, s.stats.snapshot(s.cache.len(), capacity, s.wh.JournalStats()))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -387,6 +387,25 @@ func TestStatsSurfacesEngineCounters(t *testing.T) {
 	}
 }
 
+// TestStatsSurfacesJournalCounters checks that /stats reports the
+// warehouse journal counters and that a mutation advances the durable
+// append count.
+func TestStatsSurfacesJournalCounters(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	before := serverStats(t, ts).Journal
+	if status, _ := do(t, "PUT", ts.URL+"/docs/jc", sampleDocXML(t)); status != 201 {
+		t.Fatal("setup create failed")
+	}
+	after := serverStats(t, ts).Journal
+	// A create appends a mutation record and its commit marker.
+	if after.Appends != before.Appends+2 {
+		t.Errorf("journal appends = %d -> %d, want +2", before.Appends, after.Appends)
+	}
+	if after.SyncBatches <= before.SyncBatches || after.SyncBatches > after.Appends {
+		t.Errorf("sync batches = %d, want in (%d, %d]", after.SyncBatches, before.SyncBatches, after.Appends)
+	}
+}
+
 func TestCacheDisabled(t *testing.T) {
 	ts, _ := newTestServer(t, Options{CacheSize: -1})
 	if status, _ := do(t, "PUT", ts.URL+"/docs/ex", sampleDocXML(t)); status != 201 {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/event"
+	"repro/internal/warehouse"
 )
 
 // stats accumulates per-route request counters and cache counters.
@@ -76,14 +77,17 @@ type CacheSnapshot struct {
 // StatsSnapshot is the GET /stats response body. Engine reports the
 // probability-engine counters (DNF compiles, bitset fast-path share,
 // Shannon memo hits/misses, component decompositions) accumulated over
-// the whole process.
+// the whole process; Journal reports the warehouse's write-ahead
+// journal counters (durable appends, group-commit fsync batches, and
+// the recovery outcomes of the last Open).
 type StatsSnapshot struct {
 	Requests map[string]RouteSnapshot `json:"requests"`
 	Cache    CacheSnapshot            `json:"cache"`
 	Engine   event.EngineCounters     `json:"engine"`
+	Journal  warehouse.JournalStats   `json:"journal"`
 }
 
-func (s *stats) snapshot(entries, capacity int) StatsSnapshot {
+func (s *stats) snapshot(entries, capacity int, journal warehouse.JournalStats) StatsSnapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := StatsSnapshot{
@@ -94,7 +98,8 @@ func (s *stats) snapshot(entries, capacity int) StatsSnapshot {
 			Entries:  entries,
 			Capacity: capacity,
 		},
-		Engine: event.ReadEngineCounters(),
+		Engine:  event.ReadEngineCounters(),
+		Journal: journal,
 	}
 	if total := s.hits + s.misses; total > 0 {
 		out.Cache.HitRate = float64(s.hits) / float64(total)

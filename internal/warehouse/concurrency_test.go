@@ -105,19 +105,34 @@ func TestStressParallelMixed(t *testing.T) {
 		t.Error(err)
 	}
 
-	// Concurrent installs must keep each journal (mutation, marker)
-	// pair adjacent — the invariant crash recovery relies on.
+	// Concurrent installs may interleave mutation records and markers
+	// freely, but every mutation must be resolved by exactly one
+	// marker whose RefSeq names it — the invariant scan-based crash
+	// recovery relies on. (The warehouse is quiescent here, so the
+	// journal read is exact.)
 	recs, err := w.Journal()
 	if err != nil {
 		t.Fatal(err)
 	}
+	resolved := make(map[int64]Op)
 	for i, rec := range recs {
-		if rec.Op == "commit" || rec.Op == "abort" {
-			continue
+		if rec.Op.Marker() {
+			if _, dup := resolved[rec.RefSeq]; dup {
+				t.Fatalf("journal record %d: duplicate marker for seq %d", i, rec.RefSeq)
+			}
+			resolved[rec.RefSeq] = rec.Op
 		}
-		if i+1 >= len(recs) || (recs[i+1].Op != "commit" && recs[i+1].Op != "abort") {
-			t.Fatalf("journal record %d (%s %q) not followed by its marker", i, rec.Op, rec.Doc)
+	}
+	for i, rec := range recs {
+		if rec.Op.Mutation() {
+			if _, ok := resolved[rec.Seq]; !ok {
+				t.Fatalf("journal record %d (%s %q seq %d) has no marker", i, rec.Op, rec.Doc, rec.Seq)
+			}
+			delete(resolved, rec.Seq)
 		}
+	}
+	for seq, op := range resolved {
+		t.Errorf("marker %s ref %d matches no mutation", op, seq)
 	}
 
 	// Whatever survives the churn must be consistently readable.

@@ -2,20 +2,58 @@ package warehouse
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 )
 
-// Record is one entry of the write-ahead journal. Mutations are logged
-// with the full post-state content before the document file is replaced,
-// then marked committed ("abort" marks a mutation whose apply failed);
-// recovery rolls the last mutation forward if neither marker follows it.
+// Op enumerates the journal record kinds: three document mutations and
+// the two markers that resolve them.
+type Op string
+
+const (
+	// OpCreate stores a new document; Content is the full post-state.
+	OpCreate Op = "create"
+	// OpUpdate replaces a document; Content is the full post-state and
+	// Tx the XUpdate serialization of the applied transaction.
+	OpUpdate Op = "update"
+	// OpDrop removes a document.
+	OpDrop Op = "drop"
+	// OpCommit marks the mutation its RefSeq names as taken effect.
+	OpCommit Op = "commit"
+	// OpAbort marks the mutation its RefSeq names as without effect.
+	OpAbort Op = "abort"
+)
+
+// Mutation reports whether op is a document mutation (as opposed to a
+// commit/abort marker).
+func (op Op) Mutation() bool { return op == OpCreate || op == OpUpdate || op == OpDrop }
+
+// Marker reports whether op resolves a prior mutation record.
+func (op Op) Marker() bool { return op == OpCommit || op == OpAbort }
+
+// Record is one entry of the write-ahead journal. Every mutation is a
+// two-record protocol: first a mutation record (create/update/drop)
+// carrying its own Seq and the full post-state content, made durable
+// before the document file is touched; then a commit marker whose
+// RefSeq echoes that Seq ("abort" marks a mutation whose apply
+// failed). Markers of concurrent mutations on different documents may
+// interleave freely with other records — recovery pairs records by
+// Seq/RefSeq, not by adjacency — and a mutation whose marker never
+// made it to disk is rolled back on recovery.
 type Record struct {
-	Seq int64  `json:"seq"`
-	Op  string `json:"op"`            // "create", "update", "drop", "commit", "abort"
-	Doc string `json:"doc,omitempty"` // document name (mutations only)
+	Seq int64 `json:"seq"`
+	Op  Op    `json:"op"`
+	// RefSeq, on commit/abort markers, names the Seq of the mutation
+	// record the marker resolves. Zero on mutation records (and on
+	// markers written by the pre-RefSeq journal format, which recovery
+	// resolves to the nearest preceding mutation).
+	RefSeq int64  `json:"ref,omitempty"`
+	Doc    string `json:"doc,omitempty"` // document name (mutations only)
 	// Tx is the XUpdate serialization of the applied transaction
 	// (op "update" only), kept for auditability.
 	Tx string `json:"tx,omitempty"`
@@ -25,91 +63,191 @@ type Record struct {
 }
 
 // maxRecordBytes bounds one journal record, enforced at append time so
-// an oversized mutation fails cleanly instead of writing a line the
-// scanner in readJournal could never re-read — which would make the
-// warehouse permanently unopenable. The cap leaves generous headroom
+// an oversized mutation fails cleanly instead of writing a line
+// readJournal would reject as corrupt — which would truncate every
+// record after it on the next open. The cap leaves generous headroom
 // over the server's 64MB body limit after JSON string escaping.
 const maxRecordBytes = 512 << 20
 
-// journal is an append-only JSON-lines file. Appends from concurrent
-// per-document mutations are serialized by its own mutex.
-type journal struct {
-	mu  sync.Mutex
-	f   *os.File
-	seq int64
+// journalCounters accumulates journal activity across the journal
+// instances a warehouse goes through (Compact replaces the instance
+// but keeps the counters, so /stats stays monotonic).
+type journalCounters struct {
+	appends atomic.Int64 // records durably appended
+	batches atomic.Int64 // fsync calls (group commit: batches ≤ appends)
 }
 
-func openJournal(path string) (*journal, []Record, error) {
-	records, err := readJournal(path)
+// journal is an append-only JSON-lines file. Appends from concurrent
+// per-document mutations interleave freely; each append returns only
+// once its record is durable, but the fsyncs of concurrent appends are
+// group-committed: whichever appender reaches the disk first syncs the
+// whole buffered batch, and the others observe their record already
+// covered and return without their own fsync.
+type journal struct {
+	// mu guards the buffered writer, the sequence counter, and the
+	// count of buffered records. It is held only for the in-memory
+	// marshal-and-buffer step, never across an fsync.
+	mu      sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+	seq     int64
+	written int64 // records buffered so far
+
+	// syncMu serializes fsyncs. synced (guarded by syncMu) is the
+	// count of records durably on disk; an appender whose record index
+	// is ≤ synced was covered by another appender's batch.
+	syncMu sync.Mutex
+	synced int64
+
+	counters *journalCounters
+}
+
+func openJournal(path string, counters *journalCounters) (*journal, []Record, error) {
+	records, clean, torn, err := readJournal(path)
 	if err != nil {
 		return nil, nil, err
+	}
+	if torn {
+		// Drop the torn tail before appending: a fresh record written
+		// after a partial line would glue onto it, turning the torn
+		// write into mid-file corruption that costs every later record
+		// on the next open.
+		if err := os.Truncate(path, clean); err != nil {
+			return nil, nil, fmt.Errorf("warehouse: truncate torn journal tail: %w", err)
+		}
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("warehouse: open journal: %w", err)
 	}
 	var seq int64
-	if len(records) > 0 {
-		seq = records[len(records)-1].Seq
+	for _, r := range records {
+		if r.Seq > seq {
+			seq = r.Seq
+		}
 	}
-	return &journal{f: f, seq: seq}, records, nil
+	return &journal{f: f, w: bufio.NewWriterSize(f, 1<<16), seq: seq, counters: counters}, records, nil
 }
 
-// readJournal loads all well-formed records; a trailing partial line
-// (torn write) is ignored, matching the recovery semantics.
-func readJournal(path string) ([]Record, error) {
+// readJournal loads all well-formed records and reports the byte
+// length of the clean prefix holding them. A trailing fragment — a
+// line missing its terminating newline, failing to parse, or
+// impossibly large — is a torn write from a crash mid-append: every
+// acknowledged append was fsynced in full, newline included, so a
+// malformed tail can only belong to a mutation nobody was told
+// succeeded. It is reported (and not counted in clean) rather than
+// treated as an error.
+func readJournal(path string) (records []Record, clean int64, torn bool, err error) {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
-		return nil, nil
+		return nil, 0, false, nil
 	}
 	if err != nil {
-		return nil, fmt.Errorf("warehouse: read journal: %w", err)
+		return nil, 0, false, fmt.Errorf("warehouse: read journal: %w", err)
 	}
 	defer f.Close()
-	var records []Record
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<20), maxRecordBytes)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
+	br := bufio.NewReaderSize(f, 1<<20)
+	var line []byte
+	for {
+		frag, err := br.ReadSlice('\n')
+		line = append(line, frag...)
+		if err == bufio.ErrBufferFull {
+			// Accumulate long lines fragment by fragment, bailing once
+			// past the record cap so a newline-free corrupt region can
+			// never be slurped into memory whole.
+			if len(line) >= maxRecordBytes {
+				return records, clean, true, nil
+			}
+			continue
+		}
+		if err == io.EOF {
+			if len(line) > 0 {
+				torn = true
+			}
+			return records, clean, torn, nil
+		}
+		if err != nil {
+			return nil, 0, false, fmt.Errorf("warehouse: scan journal: %w", err)
+		}
+		body := bytes.TrimSuffix(line, []byte{'\n'})
+		if len(body) == 0 {
+			clean += int64(len(line))
+			line = line[:0]
 			continue
 		}
 		var r Record
-		if err := json.Unmarshal(line, &r); err != nil {
-			// Torn tail from a crash mid-append: ignore it and stop.
-			break
+		if len(body) >= maxRecordBytes || json.Unmarshal(body, &r) != nil {
+			return records, clean, true, nil
 		}
 		records = append(records, r)
+		clean += int64(len(line))
+		line = line[:0]
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("warehouse: scan journal: %w", err)
-	}
-	return records, nil
 }
 
-// append durably writes a record and returns its sequence number.
+// append durably writes a record and returns its sequence number. The
+// record is buffered under the journal mutex and then made durable by
+// syncTo, so concurrent appends batch their fsyncs.
 func (j *journal) append(r Record) (int64, error) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
-	j.seq++
-	r.Seq = j.seq
+	seq := j.seq + 1
+	r.Seq = seq
 	data, err := json.Marshal(r)
 	if err != nil {
+		j.mu.Unlock()
 		return 0, fmt.Errorf("warehouse: marshal journal record: %w", err)
 	}
 	if len(data) >= maxRecordBytes {
+		j.mu.Unlock()
 		return 0, fmt.Errorf("warehouse: journal record of %d bytes exceeds the %d limit", len(data), maxRecordBytes)
 	}
 	data = append(data, '\n')
-	if _, err := j.f.Write(data); err != nil {
+	if _, err := j.w.Write(data); err != nil {
+		j.mu.Unlock()
 		return 0, fmt.Errorf("warehouse: append journal: %w", err)
 	}
-	if err := j.f.Sync(); err != nil {
-		return 0, fmt.Errorf("warehouse: sync journal: %w", err)
+	j.seq = seq
+	j.written++
+	idx := j.written
+	j.mu.Unlock()
+	if err := j.syncTo(idx); err != nil {
+		return 0, err
 	}
-	return j.seq, nil
+	j.counters.appends.Add(1)
+	return seq, nil
+}
+
+// syncTo blocks until the idx-th buffered record is durable. The first
+// appender through syncMu flushes and fsyncs everything buffered so
+// far — one batch — and appenders queued behind it find their record
+// already covered.
+func (j *journal) syncTo(idx int64) error {
+	j.syncMu.Lock()
+	defer j.syncMu.Unlock()
+	if j.synced >= idx {
+		return nil
+	}
+	j.mu.Lock()
+	target := j.written
+	err := j.w.Flush()
+	j.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("warehouse: flush journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("warehouse: sync journal: %w", err)
+	}
+	j.synced = target
+	j.counters.batches.Add(1)
+	return nil
 }
 
 func (j *journal) close() error {
-	return j.f.Close()
+	j.mu.Lock()
+	err := j.w.Flush()
+	j.mu.Unlock()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

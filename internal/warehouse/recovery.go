@@ -1,0 +1,332 @@
+package warehouse
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// JournalStats reports journal activity counters: durable appends,
+// group-commit fsync batches (batches ≤ appends; the gap is fsyncs
+// saved by batching), and the outcomes of the last recovery scan.
+// Served by pxserve under /stats as "journal".
+type JournalStats struct {
+	// Appends counts records durably appended, cumulative across
+	// Compact calls.
+	Appends int64 `json:"appends"`
+	// SyncBatches counts fsync calls; concurrent appends share
+	// batches, so appends/sync_batches is the group-commit factor.
+	SyncBatches int64 `json:"sync_batches"`
+	// RecoveryReplays counts documents whose on-disk file recovery
+	// rewrote (or removed) to match the journal's last committed
+	// mutation at Open.
+	RecoveryReplays int64 `json:"recovery_replays"`
+	// RecoveryRollbacks counts in-flight (unmarked) mutations recovery
+	// resolved with an abort marker.
+	RecoveryRollbacks int64 `json:"recovery_rollbacks"`
+	// RecoveryRollforwards counts in-flight mutations recovery
+	// resolved with a commit marker because the on-disk evidence shows
+	// the apply completed and the pre-state predates the journal.
+	RecoveryRollforwards int64 `json:"recovery_rollforwards"`
+}
+
+// JournalStats returns the warehouse's journal counters.
+func (w *Warehouse) JournalStats() JournalStats {
+	return JournalStats{
+		Appends:              w.jc.appends.Load(),
+		SyncBatches:          w.jc.batches.Load(),
+		RecoveryReplays:      w.recoveryReplays,
+		RecoveryRollbacks:    w.recoveryRollbacks,
+		RecoveryRollforwards: w.recoveryRollforwards,
+	}
+}
+
+// recover applies scan-based journal recovery at Open. The whole
+// journal is scanned, pairing every mutation record with its marker by
+// Seq/RefSeq; then, per document:
+//
+//   - The last committed mutation's state is re-applied to the
+//     document file (idempotently: the file is rewritten only if it
+//     differs). This both repairs a crash between a commit marker's
+//     buffering and its fsync and undoes the file effect of any
+//     in-flight mutation that swapped the file before crashing.
+//
+//   - Every unmarked (in-flight) mutation is rolled back with an abort
+//     marker: its caller was never acknowledged, so it never happened.
+//     The one exception is a document whose only journal trace is the
+//     in-flight mutation itself (its committed state predates the
+//     journal, truncated away by Compact): there the pre-state content
+//     is unrecoverable, so recovery decides by on-disk evidence — if
+//     the file already holds the journaled post-state the apply
+//     completed and the mutation is rolled forward with a commit
+//     marker; otherwise the untouched file is the pre-state and the
+//     mutation is rolled back. Either outcome is legal for an
+//     unacknowledged call.
+//
+// Recovery is idempotent: markers are appended only after the file
+// work, so a crash during recovery re-derives the same plan.
+func (w *Warehouse) recover(records []Record) error {
+	if len(records) == 0 {
+		return nil
+	}
+
+	// Pass 1: resolve markers. Legacy markers (pre-RefSeq format)
+	// carry no RefSeq and mark the nearest preceding mutation.
+	marked := make(map[int64]Op)
+	var lastMut int64
+	for i := range records {
+		r := &records[i]
+		switch {
+		case r.Op.Mutation():
+			lastMut = r.Seq
+		case r.Op.Marker():
+			ref := r.RefSeq
+			if ref == 0 {
+				ref = lastMut
+			}
+			if ref != 0 {
+				if _, dup := marked[ref]; !dup {
+					marked[ref] = r.Op
+				}
+			}
+		default:
+			return fmt.Errorf("warehouse: unknown journal op %q", r.Op)
+		}
+	}
+
+	// Pass 2: fold per-document state — the highest-Seq committed
+	// mutation and the in-flight (unmarked) ones.
+	type docState struct {
+		committed *Record
+		pending   []*Record
+	}
+	states := make(map[string]*docState)
+	var order []string
+	for i := range records {
+		r := &records[i]
+		if !r.Op.Mutation() {
+			continue
+		}
+		ds := states[r.Doc]
+		if ds == nil {
+			ds = &docState{}
+			states[r.Doc] = ds
+			order = append(order, r.Doc)
+		}
+		switch marked[r.Seq] {
+		case OpCommit:
+			if ds.committed == nil || r.Seq >= ds.committed.Seq {
+				ds.committed = r
+			}
+		case OpAbort:
+			// Took no effect; nothing to restore.
+		default:
+			ds.pending = append(ds.pending, r)
+		}
+	}
+
+	// Pass 3: act.
+	for _, name := range order {
+		ds := states[name]
+		if ds.committed != nil {
+			// The journal holds this document's committed content, so
+			// its next file swaps may defer their fsync to it.
+			w.markJournaled(name)
+			changed, err := w.replayCommitted(ds.committed)
+			if err != nil {
+				return err
+			}
+			if changed {
+				w.recoveryReplays++
+			}
+			for _, p := range ds.pending {
+				if _, err := w.journal.append(Record{Op: OpAbort, RefSeq: p.Seq}); err != nil {
+					return err
+				}
+				w.recoveryRollbacks++
+			}
+			continue
+		}
+		// No committed record for this document: its committed state
+		// predates the journal. At most the last in-flight mutation
+		// can have touched the file; earlier ones (impossible in a
+		// well-formed journal, tolerated defensively) are aborted
+		// without file work.
+		for i, p := range ds.pending {
+			if i < len(ds.pending)-1 {
+				if _, err := w.journal.append(Record{Op: OpAbort, RefSeq: p.Seq}); err != nil {
+					return err
+				}
+				w.recoveryRollbacks++
+				continue
+			}
+			resolve := OpAbort
+			switch p.Op {
+			case OpCreate:
+				// The pre-state is "absent" (Create verifies that
+				// under the writers lock), so rollback is always
+				// possible: remove whatever the in-flight create may
+				// have installed.
+				if err := os.Remove(w.docPath(p.Doc)); err != nil && !os.IsNotExist(err) {
+					return fmt.Errorf("warehouse: recovery rollback of create %q: %w", p.Doc, err)
+				}
+				w.recoveryRollbacks++
+			case OpUpdate:
+				cur, err := os.ReadFile(w.docPath(p.Doc))
+				if err != nil && !os.IsNotExist(err) {
+					return fmt.Errorf("warehouse: recovery of %q: %w", p.Doc, err)
+				}
+				if err == nil && string(cur) == p.Content {
+					resolve = OpCommit
+					w.recoveryRollforwards++
+				} else {
+					w.recoveryRollbacks++
+				}
+			case OpDrop:
+				if _, err := os.Stat(w.docPath(p.Doc)); os.IsNotExist(err) {
+					resolve = OpCommit
+					w.recoveryRollforwards++
+				} else if err != nil {
+					return fmt.Errorf("warehouse: recovery of %q: %w", p.Doc, err)
+				} else {
+					w.recoveryRollbacks++
+				}
+			}
+			if _, err := w.journal.append(Record{Op: resolve, RefSeq: p.Seq}); err != nil {
+				return err
+			}
+			if resolve == OpCommit {
+				// Rolled forward: the journal now pairs this record
+				// with a commit, making it the document's authority.
+				w.markJournaled(p.Doc)
+			}
+		}
+	}
+	return nil
+}
+
+// replayCommitted re-applies one committed mutation's state to the
+// document file, reporting whether the file actually changed. Writes
+// are skipped when the file already matches, so reopening a quiescent
+// warehouse does no file work.
+func (w *Warehouse) replayCommitted(rec *Record) (changed bool, err error) {
+	switch rec.Op {
+	case OpCreate, OpUpdate:
+		cur, err := os.ReadFile(w.docPath(rec.Doc))
+		if err == nil && string(cur) == rec.Content {
+			return false, nil
+		}
+		if err != nil && !os.IsNotExist(err) {
+			return false, fmt.Errorf("warehouse: recovery of %q: %w", rec.Doc, err)
+		}
+		// No fsync: the journal keeps the committed record, so a crash
+		// that tears this write is repaired by the next recovery.
+		if err := w.writeDocFile(rec.Doc, []byte(rec.Content), false); err != nil {
+			return false, fmt.Errorf("warehouse: recovery of %q: %w", rec.Doc, err)
+		}
+		return true, nil
+	case OpDrop:
+		err := os.Remove(w.docPath(rec.Doc))
+		if os.IsNotExist(err) {
+			return false, nil
+		}
+		if err != nil {
+			return false, fmt.Errorf("warehouse: recovery drop of %q: %w", rec.Doc, err)
+		}
+		return true, nil
+	}
+	return false, fmt.Errorf("warehouse: unknown journal op %q", rec.Op)
+}
+
+// PendingMutation identifies a journaled mutation with no commit/abort
+// marker — in-flight at crash time. Opening the warehouse resolves it.
+type PendingMutation struct {
+	Seq int64  `json:"seq"`
+	Op  Op     `json:"op"`
+	Doc string `json:"doc"`
+}
+
+// JournalSummary describes a journal file as found on disk, without
+// recovering it. Produced by InspectJournal (the pxwarehouse
+// verify-journal subcommand).
+type JournalSummary struct {
+	Records   int   `json:"records"`
+	Mutations int   `json:"mutations"`
+	Committed int   `json:"committed"`
+	Aborted   int   `json:"aborted"`
+	LastSeq   int64 `json:"last_seq"`
+	// TornTail reports a trailing fragment from a crash mid-append
+	// (dropped, then truncated away, by the next open).
+	TornTail bool `json:"torn_tail"`
+	// Pending lists mutations with no marker, oldest first.
+	Pending []PendingMutation `json:"pending,omitempty"`
+	// Problems lists structural violations no crash can produce —
+	// non-increasing sequence numbers, markers naming no prior
+	// mutation, duplicate markers, unknown ops. A journal with
+	// problems was corrupted or hand-edited.
+	Problems []string `json:"problems,omitempty"`
+}
+
+// InspectJournal reads the journal of the warehouse directory dir and
+// summarizes it without applying recovery or taking any lock. It is
+// safe on a warehouse that was not cleanly closed — that is its point:
+// it shows what recovery will find before anything opens the
+// warehouse.
+func InspectJournal(dir string) (JournalSummary, error) {
+	records, _, torn, err := readJournal(filepath.Join(dir, journalFile))
+	if err != nil {
+		return JournalSummary{}, err
+	}
+	sum := JournalSummary{Records: len(records), TornTail: torn}
+	marked := make(map[int64]Op)
+	mutations := make(map[int64]*Record)
+	var mutationOrder []int64
+	var lastSeq, lastMut int64
+	for i := range records {
+		r := &records[i]
+		if r.Seq <= lastSeq {
+			sum.Problems = append(sum.Problems,
+				fmt.Sprintf("record %d: seq %d not greater than previous %d", i, r.Seq, lastSeq))
+		}
+		lastSeq = r.Seq
+		switch {
+		case r.Op.Mutation():
+			sum.Mutations++
+			mutations[r.Seq] = r
+			mutationOrder = append(mutationOrder, r.Seq)
+			lastMut = r.Seq
+		case r.Op.Marker():
+			ref := r.RefSeq
+			if ref == 0 {
+				ref = lastMut // legacy pre-RefSeq marker
+			}
+			if _, ok := mutations[ref]; !ok {
+				sum.Problems = append(sum.Problems,
+					fmt.Sprintf("record %d: %s marker ref %d matches no prior mutation", i, r.Op, r.RefSeq))
+				continue
+			}
+			if prev, dup := marked[ref]; dup {
+				sum.Problems = append(sum.Problems,
+					fmt.Sprintf("record %d: duplicate marker for seq %d (already %s)", i, ref, prev))
+				continue
+			}
+			marked[ref] = r.Op
+		default:
+			sum.Problems = append(sum.Problems,
+				fmt.Sprintf("record %d: unknown op %q", i, r.Op))
+		}
+	}
+	sum.LastSeq = lastSeq
+	for _, seq := range mutationOrder {
+		switch marked[seq] {
+		case OpCommit:
+			sum.Committed++
+		case OpAbort:
+			sum.Aborted++
+		default:
+			m := mutations[seq]
+			sum.Pending = append(sum.Pending, PendingMutation{Seq: m.Seq, Op: m.Op, Doc: m.Doc})
+		}
+	}
+	return sum, nil
+}

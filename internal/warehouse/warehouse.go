@@ -13,9 +13,35 @@
 // update, which computes its result before briefly taking the
 // document's state lock to install it. Cached snapshots are immutable,
 // so the hot read path is lock-free. Mutations on different documents
-// overlap in their computation phase but serialize briefly at the
-// journal (installMu), which keeps each (mutation, marker) record pair
-// adjacent for recovery's last-record check.
+// overlap through their durable phase too: every journaled mutation
+// carries its own Seq and its commit/abort marker echoes it (RefSeq),
+// so recovery pairs records by sequence number instead of adjacency
+// and the only global section left is the journal's in-memory append,
+// with concurrent fsyncs group-committed (see journal).
+//
+// # Durability and recovery
+//
+// A mutation (Create, Update, Simplify, Drop) is durable when the call
+// returns nil: the journal then holds both the mutation record — the
+// full post-state, fsynced before the document file is touched — and
+// its fsynced commit marker. A mutation whose call returned an error,
+// or that was in flight at a crash (journal record present but no
+// marker), never happened: recovery at Open rolls it back by restoring
+// the document's last committed state from the journal and appending
+// an abort marker. An abort marker therefore always means "the caller
+// was told this mutation failed, and the document is unchanged". One
+// narrow exception: when the error was in journaling the outcome
+// marker itself (the disk failing mid-commit), the applied result may
+// remain visible to the live process, and the next Open resolves it —
+// rolled back if the marker never reached the disk, kept if it did.
+//
+// Two deliberate asymmetries of the contract: a concurrent reader on
+// the same document may observe a mutation's result between its
+// install and the commit fsync — visibility is immediate, durability
+// is what the returned nil acknowledges; and after Compact truncates
+// the journal, a mutation interrupted before its first fsync leaves no
+// trace, so recovery resolves such orphans by on-disk evidence instead
+// (see Warehouse.recover).
 package warehouse
 
 import (
@@ -72,12 +98,15 @@ type Warehouse struct {
 	// locks hands out the per-document locks.
 	locks lockTable
 
-	// installMu serializes the install phase of mutations across
-	// documents, keeping each journal (mutation, commit) record pair
-	// adjacent — the invariant recover's last-record check relies on.
-	// Only the cheap install (two appends plus a file rename) runs
-	// under it; the expensive computation preceding it does not.
-	installMu sync.Mutex
+	// jc accumulates journal activity; it survives the journal
+	// replacement Compact performs, so the counters stay monotonic.
+	jc journalCounters
+
+	// Recovery outcome counters, written once during Open (before the
+	// warehouse is shared) and read by JournalStats.
+	recoveryReplays      int64
+	recoveryRollbacks    int64
+	recoveryRollforwards int64
 
 	// cacheMu guards the cache map itself. The trees inside are
 	// immutable once installed: mutations build fresh trees and swap
@@ -85,21 +114,62 @@ type Warehouse struct {
 	// any lock.
 	cacheMu sync.Mutex
 	cache   map[string]*fuzzy.Tree
+
+	// journaledMu guards journaled: the set of documents with a
+	// committed mutation record in the current journal. For those, the
+	// journal is the durable copy of the latest content — recovery
+	// replays it over whatever the file holds — so their file swaps
+	// skip the per-file fsync and the group-committed journal fsyncs
+	// are the only ones on the mutation path. A document absent from
+	// the set (first mutation after Open of a compacted warehouse) has
+	// its pre-state only in its file, which must therefore never be
+	// torn: its next swap syncs the file data before the rename.
+	// Compact clears the set after making every document file durable.
+	journaledMu sync.Mutex
+	journaled   map[string]bool
+}
+
+func (w *Warehouse) isJournaled(name string) bool {
+	w.journaledMu.Lock()
+	defer w.journaledMu.Unlock()
+	return w.journaled[name]
+}
+
+func (w *Warehouse) markJournaled(name string) {
+	w.journaledMu.Lock()
+	defer w.journaledMu.Unlock()
+	w.journaled[name] = true
 }
 
 // Open opens (creating if necessary) a warehouse rooted at dir and
-// performs crash recovery: if the journal's last mutation lacks its
-// commit marker, the mutation is rolled forward from the journaled
-// post-state.
+// performs scan-based crash recovery: each document is restored to its
+// last committed journaled state and every in-flight (unmarked)
+// mutation is rolled back. See recover in recovery.go.
 func Open(dir string) (*Warehouse, error) {
 	if err := os.MkdirAll(filepath.Join(dir, docsDir), 0o755); err != nil {
 		return nil, fmt.Errorf("warehouse: create layout: %w", err)
 	}
-	j, records, err := openJournal(filepath.Join(dir, journalFile))
+	w := &Warehouse{
+		dir:       dir,
+		cache:     make(map[string]*fuzzy.Tree),
+		journaled: make(map[string]bool),
+	}
+	j, records, err := openJournal(filepath.Join(dir, journalFile), &w.jc)
 	if err != nil {
 		return nil, err
 	}
-	w := &Warehouse{dir: dir, journal: j, cache: make(map[string]*fuzzy.Tree)}
+	// Make the layout's directory entries durable: fsync of journal.log
+	// alone does not persist its entry in a freshly created warehouse
+	// directory, and the journal is the sole durable copy of
+	// acknowledged mutations until Compact.
+	if err := syncDir(filepath.Join(dir, docsDir)); err == nil {
+		err = syncDir(dir)
+	}
+	if err != nil {
+		j.close()
+		return nil, fmt.Errorf("warehouse: sync layout: %w", err)
+	}
+	w.journal = j
 	if err := w.recover(records); err != nil {
 		j.close()
 		return nil, err
@@ -107,29 +177,14 @@ func Open(dir string) (*Warehouse, error) {
 	return w, nil
 }
 
-// recover rolls the last journaled mutation forward when its commit
-// marker is missing.
-func (w *Warehouse) recover(records []Record) error {
-	if len(records) == 0 {
-		return nil
+// syncDir fsyncs a directory, making the entries it holds durable.
+func syncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
 	}
-	last := records[len(records)-1]
-	if last.Op == "commit" || last.Op == "abort" {
-		return nil
-	}
-	switch last.Op {
-	case "create", "update":
-		if err := w.writeDocFile(last.Doc, []byte(last.Content)); err != nil {
-			return fmt.Errorf("warehouse: recovery of %q: %w", last.Doc, err)
-		}
-	case "drop":
-		if err := os.Remove(w.docPath(last.Doc)); err != nil && !os.IsNotExist(err) {
-			return fmt.Errorf("warehouse: recovery drop of %q: %w", last.Doc, err)
-		}
-	default:
-		return fmt.Errorf("warehouse: unknown journal op %q", last.Op)
-	}
-	_, err := w.journal.append(Record{Op: "commit"})
+	err = d.Sync()
+	d.Close()
 	return err
 }
 
@@ -202,8 +257,14 @@ func (w *Warehouse) cacheDel(name string) {
 	delete(w.cache, name)
 }
 
-// writeDocFile atomically replaces the document file.
-func (w *Warehouse) writeDocFile(name string, data []byte) error {
+// writeDocFile atomically replaces the document file. With sync, the
+// data is fsynced before the rename, so a crash can expose the old or
+// the new content but never a torn file. Without sync the rename may
+// expose a torn file after a crash — callers may omit the (expensive,
+// unbatchable) fsync only while the journal holds a committed copy of
+// the latest content, because recovery replays that copy over the file
+// regardless of what the crash left in it (see install and Compact).
+func (w *Warehouse) writeDocFile(name string, data []byte, sync bool) error {
 	path := w.docPath(name)
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
@@ -215,10 +276,12 @@ func (w *Warehouse) writeDocFile(name string, data []byte) error {
 		os.Remove(tmp)
 		return err
 	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
+	if sync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
@@ -347,26 +410,44 @@ func (w *Warehouse) snapshot(name string) (*fuzzy.Tree, error) {
 // lock. The caller holds the document's writers lock and has done all
 // expensive computation already, so the state lock — the one a
 // cold-loading reader contends on — is held only for the journal
-// appends and the file swap.
-func (w *Warehouse) install(dl *docLock, rec Record, apply func() error) error {
-	w.installMu.Lock()
-	defer w.installMu.Unlock()
+// appends and the file swap. Installs on different documents
+// interleave freely; their journal appends share group-committed
+// fsyncs.
+//
+// The write-ahead ordering is the durability contract: the mutation
+// record (full post-state, own Seq) is durable before apply touches
+// the document file, and the caller sees nil only after the commit
+// marker echoing that Seq is durable too. A crash anywhere in between
+// leaves the mutation unmarked, and recovery rolls it back.
+// apply receives syncFile: whether a file swap must fsync its data
+// first, true only for a document whose pre-state exists nowhere but
+// in its file (no committed record in the journal yet).
+func (w *Warehouse) install(dl *docLock, rec Record, apply func(syncFile bool) error) error {
 	dl.state.Lock()
 	defer dl.state.Unlock()
-	if _, err := w.journal.append(rec); err != nil {
+	seq, err := w.journal.append(rec)
+	if err != nil {
 		return err
 	}
-	if err := apply(); err != nil {
-		// Best-effort abort marker: without it, recovery would roll
-		// the journaled mutation forward even though the caller was
-		// told it failed. If this append also fails (the disk is going
-		// away), recovery re-applies the post-state — safe, if
-		// surprising, since the journaled content is complete.
-		w.journal.append(Record{Op: "abort"}) //nolint:errcheck
+	if err := apply(!w.isJournaled(rec.Doc)); err != nil {
+		// Best-effort abort marker: it only saves recovery work. If
+		// this append also fails (the disk is going away), recovery
+		// finds the mutation unmarked and rolls it back — the same
+		// outcome the caller is being told here.
+		w.journal.append(Record{Op: OpAbort, RefSeq: seq}) //nolint:errcheck
 		return err
 	}
-	_, err := w.journal.append(Record{Op: "commit"})
-	return err
+	if _, err := w.journal.append(Record{Op: OpCommit, RefSeq: seq}); err != nil {
+		// The apply succeeded but the marker's durability is unknown
+		// (a failing disk). The installed state stays visible to the
+		// live process — the pre-state needed to undo it is only in
+		// the journal of that same disk — and the caller's error means
+		// "outcome resolved at next Open": rolled back if the marker
+		// never landed, kept if it did. See the package comment.
+		return err
+	}
+	w.markJournaled(rec.Doc)
+	return nil
 }
 
 // Create stores a new document under the given name.
@@ -396,9 +477,9 @@ func (w *Warehouse) Create(name string, ft *fuzzy.Tree) error {
 	}
 	clone := ft.Clone()
 	err = w.install(dl,
-		Record{Op: "create", Doc: name, Content: string(data)},
-		func() error {
-			if err := w.writeDocFile(name, data); err != nil {
+		Record{Op: OpCreate, Doc: name, Content: string(data)},
+		func(syncFile bool) error {
+			if err := w.writeDocFile(name, data, syncFile); err != nil {
 				return err
 			}
 			w.cacheSet(name, clone)
@@ -481,8 +562,8 @@ func (w *Warehouse) Drop(name string) error {
 		return err
 	}
 	err = w.install(dl,
-		Record{Op: "drop", Doc: name},
-		func() error {
+		Record{Op: OpDrop, Doc: name},
+		func(bool) error {
 			w.cacheDel(name)
 			return os.Remove(w.docPath(name))
 		})
@@ -572,9 +653,9 @@ func (w *Warehouse) mutateDoc(name string, compute func(ft *fuzzy.Tree) (*fuzzy.
 		return err
 	}
 	return w.install(dl,
-		Record{Op: "update", Doc: name, Tx: txNote, Content: string(data)},
-		func() error {
-			if err := w.writeDocFile(name, data); err != nil {
+		Record{Op: OpUpdate, Doc: name, Tx: txNote, Content: string(data)},
+		func(syncFile bool) error {
+			if err := w.writeDocFile(name, data, syncFile); err != nil {
 				return err
 			}
 			w.cacheSet(name, next)
@@ -642,30 +723,39 @@ func (w *Warehouse) Stat(name string) (Info, error) {
 }
 
 // Journal returns all journal records (for audit and tests). It takes
-// no install lock — stalling every mutation for the duration of a
+// no journal lock — stalling every mutation for the duration of a
 // potentially large file read would be worse than the alternative —
-// so a call concurrent with mutations may stop short at a record
-// caught mid-append (the torn-tail semantics readJournal already has
-// for crashes). Quiescent reads are exact.
+// so a call concurrent with mutations may miss records still in the
+// append buffer or stop short at one caught mid-flush (the torn-tail
+// semantics readJournal already has for crashes). Quiescent reads are
+// exact.
 func (w *Warehouse) Journal() ([]Record, error) {
 	release, err := w.startOp()
 	if err != nil {
 		return nil, err
 	}
 	defer release()
-	return readJournal(filepath.Join(w.dir, journalFile))
+	records, _, _, err := readJournal(filepath.Join(w.dir, journalFile))
+	return records, err
 }
 
 // Compact truncates the journal. Safe whenever the warehouse is in a
 // committed state, which holds under the exclusive warehouse lock: it
 // waits out all in-flight operations, so every document file already
-// contains its latest post-state and the journal's only value is the
-// audit trail, which Compact trades for space.
+// contains its latest post-state and the journal's only value beyond
+// the audit trail is as the durable copy of that post-state — so
+// Compact first makes every document file (and the directory holding
+// them) durable itself, then trades the journal for space. After it
+// returns, the files are the authority until the next mutation
+// journals a new post-state.
 func (w *Warehouse) Compact() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
 		return ErrClosed
+	}
+	if err := w.syncDocs(); err != nil {
+		return err
 	}
 	if err := w.journal.close(); err != nil {
 		return err
@@ -674,10 +764,40 @@ func (w *Warehouse) Compact() error {
 	if err := os.Truncate(path, 0); err != nil {
 		return err
 	}
-	j, _, err := openJournal(path)
+	j, _, err := openJournal(path, &w.jc)
 	if err != nil {
 		return err
 	}
 	w.journal = j
+	w.journaledMu.Lock()
+	w.journaled = make(map[string]bool)
+	w.journaledMu.Unlock()
 	return nil
+}
+
+// syncDocs fsyncs every document file and then the docs directory
+// (making renames and removals durable). Called by Compact before the
+// journal — until then the durable copy of recent mutations — is
+// dropped.
+func (w *Warehouse) syncDocs() error {
+	dir := filepath.Join(w.dir, docsDir)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), docExt) || e.IsDir() {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return err
+		}
+		err = f.Sync()
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	return syncDir(dir)
 }

@@ -216,8 +216,8 @@ func TestJournalAudit(t *testing.T) {
 	if len(recs) != 4 {
 		t.Fatalf("journal records = %d: %+v", len(recs), recs)
 	}
-	if recs[0].Op != "create" || recs[1].Op != "commit" ||
-		recs[2].Op != "update" || recs[3].Op != "commit" {
+	if recs[0].Op != OpCreate || recs[1].Op != OpCommit ||
+		recs[2].Op != OpUpdate || recs[3].Op != OpCommit {
 		t.Errorf("ops = %s %s %s %s", recs[0].Op, recs[1].Op, recs[2].Op, recs[3].Op)
 	}
 	if !strings.Contains(recs[2].Tx, "insert") {
@@ -228,12 +228,19 @@ func TestJournalAudit(t *testing.T) {
 			t.Error("record without sequence number")
 		}
 	}
+	// Each marker names its mutation by RefSeq.
+	if recs[1].RefSeq != recs[0].Seq || recs[3].RefSeq != recs[2].Seq {
+		t.Errorf("marker refs = %d %d, want %d %d",
+			recs[1].RefSeq, recs[3].RefSeq, recs[0].Seq, recs[2].Seq)
+	}
 }
 
-// TestRecoveryRollsForward simulates a crash between the journal append
-// and the document file replacement: on reopen the journaled post-state
-// must win.
-func TestRecoveryRollsForward(t *testing.T) {
+// TestRecoveryRollsBackUnmarkedUpdate simulates a crash during the
+// durable phase of an update: the journal holds the mutation record
+// but no commit marker. The caller was never acknowledged, so on
+// reopen the mutation must be rolled back to the last committed state
+// and resolved with an abort marker.
+func TestRecoveryRollsBackUnmarkedUpdate(t *testing.T) {
 	dir := t.TempDir()
 	w, err := Open(dir)
 	if err != nil {
@@ -244,10 +251,11 @@ func TestRecoveryRollsForward(t *testing.T) {
 	}
 	w.Close()
 
-	// Forge a crash: append an uncommitted update record whose content
-	// differs from the file on disk.
-	newDoc := fuzzy.MustParseTree("A(RECOVERED)", nil)
-	j, _, err := openJournal(filepath.Join(dir, journalFile))
+	// Forge the crash: an unmarked update record, with the document
+	// file already swapped to the new content (the worst case — the
+	// apply ran, only the commit marker is missing).
+	newDoc := fuzzy.MustParseTree("A(UNCOMMITTED)", nil)
+	j, _, err := openJournal(filepath.Join(dir, journalFile), &journalCounters{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,10 +263,14 @@ func TestRecoveryRollsForward(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := j.append(Record{Op: "update", Doc: "doc", Tx: "<forged/>", Content: string(content)}); err != nil {
+	seq, err := j.append(Record{Op: OpUpdate, Doc: "doc", Tx: "<forged/>", Content: string(content)})
+	if err != nil {
 		t.Fatal(err)
 	}
 	j.close()
+	if err := os.WriteFile(filepath.Join(dir, docsDir, "doc"+docExt), content, 0o644); err != nil {
+		t.Fatal(err)
+	}
 
 	w2, err := Open(dir)
 	if err != nil {
@@ -269,13 +281,17 @@ func TestRecoveryRollsForward(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !fuzzy.Equal(got.Root, newDoc.Root) {
-		t.Errorf("recovery did not roll forward: %s", fuzzy.Format(got.Root))
+	if !fuzzy.Equal(got.Root, slide12().Root) {
+		t.Errorf("recovery did not roll back: %s", fuzzy.Format(got.Root))
 	}
-	// The journal must now end with a commit.
+	// The journal must now resolve the forged mutation with an abort.
 	recs, _ := w2.Journal()
-	if recs[len(recs)-1].Op != "commit" {
-		t.Error("recovery did not append commit marker")
+	last := recs[len(recs)-1]
+	if last.Op != OpAbort || last.RefSeq != seq {
+		t.Errorf("journal ends with %s ref %d, want abort ref %d", last.Op, last.RefSeq, seq)
+	}
+	if s := w2.JournalStats(); s.RecoveryRollbacks != 1 || s.RecoveryReplays != 1 {
+		t.Errorf("recovery counters = %+v, want 1 rollback, 1 replay", s)
 	}
 }
 
@@ -309,8 +325,10 @@ func TestRecoveryTornJournalTail(t *testing.T) {
 	}
 }
 
-// TestRecoveryDropRollsForward: an uncommitted drop is re-executed.
-func TestRecoveryDropRollsForward(t *testing.T) {
+// TestRecoveryDropRollsBack: an unmarked drop never happened — the
+// document is restored from its committed create even when the drop's
+// file removal had already run.
+func TestRecoveryDropRollsBack(t *testing.T) {
 	dir := t.TempDir()
 	w, err := Open(dir)
 	if err != nil {
@@ -321,22 +339,30 @@ func TestRecoveryDropRollsForward(t *testing.T) {
 	}
 	w.Close()
 
-	j, _, err := openJournal(filepath.Join(dir, journalFile))
+	j, _, err := openJournal(filepath.Join(dir, journalFile), &journalCounters{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := j.append(Record{Op: "drop", Doc: "doc"}); err != nil {
+	if _, err := j.append(Record{Op: OpDrop, Doc: "doc"}); err != nil {
 		t.Fatal(err)
 	}
 	j.close()
+	// Simulate the crash after the drop removed the file.
+	if err := os.Remove(filepath.Join(dir, docsDir, "doc"+docExt)); err != nil {
+		t.Fatal(err)
+	}
 
 	w2, err := Open(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer w2.Close()
-	if _, err := w2.Get("doc"); err == nil {
-		t.Error("dropped document survived recovery")
+	got, err := w2.Get("doc")
+	if err != nil {
+		t.Fatalf("unmarked drop lost the document: %v", err)
+	}
+	if !fuzzy.Equal(got.Root, slide12().Root) {
+		t.Errorf("restored document = %s", fuzzy.Format(got.Root))
 	}
 }
 
@@ -350,6 +376,13 @@ func TestCorruptDocumentReported(t *testing.T) {
 	if err := w.Create("doc", slide12()); err != nil {
 		t.Fatal(err)
 	}
+	// Compact first: with the create still journaled, recovery would
+	// repair the corruption from the committed post-state (see
+	// TestRecoveryRepairsCorruptFile); after compaction the file is
+	// authoritative and the damage must surface.
+	if err := w.Compact(); err != nil {
+		t.Fatal(err)
+	}
 	// Corrupt the file behind the warehouse's back and drop the cache by
 	// reopening.
 	w.Close()
@@ -361,6 +394,37 @@ func TestCorruptDocumentReported(t *testing.T) {
 	defer w2.Close()
 	if _, err := w2.Get("doc"); err == nil {
 		t.Error("corrupt document accepted")
+	}
+}
+
+// TestRecoveryRepairsCorruptFile: while the journal still holds a
+// document's committed post-state, recovery rewrites a damaged file
+// from it on open — the journal, not the file, is the source of truth.
+func TestRecoveryRepairsCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Create("doc", slide12()); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	os.WriteFile(filepath.Join(dir, docsDir, "doc"+docExt), []byte("not xml"), 0o644)
+	w2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	got, err := w2.Get("doc")
+	if err != nil {
+		t.Fatalf("journaled document not repaired: %v", err)
+	}
+	if !fuzzy.Equal(got.Root, slide12().Root) {
+		t.Errorf("repaired document = %s", fuzzy.Format(got.Root))
+	}
+	if s := w2.JournalStats(); s.RecoveryReplays != 1 {
+		t.Errorf("recovery replays = %d, want 1", s.RecoveryReplays)
 	}
 }
 
