@@ -7,6 +7,7 @@ import (
 	"repro/internal/event"
 	"repro/internal/fuzzy"
 	"repro/internal/infer"
+	"repro/internal/keyword"
 	"repro/internal/server"
 	"repro/internal/tpwj"
 	"repro/internal/tree"
@@ -81,6 +82,22 @@ type (
 	// JournalSummary describes a warehouse journal file as found on
 	// disk, without recovering it (see InspectJournal).
 	JournalSummary = warehouse.JournalSummary
+	// KeywordMode selects keyword-search answer semantics (SLCA or
+	// ELCA).
+	KeywordMode = keyword.Mode
+	// KeywordRequest describes one keyword search: keywords, mode,
+	// exact or Monte-Carlo probabilities, MinProb threshold, TopK cut.
+	KeywordRequest = keyword.Request
+	// KeywordAnswer is one keyword-search answer: a document node and
+	// the probability that it is an SLCA/ELCA answer.
+	KeywordAnswer = keyword.Answer
+	// KeywordResult is the outcome of one keyword search.
+	KeywordResult = keyword.Result
+	// KeywordIndex is a per-document inverted index for keyword search.
+	KeywordIndex = keyword.Index
+	// WarehouseSearchStats reports a warehouse's keyword-search
+	// counters (index builds, hits, invalidations, threshold prunes).
+	WarehouseSearchStats = warehouse.SearchStats
 	// Server is an http.Handler exposing a warehouse over an HTTP/JSON
 	// API with per-document concurrency and a query-result cache.
 	Server = server.Server
@@ -119,6 +136,36 @@ const (
 	// matched by pattern leaves.
 	WithSubtrees = tpwj.WithSubtrees
 )
+
+// Keyword-search answer semantics.
+const (
+	// SLCA answers are smallest lowest common ancestors of the
+	// keywords.
+	SLCA = keyword.SLCA
+	// ELCA answers are exclusive lowest common ancestors.
+	ELCA = keyword.ELCA
+)
+
+// NewKeywordIndex builds the inverted keyword index of one document
+// snapshot, reusable across searches until the document changes.
+func NewKeywordIndex(doc *FuzzyTree) *KeywordIndex { return keyword.NewIndex(doc) }
+
+// SearchKeywords runs one keyword search (SLCA or ELCA semantics with
+// exact or Monte-Carlo probabilities) on a document, building a
+// throwaway index. Use NewKeywordIndex + SearchIndexed to amortize the
+// index over repeated searches, or Warehouse.Search for stored
+// documents (the warehouse caches indexes per document).
+func SearchKeywords(doc *FuzzyTree, req KeywordRequest) (*KeywordResult, error) {
+	return keyword.Search(keyword.NewIndex(doc), req)
+}
+
+// SearchIndexed runs one keyword search against a prebuilt index.
+func SearchIndexed(ix *KeywordIndex, req KeywordRequest) (*KeywordResult, error) {
+	return keyword.Search(ix, req)
+}
+
+// ParseSearchMode parses "slca" or "elca" (empty defaults to SLCA).
+func ParseSearchMode(s string) (KeywordMode, error) { return keyword.ParseMode(s) }
 
 // NewEventTable returns an empty event table.
 func NewEventTable() *EventTable { return event.NewTable() }

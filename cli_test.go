@@ -246,3 +246,69 @@ func TestCLIPxbenchJSON(t *testing.T) {
 		t.Errorf("experiments = %+v, want E1 ok", report.Experiments)
 	}
 }
+
+// TestCLIPxsearch drives the keyword-search CLI end to end: text and
+// JSON output, ELCA mode, thresholds and Monte-Carlo estimation.
+func TestCLIPxsearch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	bins := buildTools(t, "pxsearch")
+	work := t.TempDir()
+	doc := filepath.Join(work, "lib.pxml")
+	libXML := `<pxml>
+  <events>
+    <event name="w1" prob="0.8"/>
+    <event name="w2" prob="0.5"/>
+  </events>
+  <root>
+    <lib>
+      <book cond="w1"><title>kafka</title><author>max</author></book>
+      <shelf><book cond="w2"><title>kafka</title></book></shelf>
+    </lib>
+  </root>
+</pxml>`
+	if err := os.WriteFile(doc, []byte(libXML), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out := run(t, bins["pxsearch"], "-doc", doc, "kafka")
+	for _, want := range []string{"P=0.8  /lib/book/title", "P=0.5  /lib/shelf/book/title", "2 answers"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("pxsearch output missing %q:\n%s", want, out)
+		}
+	}
+
+	// The MinProb threshold prunes and filters; TopK cuts.
+	out = run(t, bins["pxsearch"], "-doc", doc, "-minprob", "0.6", "kafka")
+	if strings.Contains(out, "P=0.5") || !strings.Contains(out, "P=0.8") {
+		t.Errorf("pxsearch -minprob output:\n%s", out)
+	}
+
+	// ELCA with both keywords: only the first book holds kafka and max.
+	out = run(t, bins["pxsearch"], "-doc", doc, "-mode", "elca", "kafka", "max")
+	if !strings.Contains(out, "/lib/book ") || strings.Contains(out, "/lib/shelf") {
+		t.Errorf("pxsearch elca output:\n%s", out)
+	}
+
+	// JSON output parses and Monte-Carlo estimates converge.
+	out = run(t, bins["pxsearch"], "-doc", doc, "-json", "-mc", "-samples", "20000", "kafka")
+	var res struct {
+		Answers []struct {
+			P    float64 `json:"P"`
+			Path string  `json:"Path"`
+		} `json:"Answers"`
+	}
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("pxsearch -json does not parse: %v\n%s", err, out)
+	}
+	if len(res.Answers) != 2 || res.Answers[0].P < 0.75 || res.Answers[0].P > 0.85 {
+		t.Errorf("pxsearch -json -mc answers: %+v", res.Answers)
+	}
+
+	// Keywordless invocation fails with usage.
+	cmd := exec.Command(bins["pxsearch"], "-doc", doc)
+	if cmdOut, err := cmd.CombinedOutput(); err == nil {
+		t.Errorf("pxsearch without keywords succeeded:\n%s", cmdOut)
+	}
+}

@@ -1,0 +1,93 @@
+// Command pxsearch runs a probabilistic keyword search on a
+// probabilistic XML document: each answer is a document node with the
+// probability that it is an SLCA or ELCA answer for the keywords in a
+// random possible world (see docs/SEARCH.md for the semantics).
+//
+// Usage:
+//
+//	pxsearch -doc warehouse.pxml kafka castle
+//	pxsearch -doc warehouse.pxml -mode elca -minprob 0.2 -topk 5 kafka
+//	pxsearch -doc warehouse.pxml -mc -samples 100000 kafka castle
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	fuzzyxml "repro"
+)
+
+func main() {
+	var (
+		docPath  = flag.String("doc", "", "path to the .pxml document (required)")
+		mode     = flag.String("mode", "slca", "answer semantics: slca | elca")
+		mc       = flag.Bool("mc", false, "estimate probabilities by Monte-Carlo world sampling")
+		samples  = flag.Int("samples", 100000, "Monte-Carlo samples (-mc)")
+		seed     = flag.Int64("seed", 1, "Monte-Carlo random seed (-mc)")
+		minProb  = flag.Float64("minprob", 0, "drop answers below this probability (prunes candidates early)")
+		topK     = flag.Int("topk", 0, "keep only the K most probable answers (0: all)")
+		emitJSON = flag.Bool("json", false, "print answers as JSON")
+	)
+	flag.Parse()
+	keywords := flag.Args()
+	if *docPath == "" || len(keywords) == 0 {
+		flag.Usage()
+		fmt.Fprintln(os.Stderr, "pxsearch: need -doc and at least one keyword argument")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*docPath)
+	if err != nil {
+		fatal(err)
+	}
+	doc, err := fuzzyxml.ReadDocXML(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	m, err := fuzzyxml.ParseSearchMode(*mode)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := fuzzyxml.SearchKeywords(doc, fuzzyxml.KeywordRequest{
+		Keywords: keywords,
+		Mode:     m,
+		MC:       *mc,
+		Samples:  *samples,
+		Seed:     *seed,
+		MinProb:  *minProb,
+		TopK:     *topK,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *emitJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if len(res.Answers) == 0 {
+		fmt.Printf("no answers (%d candidates, %d pruned)\n", res.Candidates, res.Pruned)
+		return
+	}
+	for _, a := range res.Answers {
+		line := fmt.Sprintf("P=%.6g  %s", a.P, a.Path)
+		if a.Value != "" {
+			line += fmt.Sprintf("  %q", a.Value)
+		}
+		fmt.Printf("%s  (%d witnesses)\n", line, a.Witnesses)
+	}
+	fmt.Printf("%d answers, %d candidates, %d pruned\n", len(res.Answers), res.Candidates, res.Pruned)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pxsearch:", err)
+	os.Exit(1)
+}

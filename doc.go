@@ -57,6 +57,24 @@
 // check two word operations. The engine exposes counters (compiles,
 // memo hits/misses, components) through the server's /stats route.
 //
+// # Keyword search
+//
+// Clients without schema knowledge search documents by keywords:
+// SearchKeywords (and Warehouse.Search, POST /docs/{name}/search on
+// the server) returns document nodes with the exact probability that
+// each is an SLCA (smallest lowest common ancestor of the keywords) or
+// ELCA (exclusive LCA) answer in a random possible world. Evaluation
+// runs on a per-document inverted index (token → postings in document
+// order with path conditions; NewKeywordIndex, cached by the warehouse
+// until the document is mutated): candidates come from a stack-based
+// document-order merge of the posting lists, and each candidate's
+// probability is computed from the witness path conditions — the DNF of
+// match-witness conjunctions, sharpened with negation for SLCA/ELCA
+// semantics — by the probability engine, or estimated by Monte-Carlo
+// world sampling. A MinProb threshold prunes candidates early with a
+// monotone upper bound (provably without changing the answer set) and
+// TopK cuts the ranking. See docs/SEARCH.md.
+//
 // # Updates
 //
 // Updates are transactions: a TPWJ query locating the operations,

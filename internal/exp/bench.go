@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/event"
+	"repro/internal/keyword"
 	"repro/internal/tpwj"
 )
 
@@ -47,7 +48,8 @@ func AblationDNF(m int) (*event.Table, event.DNF) {
 }
 
 // Probes returns the probe set: the exact probability engine against
-// its brute-force oracle, Monte-Carlo estimation, and the end-to-end
+// its brute-force oracle, Monte-Carlo estimation, the keyword-search
+// engine (warm and cold index, both semantics), and the end-to-end
 // fuzzy query and update paths that sit on top of them.
 func Probes() []Probe {
 	return []Probe{
@@ -75,6 +77,38 @@ func Probes() []Probe {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := tab.EstimateDNF(d, 10000, r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"search/slca/warm/events=12", func(b *testing.B) {
+			ft := SectionDoc(12)
+			ix := keyword.NewIndex(ft)
+			req := keyword.Request{Keywords: []string{"l", "m"}}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := keyword.Search(ix, req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"search/slca/cold/events=12", func(b *testing.B) {
+			ft := SectionDoc(12)
+			req := keyword.Request{Keywords: []string{"l", "m"}}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := keyword.Search(keyword.NewIndex(ft), req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"search/elca/warm/events=12", func(b *testing.B) {
+			ft := SectionDoc(12)
+			ix := keyword.NewIndex(ft)
+			req := keyword.Request{Keywords: []string{"l", "m"}, Mode: keyword.ELCA}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := keyword.Search(ix, req); err != nil {
 					b.Fatal(err)
 				}
 			}

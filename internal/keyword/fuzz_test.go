@@ -1,0 +1,105 @@
+package keyword
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/fuzzy"
+)
+
+// decodeFuzzDoc deterministically decodes a byte stream into a small
+// fuzzy document (≤ 12 nodes, ≤ 6 events with probabilities from the
+// stream including the 0 and 1 edge cases), a keyword set drawn from
+// the document's token alphabet, and a mode. Bytes past the end of the
+// stream read as zero, so every input decodes.
+func decodeFuzzDoc(data []byte) (*fuzzy.Tree, []string, Mode) {
+	cur := 0
+	next := func() byte {
+		if cur < len(data) {
+			b := data[cur]
+			cur++
+			return b
+		}
+		cur++
+		return 0
+	}
+	nEvents := 1 + int(next())%6
+	tab := event.NewTable()
+	ids := make([]event.ID, nEvents)
+	for i := range ids {
+		ids[i] = event.ID(fmt.Sprintf("w%d", i))
+		tab.MustSet(ids[i], float64(next())/255)
+	}
+	labels := []string{"a", "b", "c"}
+	values := []string{"", "x", "y"}
+	root := &fuzzy.Node{Label: "r"}
+	nodes := []*fuzzy.Node{root}
+	nNodes := 1 + int(next())%11
+	for i := 0; i < nNodes; i++ {
+		parent := nodes[int(next())%len(nodes)]
+		parent.Value = "" // internal nodes must not carry values
+		n := &fuzzy.Node{
+			Label: labels[int(next())%len(labels)],
+			Value: values[int(next())%len(values)],
+		}
+		nLits := int(next()) % 3
+		var c event.Condition
+		for j := 0; j < nLits; j++ {
+			b := next()
+			c = append(c, event.Literal{Event: ids[int(b&0x7f)%nEvents], Neg: b&0x80 != 0})
+		}
+		n.Cond = c.Normalize()
+		parent.Children = append(parent.Children, n)
+		nodes = append(nodes, n)
+	}
+	kwSets := [][]string{{"a"}, {"x"}, {"a", "x"}, {"b", "y"}, {"a", "b", "x"}}
+	kws := kwSets[int(next())%len(kwSets)]
+	mode := SLCA
+	if next()%2 == 1 {
+		mode = ELCA
+	}
+	return &fuzzy.Tree{Root: root, Table: tab}, kws, mode
+}
+
+// FuzzKeywordDifferential checks the SLCA/ELCA engine against the
+// brute-force possible-worlds oracle on random small documents. In
+// normal `go test` runs (and CI) the checked-in seed corpus under
+// testdata/fuzz plus the f.Add seeds below execute as regular test
+// cases; `go test -fuzz=FuzzKeywordDifferential` explores further.
+func FuzzKeywordDifferential(f *testing.F) {
+	// Adversarial shapes: the minimal all-zero stream, contradictory
+	// conditions, a deep chain (SLCA/ELCA exclusion cascades), a node
+	// carrying several keywords at once, degenerate probabilities 0
+	// and 1, and both modes.
+	f.Add([]byte{})
+	f.Add([]byte{0, 255, 3, 0, 0, 1, 1, 0x00, 0x80, 1, 1, 2, 0, 2, 1})
+	f.Add([]byte{2, 0, 255, 128, 5, 0, 0, 1, 1, 1, 1, 1, 2, 2, 1, 3, 0, 2, 4, 1, 2, 1})
+	f.Add([]byte{1, 128, 4, 0, 0, 0, 0, 1, 1, 0, 1, 2, 1, 2, 1, 2, 0})
+	f.Add([]byte{3, 64, 192, 32, 6, 0, 2, 1, 1, 0, 2, 0, 1, 1, 2, 2, 1, 3, 1, 2, 2, 4, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ft, kws, mode := decodeFuzzDoc(data)
+		if err := ft.Validate(); err != nil {
+			t.Fatalf("generated invalid document: %v", err)
+		}
+		want := oracleProbs(t, ft, kws, mode)
+		res, err := Search(NewIndex(ft), Request{Keywords: kws, Mode: mode})
+		if err != nil {
+			t.Fatalf("Search(%v, %v): %v", kws, mode, err)
+		}
+		got := make(map[int]float64, len(res.Answers))
+		for _, a := range res.Answers {
+			got[a.Pre] = a.P
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%v %v on %s:\n got %v\n want %v", mode, kws, fuzzy.Format(ft.Root), got, want)
+		}
+		for v, p := range want {
+			if q, ok := got[v]; !ok || math.Abs(p-q) > 1e-9 {
+				t.Errorf("%v %v node %d: engine P=%.17g, oracle P=%.17g (doc %s)",
+					mode, kws, v, q, p, fuzzy.Format(ft.Root))
+			}
+		}
+	})
+}

@@ -1,0 +1,263 @@
+// Package keyword implements keyword search over probabilistic XML
+// documents: ELCA and SLCA answer semantics (Zhou et al., "ELCA
+// Evaluation for Keyword Search on Probabilistic XML Data"; Li et al.,
+// "Quasi-SLCA based Keyword Query Processing over Probabilistic XML
+// Data") adapted to the fuzzy-tree model.
+//
+// A search takes a bag of keywords and returns document nodes together
+// with the exact probability that the node is an SLCA (smallest lowest
+// common ancestor) or ELCA (exclusive lowest common ancestor) answer in
+// a random possible world of the document. The evaluator runs on an
+// inverted Index (token → postings in document order), merges the
+// postings with a stack to find candidate nodes, and computes each
+// candidate's probability from the witness path conditions via the
+// internal/event machinery — as a DNF of match-witness conjunctions for
+// containment, sharpened to SLCA/ELCA semantics with negation (a
+// Boolean formula, like TPWJ queries with forbidden sub-patterns).
+// Probability-threshold search (MinProb) prunes candidates early with a
+// monotone upper bound; see docs/SEARCH.md for the semantics and why
+// the bound is safe.
+package keyword
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/event"
+	"repro/internal/fuzzy"
+)
+
+// package counters (atomic: indexes are built and searched concurrently
+// by server requests), served by pxserve under /stats as "search".
+var (
+	ctrIndexBuilds     atomic.Int64
+	ctrPostings        atomic.Int64
+	ctrSearches        atomic.Int64
+	ctrThresholdPrunes atomic.Int64
+)
+
+// Counters is a snapshot of the package counters: how many inverted
+// indexes were built, the total postings they held, how many searches
+// ran, and how many candidates the MinProb upper bound pruned before
+// their exact probability was computed.
+type Counters struct {
+	IndexBuilds     int64 `json:"index_builds"`
+	Postings        int64 `json:"postings"`
+	Searches        int64 `json:"searches"`
+	ThresholdPrunes int64 `json:"threshold_prunes"`
+}
+
+// ReadCounters returns the current counter values.
+func ReadCounters() Counters {
+	return Counters{
+		IndexBuilds:     ctrIndexBuilds.Load(),
+		Postings:        ctrPostings.Load(),
+		Searches:        ctrSearches.Load(),
+		ThresholdPrunes: ctrThresholdPrunes.Load(),
+	}
+}
+
+// ResetCounters zeroes the package counters (tests, benchmarks).
+func ResetCounters() {
+	ctrIndexBuilds.Store(0)
+	ctrPostings.Store(0)
+	ctrSearches.Store(0)
+	ctrThresholdPrunes.Store(0)
+}
+
+// nodeInfo is one document node in the index, identified by its
+// preorder position.
+type nodeInfo struct {
+	pre    int32 // preorder position (== index in Index.nodes)
+	end    int32 // end of the subtree interval: [pre, end) covers the subtree
+	parent int32 // parent preorder position, -1 for the root
+	label  string
+	value  string
+	// path is the node's effective path condition: the normalized
+	// conjunction of its own condition and all its ancestors'. A node
+	// exists in a world iff its path condition holds.
+	path event.Condition
+	// sat is false when path contains a contradictory literal pair: the
+	// node exists in no world, so it is never a witness or an answer.
+	sat bool
+}
+
+// Index is a per-document inverted index for keyword search: every
+// token of every node label and value maps to the posting list of nodes
+// carrying it, in document (preorder) order, each posting carrying the
+// node's path condition. The index belongs to one immutable snapshot of
+// one document; it is safe for concurrent searches and must be rebuilt
+// when the document changes (Tree identifies the snapshot it was built
+// from, so a cache can detect staleness by pointer comparison).
+type Index struct {
+	tree     *fuzzy.Tree
+	nodes    []nodeInfo
+	postings map[string][]int32 // token → preorder positions, ascending
+}
+
+// NewIndex builds the inverted index of one document snapshot.
+func NewIndex(ft *fuzzy.Tree) *Index {
+	ix := &Index{tree: ft, postings: make(map[string][]int32)}
+	var walk func(n *fuzzy.Node, parent int32, acc event.Condition) int32
+	walk = func(n *fuzzy.Node, parent int32, acc event.Condition) int32 {
+		pre := int32(len(ix.nodes))
+		path := acc.And(n.Cond)
+		ix.nodes = append(ix.nodes, nodeInfo{
+			pre:    pre,
+			parent: parent,
+			label:  n.Label,
+			value:  n.Value,
+			path:   path,
+			sat:    path.Satisfiable(),
+		})
+		for _, tok := range Tokenize(n.Label + " " + n.Value) {
+			// A label and value sharing a token still yield one posting:
+			// postings are per (token, node).
+			if l := ix.postings[tok]; len(l) == 0 || l[len(l)-1] != pre {
+				ix.postings[tok] = append(ix.postings[tok], pre)
+				ctrPostings.Add(1)
+			}
+		}
+		end := pre + 1
+		for _, c := range n.Children {
+			end = walk(c, pre, path)
+		}
+		ix.nodes[pre].end = end
+		return end
+	}
+	walk(ft.Root, -1, nil)
+	ctrIndexBuilds.Add(1)
+	return ix
+}
+
+// Tree returns the document snapshot the index was built from. Caches
+// compare it by pointer against the current snapshot to detect
+// staleness (snapshots are immutable; mutations install fresh trees).
+func (ix *Index) Tree() *fuzzy.Tree { return ix.tree }
+
+// Len returns the number of indexed nodes.
+func (ix *Index) Len() int { return len(ix.nodes) }
+
+// Postings returns the total number of (token, node) postings.
+func (ix *Index) Postings() int {
+	n := 0
+	for _, l := range ix.postings {
+		n += len(l)
+	}
+	return n
+}
+
+// Tokens returns the sorted distinct tokens of the index.
+func (ix *Index) Tokens() []string {
+	out := make([]string, 0, len(ix.postings))
+	for t := range ix.postings {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Tokenize splits text into lowercase alphanumeric tokens: maximal runs
+// of letters and digits, everything else a separator. Both index terms
+// and query keywords go through it, so "Kafka," matches "kafka".
+func Tokenize(text string) []string {
+	var out []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			out = append(out, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range text {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r >= 'A' && r <= 'Z':
+			b.WriteRune(r - 'A' + 'a')
+		default:
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// witnesses returns the postings of token within the subtree interval
+// of node v: the candidate's match witnesses for that keyword.
+// Unsatisfiable nodes (existing in no world) are excluded.
+func (ix *Index) witnesses(tok string, v int32) []int32 {
+	list := ix.postings[tok]
+	n := ix.nodes[v]
+	lo := sort.Search(len(list), func(i int) bool { return list[i] >= n.pre })
+	hi := sort.Search(len(list), func(i int) bool { return list[i] >= n.end })
+	if lo == hi {
+		return nil
+	}
+	out := make([]int32, 0, hi-lo)
+	for _, u := range list[lo:hi] {
+		if ix.nodes[u].sat {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// hasToken reports whether node v itself carries the token.
+func (ix *Index) hasToken(tok string, v int32) bool {
+	list := ix.postings[tok]
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= v })
+	return i < len(list) && list[i] == v
+}
+
+// childToward returns the child of v whose subtree contains u (v must
+// be a proper ancestor of u).
+func (ix *Index) childToward(v, u int32) int32 {
+	for c := u; ; c = ix.nodes[c].parent {
+		if ix.nodes[c].parent == v {
+			return c
+		}
+	}
+}
+
+// Path renders the node's location as a rooted label path with 1-based
+// positional predicates among same-label siblings, e.g. /A/S[2]/L.
+// The predicate is omitted when the node is the only child with its
+// label.
+func (ix *Index) Path(pre int32) string {
+	var steps []string
+	for v := pre; v >= 0; v = ix.nodes[v].parent {
+		steps = append(steps, ix.step(v))
+	}
+	var b strings.Builder
+	for i := len(steps) - 1; i >= 0; i-- {
+		b.WriteByte('/')
+		b.WriteString(steps[i])
+	}
+	return b.String()
+}
+
+// step renders one path step of node v, counting same-label siblings by
+// walking the parent's child intervals.
+func (ix *Index) step(v int32) string {
+	n := ix.nodes[v]
+	if n.parent < 0 {
+		return n.label
+	}
+	p := ix.nodes[n.parent]
+	idx, total := 0, 0
+	for c := n.parent + 1; c < p.end; c = ix.nodes[c].end {
+		if ix.nodes[c].label == n.label {
+			total++
+			if c <= v {
+				idx++
+			}
+		}
+	}
+	if total <= 1 {
+		return n.label
+	}
+	return n.label + "[" + strconv.Itoa(idx) + "]"
+}

@@ -1,0 +1,434 @@
+package keyword
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/fuzzy"
+	"repro/internal/gen"
+)
+
+// --- oracle ----------------------------------------------------------------
+
+// oracleProbs computes, for every node (by preorder position), the
+// probability that it is a Mode answer, by brute-force possible-worlds
+// enumeration: every assignment of the document's events is one world
+// (as in fuzzy.Tree.ExpandUnmerged), the world's SLCA/ELCA sets are
+// computed by a naive quadratic definition-chasing evaluator sharing no
+// code with the engine, and world probabilities accumulate per node.
+func oracleProbs(t *testing.T, ft *fuzzy.Tree, keywords []string, mode Mode) map[int]float64 {
+	t.Helper()
+	tokens, err := RequiredTokens(keywords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flatten the tree in preorder, mirroring the index numbering.
+	type onode struct {
+		parent int
+		end    int
+		cond   event.Condition
+		tokens map[string]bool
+	}
+	var nodes []onode
+	var flatten func(n *fuzzy.Node, parent int) int
+	flatten = func(n *fuzzy.Node, parent int) int {
+		i := len(nodes)
+		toks := make(map[string]bool)
+		for _, tk := range Tokenize(n.Label + " " + n.Value) {
+			toks[tk] = true
+		}
+		nodes = append(nodes, onode{parent: parent, cond: n.Cond, tokens: toks})
+		end := i + 1
+		for _, c := range n.Children {
+			end = flatten(c, i)
+		}
+		nodes[i].end = end
+		return end
+	}
+	flatten(ft.Root, -1)
+
+	probs := make(map[int]float64)
+	err = ft.Table.ForEachAssignment(ft.Events(), func(a event.Assignment, p float64) bool {
+		exists := make([]bool, len(nodes))
+		for i, n := range nodes {
+			up := n.parent < 0 || exists[n.parent]
+			exists[i] = up && n.cond.Eval(a)
+		}
+		contains := func(v int, tok string) bool {
+			for u := v; u < nodes[v].end; u++ {
+				if exists[u] && nodes[u].tokens[tok] {
+					return true
+				}
+			}
+			return false
+		}
+		containsAll := func(v int) bool {
+			if !exists[v] {
+				return false
+			}
+			for _, tok := range tokens {
+				if !contains(v, tok) {
+					return false
+				}
+			}
+			return true
+		}
+		for v := range nodes {
+			if !exists[v] {
+				continue
+			}
+			answer := false
+			switch mode {
+			case SLCA:
+				answer = containsAll(v)
+				for d := v + 1; answer && d < nodes[v].end; d++ {
+					if containsAll(d) {
+						answer = false
+					}
+				}
+			case ELCA:
+				answer = true
+				for _, tok := range tokens {
+					found := false
+					for u := v; u < nodes[v].end && !found; u++ {
+						if !exists[u] || !nodes[u].tokens[tok] {
+							continue
+						}
+						hidden := false
+						for d := u; d != v; d = nodes[d].parent {
+							if containsAll(d) {
+								hidden = true
+								break
+							}
+						}
+						if !hidden {
+							found = true
+						}
+					}
+					if !found {
+						answer = false
+						break
+					}
+				}
+			}
+			if answer {
+				probs[v] += p
+			}
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, p := range probs {
+		if p <= 1e-15 {
+			delete(probs, v)
+		}
+	}
+	return probs
+}
+
+// checkAgainstOracle runs the engine exactly and compares the answer
+// set and probabilities with the brute-force oracle.
+func checkAgainstOracle(t *testing.T, ft *fuzzy.Tree, keywords []string, mode Mode) {
+	t.Helper()
+	want := oracleProbs(t, ft, keywords, mode)
+	res, err := Search(NewIndex(ft), Request{Keywords: keywords, Mode: mode})
+	if err != nil {
+		t.Fatalf("%v %v: %v", mode, keywords, err)
+	}
+	got := make(map[int]float64, len(res.Answers))
+	for _, a := range res.Answers {
+		got[a.Pre] = a.P
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%v %v on %s:\n got answers %v\n want %v", mode, keywords, fuzzy.Format(ft.Root), got, want)
+	}
+	for v, p := range want {
+		if q, ok := got[v]; !ok || math.Abs(p-q) > 1e-9 {
+			t.Errorf("%v %v node %d: got P=%.12g, oracle P=%.12g (doc %s)",
+				mode, keywords, v, q, p, fuzzy.Format(ft.Root))
+		}
+	}
+}
+
+// --- worked example --------------------------------------------------------
+
+// exampleDoc is a small library document with conditioned books:
+//
+//	lib(book[w1](title:kafka, author:max), shelf(book[w2](title:kafka)))
+func exampleDoc() *fuzzy.Tree {
+	return fuzzy.MustParseTree(
+		"lib(book[w1](title:kafka, author:max), shelf(book[w2](title:kafka)))",
+		map[event.ID]float64{"w1": 0.8, "w2": 0.5})
+}
+
+func TestSLCAExample(t *testing.T) {
+	ft := exampleDoc()
+	// Keyword "kafka": SLCA answers are the deepest nodes containing
+	// it — the two title leaves. P(title1)=P(w1)=0.8, P(title2)=P(w2)=0.5.
+	res, err := Search(NewIndex(ft), Request{Keywords: []string{"kafka"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 2 {
+		t.Fatalf("answers = %+v, want 2", res.Answers)
+	}
+	if a := res.Answers[0]; a.Path != "/lib/book/title" || math.Abs(a.P-0.8) > 1e-12 {
+		t.Errorf("first answer = %+v, want /lib/book/title P=0.8", a)
+	}
+	if a := res.Answers[1]; a.Path != "/lib/shelf/book/title" || math.Abs(a.P-0.5) > 1e-12 {
+		t.Errorf("second answer = %+v, want /lib/shelf/book/title P=0.5", a)
+	}
+
+	// {kafka, max}: only the first book holds both (P=w1); lib holds
+	// both when book1's title provides kafka or book2 does — but max
+	// only under book1, so P(lib SLCA) = P(book2 ∧ w... — oracle
+	// agreement is the real check here.
+	checkAgainstOracle(t, ft, []string{"kafka", "max"}, SLCA)
+	checkAgainstOracle(t, ft, []string{"kafka", "max"}, ELCA)
+	checkAgainstOracle(t, ft, []string{"kafka"}, SLCA)
+	checkAgainstOracle(t, ft, []string{"kafka"}, ELCA)
+}
+
+func TestELCAExample(t *testing.T) {
+	ft := exampleDoc()
+	// Keyword "kafka", ELCA: exactly the nodes carrying the token
+	// directly (descendant full-containers exclude their subtrees).
+	res, err := Search(NewIndex(ft), Request{Keywords: []string{"kafka"}, Mode: ELCA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 2 {
+		t.Fatalf("answers = %+v, want the two title leaves", res.Answers)
+	}
+	for _, a := range res.Answers {
+		if a.Label != "title" {
+			t.Errorf("ELCA answer %+v, want only title nodes", a)
+		}
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	ix := NewIndex(exampleDoc())
+	if _, err := Search(ix, Request{Keywords: []string{"!!"}}); err == nil {
+		t.Error("no error for keywords without tokens")
+	}
+	if _, err := Search(ix, Request{Keywords: nil}); err == nil {
+		t.Error("no error for empty keywords")
+	}
+	if _, err := Search(ix, Request{Keywords: []string{"kafka"}, MinProb: 1.5}); err == nil {
+		t.Error("no error for MinProb > 1")
+	}
+	if _, err := ParseMode("fancy"); err == nil {
+		t.Error("no error for unknown mode")
+	}
+}
+
+func TestSearchNoMatches(t *testing.T) {
+	ix := NewIndex(exampleDoc())
+	res, err := Search(ix, Request{Keywords: []string{"tolstoy"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 0 || res.Candidates != 0 {
+		t.Errorf("result = %+v, want empty", res)
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("The Castle, by Franz-Kafka (1926)")
+	want := []string{"the", "castle", "by", "franz", "kafka", "1926"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("Tokenize = %v, want %v", got, want)
+	}
+	if toks := Tokenize("  ,;  "); len(toks) != 0 {
+		t.Errorf("Tokenize(separators) = %v, want none", toks)
+	}
+}
+
+// --- randomized differential -----------------------------------------------
+
+// randomDoc draws a random fuzzy document whose labels and values reuse
+// a small alphabet (so keywords repeat across subtrees) and whose event
+// count stays brute-forceable.
+func randomDoc(r *rand.Rand) *fuzzy.Tree {
+	return gen.Fuzzy(r, gen.FuzzyConfig{
+		Tree: gen.TreeConfig{
+			Depth:     2 + r.Intn(3),
+			MaxFanout: 1 + r.Intn(3),
+			Labels:    []string{"a", "b", "c"},
+			Values:    []string{"", "x", "y", "xy"},
+		},
+		Events:   1 + r.Intn(6),
+		CondProb: 0.6,
+		MaxLits:  2,
+	})
+}
+
+func TestDifferentialOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	keywordSets := [][]string{{"a"}, {"x"}, {"a", "x"}, {"b", "c"}, {"a", "b", "x"}, {"x", "y"}}
+	for i := 0; i < 60; i++ {
+		ft := randomDoc(r)
+		if len(ft.Events()) > 12 || ft.Size() > 40 {
+			continue
+		}
+		kws := keywordSets[r.Intn(len(keywordSets))]
+		checkAgainstOracle(t, ft, kws, SLCA)
+		checkAgainstOracle(t, ft, kws, ELCA)
+	}
+}
+
+// TestThresholdInvariance checks the acceptance property of MinProb and
+// TopK: they must never change the surviving answer set relative to
+// post-filtering the unpruned, uncut results.
+func TestThresholdInvariance(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for i := 0; i < 40; i++ {
+		ft := randomDoc(r)
+		ix := NewIndex(ft)
+		kws := []string{"a", "x"}
+		for _, mode := range []Mode{SLCA, ELCA} {
+			base, err := Search(ix, Request{Keywords: kws, Mode: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			minProb := r.Float64()
+			topK := 1 + r.Intn(3)
+			got, err := Search(ix, Request{Keywords: kws, Mode: mode, MinProb: minProb, TopK: topK})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want []Answer
+			for _, a := range base.Answers {
+				if a.P >= minProb {
+					want = append(want, a)
+				}
+			}
+			if len(want) > topK {
+				want = want[:topK]
+			}
+			if len(got.Answers) != len(want) {
+				t.Fatalf("mode %v minProb=%v topK=%d: got %+v, want %+v",
+					mode, minProb, topK, got.Answers, want)
+			}
+			for j := range want {
+				if got.Answers[j].Pre != want[j].Pre || math.Abs(got.Answers[j].P-want[j].P) > 1e-12 {
+					t.Errorf("mode %v minProb=%v topK=%d answer %d: got %+v, want %+v",
+						mode, minProb, topK, j, got.Answers[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestMonteCarloAgreement checks that MC estimates converge to the
+// exact probabilities, and that MC results honor MinProb/TopK the same
+// way (estimates are clamped to the exact upper bound, so pruning stays
+// invariant).
+func TestMonteCarloAgreement(t *testing.T) {
+	ft := exampleDoc()
+	ix := NewIndex(ft)
+	for _, mode := range []Mode{SLCA, ELCA} {
+		exact, err := Search(ix, Request{Keywords: []string{"kafka"}, Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc, err := Search(ix, Request{Keywords: []string{"kafka"}, Mode: mode, MC: true, Samples: 20000, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(mc.Answers) != len(exact.Answers) {
+			t.Fatalf("mode %v: MC answers %+v, exact %+v", mode, mc.Answers, exact.Answers)
+		}
+		em := make(map[int]float64)
+		for _, a := range exact.Answers {
+			em[a.Pre] = a.P
+		}
+		for _, a := range mc.Answers {
+			if math.Abs(a.P-em[a.Pre]) > 0.02 {
+				t.Errorf("mode %v node %d: MC P=%v, exact P=%v", mode, a.Pre, a.P, em[a.Pre])
+			}
+		}
+	}
+}
+
+func TestMonteCarloThresholdInvariance(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 10; i++ {
+		ft := randomDoc(r)
+		ix := NewIndex(ft)
+		req := Request{Keywords: []string{"a", "x"}, Mode: SLCA, MC: true, Samples: 500, Seed: int64(i + 1)}
+		base, err := Search(ix, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		minProb := 0.3
+		cut := req
+		cut.MinProb = minProb
+		got, err := Search(ix, cut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The pruned run's estimates may be clamped by the bound; the
+		// surviving set must equal post-filtering the clamped base run.
+		// Since clamping only lowers estimates below a bound that the
+		// pruned run would also apply, compare sets by membership.
+		want := make(map[int]bool)
+		for _, a := range base.Answers {
+			bounded := a.P
+			if bounded >= minProb {
+				want[a.Pre] = true
+			}
+		}
+		for _, a := range got.Answers {
+			if !want[a.Pre] {
+				t.Errorf("pruned run has unexpected answer %+v", a)
+			}
+			delete(want, a.Pre)
+		}
+		for pre := range want {
+			t.Errorf("pruned run lost answer at node %d", pre)
+		}
+	}
+}
+
+func TestIndexStructure(t *testing.T) {
+	ft := exampleDoc()
+	ix := NewIndex(ft)
+	if ix.Tree() != ft {
+		t.Error("index does not identify its snapshot")
+	}
+	if ix.Len() != 7 {
+		t.Errorf("Len = %d, want 7", ix.Len())
+	}
+	toks := ix.Tokens()
+	want := []string{"author", "book", "kafka", "lib", "max", "shelf", "title"}
+	if strings.Join(toks, " ") != strings.Join(want, " ") {
+		t.Errorf("Tokens = %v, want %v", toks, want)
+	}
+	if ix.Postings() == 0 {
+		t.Error("no postings")
+	}
+}
+
+// TestUnsatisfiableWitness checks that nodes with contradictory path
+// conditions (existing in no world) are neither witnesses nor answers.
+func TestUnsatisfiableWitness(t *testing.T) {
+	ft := fuzzy.MustParseTree("r(a[w1](b[!w1]:x), c:x)", map[event.ID]float64{"w1": 0.5})
+	checkAgainstOracle(t, ft, []string{"x"}, SLCA)
+	checkAgainstOracle(t, ft, []string{"x"}, ELCA)
+	res, err := Search(NewIndex(ft), Request{Keywords: []string{"x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Answers {
+		if a.Label == "b" {
+			t.Errorf("unsatisfiable node reported as answer: %+v", a)
+		}
+	}
+}

@@ -5,18 +5,19 @@ import (
 	"sync"
 )
 
-// queryKey identifies one cached query result: the document, the
-// canonical textual form of the query (so syntactic variants of the
-// same pattern share an entry), and the evaluation mode.
+// queryKey identifies one cached result: the document, the canonical
+// textual form of the query (so syntactic variants of the same pattern
+// share an entry) or keyword set, and the evaluation mode.
 type queryKey struct {
 	doc   string
 	query string
-	mode  string // "exact" or "mc:<samples>:<seed>"
+	mode  string // "exact", "mc:<samples>:<seed>" or "search:..."
 }
 
-// lruCache is a fixed-capacity LRU map from queryKey to the encoded
-// answers. Entries for a document are dropped when the document is
-// mutated. A capacity < 1 disables the cache entirely.
+// lruCache is a fixed-capacity LRU map from queryKey to an encoded
+// response payload (query answers, search answers). Entries for a
+// document are dropped when the document is mutated. A capacity < 1
+// disables the cache entirely.
 //
 // Each document also carries a generation counter, bumped by
 // invalidateDoc. A filler reads docGen before evaluating and passes it
@@ -39,8 +40,8 @@ type lruCache struct {
 const maxGenEntries = 4096
 
 type lruEntry struct {
-	key     queryKey
-	answers []Answer
+	key   queryKey
+	value any
 }
 
 func newLRU(capacity int) *lruCache {
@@ -54,8 +55,8 @@ func newLRU(capacity int) *lruCache {
 
 func (c *lruCache) enabled() bool { return c.cap > 0 }
 
-// get returns the cached answers and refreshes the entry's recency.
-func (c *lruCache) get(k queryKey) ([]Answer, bool) {
+// get returns the cached payload and refreshes the entry's recency.
+func (c *lruCache) get(k queryKey) (any, bool) {
 	if !c.enabled() {
 		return nil, false
 	}
@@ -66,7 +67,7 @@ func (c *lruCache) get(k queryKey) ([]Answer, bool) {
 		return nil, false
 	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*lruEntry).answers, true
+	return el.Value.(*lruEntry).value, true
 }
 
 // docGen returns the document's current invalidation token (epoch and
@@ -79,10 +80,10 @@ func (c *lruCache) docGen(doc string) uint64 {
 }
 
 // put inserts (or refreshes) an entry, evicting the least recently used
-// one beyond capacity. gen is the docGen value read before the answers
-// were computed; if the document was invalidated in between, the stale
+// one beyond capacity. gen is the docGen value read before the payload
+// was computed; if the document was invalidated in between, the stale
 // entry is discarded.
-func (c *lruCache) put(k queryKey, answers []Answer, gen uint64) {
+func (c *lruCache) put(k queryKey, value any, gen uint64) {
 	if !c.enabled() {
 		return
 	}
@@ -93,10 +94,10 @@ func (c *lruCache) put(k queryKey, answers []Answer, gen uint64) {
 	}
 	if el, ok := c.items[k]; ok {
 		c.ll.MoveToFront(el)
-		el.Value.(*lruEntry).answers = answers
+		el.Value.(*lruEntry).value = value
 		return
 	}
-	c.items[k] = c.ll.PushFront(&lruEntry{key: k, answers: answers})
+	c.items[k] = c.ll.PushFront(&lruEntry{key: k, value: value})
 	for c.ll.Len() > c.cap {
 		last := c.ll.Back()
 		c.ll.Remove(last)

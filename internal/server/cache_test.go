@@ -35,7 +35,7 @@ func TestLRUPutRefreshes(t *testing.T) {
 		t.Fatalf("len = %d, want 1", c.len())
 	}
 	got, ok := c.get(k("d", "q"))
-	if !ok || got[0].P != 2 {
+	if !ok || got.([]Answer)[0].P != 2 {
 		t.Errorf("get = %v %v, want refreshed P=2", got, ok)
 	}
 }
@@ -93,7 +93,7 @@ func TestLRUStaleGenerationRejected(t *testing.T) {
 	}
 	// A fill with the fresh generation is accepted.
 	c.put(k("d", "q"), []Answer{{P: 2}}, c.docGen("d"))
-	if got, ok := c.get(k("d", "q")); !ok || got[0].P != 2 {
+	if got, ok := c.get(k("d", "q")); !ok || got.([]Answer)[0].P != 2 {
 		t.Errorf("fresh fill = %v %v, want P=2 hit", got, ok)
 	}
 }

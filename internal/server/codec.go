@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strings"
 
+	"repro/internal/keyword"
 	"repro/internal/tpwj"
 	"repro/internal/tree"
 	"repro/internal/update"
@@ -43,6 +44,49 @@ type Answer struct {
 type QueryResponse struct {
 	Answers []Answer `json:"answers"`
 	Count   int      `json:"count"`
+	// Cached reports whether the answers came from the result cache.
+	Cached bool `json:"cached"`
+}
+
+// SearchRequest is the POST /docs/{name}/search body.
+type SearchRequest struct {
+	// Keywords are the required search terms; each is tokenized
+	// (lowercase alphanumeric runs) and all resulting tokens are
+	// required.
+	Keywords []string `json:"keywords"`
+	// Mode selects the answer semantics: "slca" (default) or "elca".
+	Mode string `json:"mode,omitempty"`
+	// Prob selects probability computation: "exact" (default) or "mc".
+	Prob string `json:"prob,omitempty"`
+	// Samples is the Monte-Carlo world count (prob "mc" only);
+	// defaults to 1000.
+	Samples int `json:"samples,omitempty"`
+	// Seed makes Monte-Carlo estimation reproducible (prob "mc" only);
+	// defaults to 1 so identical requests are cacheable.
+	Seed int64 `json:"seed,omitempty"`
+	// MinProb drops answers below the threshold and lets the evaluator
+	// prune candidates early using its monotone upper bound.
+	MinProb float64 `json:"min_prob,omitempty"`
+	// TopK keeps only the K most probable answers when positive.
+	TopK int `json:"top_k,omitempty"`
+}
+
+// SearchAnswer is one keyword-search answer on the wire.
+type SearchAnswer struct {
+	P         float64 `json:"p"`
+	Pre       int     `json:"pre"`
+	Path      string  `json:"path"`
+	Label     string  `json:"label"`
+	Value     string  `json:"value,omitempty"`
+	Witnesses int     `json:"witnesses"`
+}
+
+// SearchResponse is the POST /docs/{name}/search response body.
+type SearchResponse struct {
+	Answers    []SearchAnswer `json:"answers"`
+	Count      int            `json:"count"`
+	Candidates int            `json:"candidates"`
+	Pruned     int            `json:"pruned"`
 	// Cached reports whether the answers came from the result cache.
 	Cached bool `json:"cached"`
 }
@@ -168,12 +212,34 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v) //nolint:errcheck // the connection is gone anyway
 }
 
-// readJSON decodes the request body into v, rejecting unknown fields.
+// readJSON decodes the request body into v. Unknown fields are
+// rejected, so a typo'd parameter ("minprob" for "min_prob") fails with
+// 400 instead of silently running with the default; so is trailing
+// content after the JSON value, which would otherwise be ignored.
 func readJSON(r *http.Request, v any) error {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return fmt.Errorf("invalid JSON body: %w", err)
 	}
+	if dec.More() {
+		return errors.New("invalid JSON body: trailing content after the request object")
+	}
 	return nil
+}
+
+// encodeSearchAnswers converts evaluator answers to their wire form.
+func encodeSearchAnswers(answers []keyword.Answer) []SearchAnswer {
+	out := make([]SearchAnswer, len(answers))
+	for i, a := range answers {
+		out[i] = SearchAnswer{
+			P:         a.P,
+			Pre:       a.Pre,
+			Path:      a.Path,
+			Label:     a.Label,
+			Value:     a.Value,
+			Witnesses: a.Witnesses,
+		}
+	}
+	return out
 }

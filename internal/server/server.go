@@ -10,14 +10,16 @@
 //	DELETE /docs/{name}           drop the document
 //	GET    /docs/{name}/stat      node/event/world counts
 //	POST   /docs/{name}/query     evaluate a TPWJ or XPath query
+//	POST   /docs/{name}/search    probabilistic keyword search (SLCA/ELCA)
 //	POST   /docs/{name}/update    apply a probabilistic transaction
 //	POST   /docs/{name}/simplify  run simplification passes
 //	POST   /admin/compact         truncate the journal
-//	GET    /stats                 request, cache, engine and journal counters
+//	GET    /stats                 request, cache, engine, journal and search counters
 //	GET    /healthz               liveness probe
 //
-// Query results are served from an LRU cache keyed by (document,
-// canonical query, mode); any mutation of a document drops its entries.
+// Query and search results are served from an LRU cache keyed by
+// (document, canonical query or keyword set, mode); any mutation of a
+// document drops its entries.
 // Errors are reported as {"error": "..."} with conventional status
 // codes (400 bad input, 404 missing document, 409 name conflict).
 package server
@@ -28,8 +30,10 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strings"
 	"time"
 
+	"repro/internal/keyword"
 	"repro/internal/tpwj"
 	"repro/internal/warehouse"
 	"repro/internal/xmlio"
@@ -96,6 +100,7 @@ func New(wh *warehouse.Warehouse, opts Options) *Server {
 	s.route("DELETE /docs/{name}", s.handleDrop)
 	s.route("GET /docs/{name}/stat", s.handleStat)
 	s.route("POST /docs/{name}/query", s.handleQuery)
+	s.route("POST /docs/{name}/search", s.handleSearch)
 	s.route("POST /docs/{name}/update", s.handleUpdate)
 	s.route("POST /docs/{name}/simplify", s.handleSimplify)
 	s.route("POST /admin/compact", s.handleCompact)
@@ -306,7 +311,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// concurrent mutation replaced is never installed.
 	key := queryKey{doc: name, query: tpwj.FormatQuery(q), mode: mode}
 	gen := s.cache.docGen(name)
-	if answers, ok := s.cache.get(key); ok {
+	if cached, ok := s.cache.get(key); ok {
+		answers := cached.([]Answer)
 		s.stats.hit()
 		writeJSON(w, http.StatusOK, QueryResponse{
 			Answers: answers, Count: len(answers), Cached: true,
@@ -330,6 +336,101 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, QueryResponse{
 		Answers: answers, Count: len(answers), Cached: false,
 	})
+}
+
+// handleSearch evaluates a probabilistic keyword search. Results are
+// cached like query results, keyed by the canonical token set and the
+// full evaluation mode (semantics, exact/mc, threshold, cut), and
+// invalidated by any mutation of the document.
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := warehouse.ValidateName(name); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var req SearchRequest
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, bodyStatus(err), err)
+		return
+	}
+	mode, err := keyword.ParseMode(req.Mode)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	tokens, err := keyword.RequiredTokens(req.Keywords)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.MinProb < 0 || req.MinProb > 1 {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("min_prob %v outside [0,1]", req.MinProb))
+		return
+	}
+	if req.TopK < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("negative top_k %d", req.TopK))
+		return
+	}
+	kreq := keyword.Request{
+		Keywords: req.Keywords,
+		Mode:     mode,
+		MinProb:  req.MinProb,
+		TopK:     req.TopK,
+	}
+	probMode := "exact"
+	switch req.Prob {
+	case "", "exact":
+	case "mc":
+		samples := req.Samples
+		if samples <= 0 {
+			samples = 1000
+		}
+		if samples > MaxSamples {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("samples %d exceeds the limit %d", samples, MaxSamples))
+			return
+		}
+		seed := req.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		kreq.MC, kreq.Samples, kreq.Seed = true, samples, seed
+		probMode = fmt.Sprintf("mc:%d:%d", samples, seed)
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("unknown prob %q (want exact or mc)", req.Prob))
+		return
+	}
+
+	key := queryKey{
+		doc:   name,
+		query: "kw:" + strings.Join(tokens, " "),
+		mode:  fmt.Sprintf("search:%s:%s:minp=%g:k=%d", mode, probMode, req.MinProb, req.TopK),
+	}
+	gen := s.cache.docGen(name)
+	if cached, ok := s.cache.get(key); ok {
+		s.stats.searchHit()
+		resp := cached.(SearchResponse)
+		resp.Cached = true
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	s.stats.searchMiss()
+
+	res, err := s.wh.Search(name, kreq)
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	resp := SearchResponse{
+		Answers:    encodeSearchAnswers(res.Answers),
+		Count:      len(res.Answers),
+		Candidates: res.Candidates,
+		Pruned:     res.Pruned,
+	}
+	s.cache.put(key, resp, gen)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // --- updating --------------------------------------------------------------
@@ -396,7 +497,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if capacity < 0 {
 		capacity = 0
 	}
-	writeJSON(w, http.StatusOK, s.stats.snapshot(s.cache.len(), capacity, s.wh.JournalStats()))
+	writeJSON(w, http.StatusOK, s.stats.snapshot(s.cache.len(), capacity, s.wh.JournalStats(), s.wh.SearchStats()))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -10,10 +10,12 @@ import (
 
 // stats accumulates per-route request counters and cache counters.
 type stats struct {
-	mu     sync.Mutex
-	routes map[string]*routeStats
-	hits   int64
-	misses int64
+	mu           sync.Mutex
+	routes       map[string]*routeStats
+	hits         int64
+	misses       int64
+	searchHits   int64
+	searchMisses int64
 }
 
 type routeStats struct {
@@ -57,6 +59,18 @@ func (s *stats) miss() {
 	s.mu.Unlock()
 }
 
+func (s *stats) searchHit() {
+	s.mu.Lock()
+	s.searchHits++
+	s.mu.Unlock()
+}
+
+func (s *stats) searchMiss() {
+	s.mu.Lock()
+	s.searchMisses++
+	s.mu.Unlock()
+}
+
 // RouteSnapshot reports the request counters of one route.
 type RouteSnapshot struct {
 	Count  int64   `json:"count"`
@@ -74,20 +88,32 @@ type CacheSnapshot struct {
 	Capacity int     `json:"capacity"`
 }
 
+// SearchSnapshot reports the keyword-search counters: the warehouse's
+// index lifecycle (builds, cache hits, invalidations) and engine
+// totals (postings, threshold prunes), plus the server's search-result
+// cache hits and misses.
+type SearchSnapshot struct {
+	warehouse.SearchStats
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+}
+
 // StatsSnapshot is the GET /stats response body. Engine reports the
 // probability-engine counters (DNF compiles, bitset fast-path share,
 // Shannon memo hits/misses, component decompositions) accumulated over
 // the whole process; Journal reports the warehouse's write-ahead
 // journal counters (durable appends, group-commit fsync batches, and
-// the recovery outcomes of the last Open).
+// the recovery outcomes of the last Open); Search reports the keyword
+// search subsystem (see SearchSnapshot).
 type StatsSnapshot struct {
 	Requests map[string]RouteSnapshot `json:"requests"`
 	Cache    CacheSnapshot            `json:"cache"`
 	Engine   event.EngineCounters     `json:"engine"`
 	Journal  warehouse.JournalStats   `json:"journal"`
+	Search   SearchSnapshot           `json:"search"`
 }
 
-func (s *stats) snapshot(entries, capacity int, journal warehouse.JournalStats) StatsSnapshot {
+func (s *stats) snapshot(entries, capacity int, journal warehouse.JournalStats, search warehouse.SearchStats) StatsSnapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := StatsSnapshot{
@@ -100,6 +126,11 @@ func (s *stats) snapshot(entries, capacity int, journal warehouse.JournalStats) 
 		},
 		Engine:  event.ReadEngineCounters(),
 		Journal: journal,
+		Search: SearchSnapshot{
+			SearchStats: search,
+			CacheHits:   s.searchHits,
+			CacheMisses: s.searchMisses,
+		},
 	}
 	if total := s.hits + s.misses; total > 0 {
 		out.Cache.HitRate = float64(s.hits) / float64(total)

@@ -1,0 +1,122 @@
+package warehouse
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/fuzzy"
+	"repro/internal/keyword"
+)
+
+// searchIndexes caches one keyword.Index per document, built lazily on
+// the first search and keyed by the snapshot it was built from.
+// Snapshots are immutable and every mutation installs a fresh tree, so
+// the tree pointer is the document's generation token: a cached index
+// whose Tree differs from the current snapshot is stale and rebuilt.
+// Drop removes the entry; the map is otherwise bounded by the number of
+// stored documents.
+type searchIndexes struct {
+	mu  sync.Mutex
+	idx map[string]*keyword.Index
+
+	hits          atomic.Int64
+	invalidations atomic.Int64
+	searches      atomic.Int64
+}
+
+// SearchStats reports the keyword-search counters of this warehouse
+// (index cache behavior) together with the keyword engine's package
+// counters (builds, postings, threshold prunes). Served by pxserve
+// under /stats as "search".
+type SearchStats struct {
+	// Searches counts Search calls on this warehouse.
+	Searches int64 `json:"searches"`
+	// IndexHits counts searches served by a cached up-to-date index.
+	IndexHits int64 `json:"index_hits"`
+	// IndexInvalidations counts cached indexes discarded because the
+	// document changed underneath them.
+	IndexInvalidations int64 `json:"index_invalidations"`
+	// IndexBuilds counts inverted-index builds (process-wide).
+	IndexBuilds int64 `json:"index_builds"`
+	// Postings counts inverted-index postings built (process-wide).
+	Postings int64 `json:"postings"`
+	// ThresholdPrunes counts candidates eliminated by the MinProb
+	// upper bound before exact evaluation (process-wide).
+	ThresholdPrunes int64 `json:"threshold_prunes"`
+}
+
+// SearchStats returns the warehouse's keyword-search counters.
+func (w *Warehouse) SearchStats() SearchStats {
+	kc := keyword.ReadCounters()
+	return SearchStats{
+		Searches:           w.search.searches.Load(),
+		IndexHits:          w.search.hits.Load(),
+		IndexInvalidations: w.search.invalidations.Load(),
+		IndexBuilds:        kc.IndexBuilds,
+		Postings:           kc.Postings,
+		ThresholdPrunes:    kc.ThresholdPrunes,
+	}
+}
+
+// searchIndex returns an index matching the given snapshot, reusing the
+// cached one when the document has not changed since it was built. The
+// build itself runs outside the mutex — it is O(document) and holding
+// the (warehouse-wide) lock across it would serialize searches on
+// unrelated documents behind one cold build — so two racing first
+// searches may both build; the double-check install keeps one.
+func (w *Warehouse) searchIndex(name string, ft *fuzzy.Tree) *keyword.Index {
+	s := &w.search
+	s.mu.Lock()
+	cached, ok := s.idx[name]
+	s.mu.Unlock()
+	if ok {
+		if cached.Tree() == ft {
+			s.hits.Add(1)
+			return cached
+		}
+		// Stale entries are normally dropped eagerly by the mutation
+		// that invalidated them (see dropSearchIndex); this lazy path
+		// covers a search racing that drop.
+		s.invalidations.Add(1)
+	}
+	ix := keyword.NewIndex(ft)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur, ok := s.idx[name]; ok && cur.Tree() == ft {
+		return cur
+	}
+	if s.idx == nil {
+		s.idx = make(map[string]*keyword.Index)
+	}
+	s.idx[name] = ix
+	return ix
+}
+
+// dropSearchIndex discards the document's cached index, counting the
+// invalidation when there was one. Called eagerly by every mutation
+// install and by Drop, so a superseded index never outlives the
+// mutation and pins the old snapshot tree in memory until the next
+// search.
+func (w *Warehouse) dropSearchIndex(name string) {
+	s := &w.search
+	s.mu.Lock()
+	if _, ok := s.idx[name]; ok {
+		s.invalidations.Add(1)
+		delete(s.idx, name)
+	}
+	s.mu.Unlock()
+}
+
+// Search runs a keyword search (SLCA or ELCA semantics, exact or
+// Monte-Carlo probabilities, optional MinProb threshold and TopK cut)
+// against the named document. The inverted index is built lazily on
+// first use and reused until the document is mutated; evaluation runs
+// on an immutable snapshot outside every lock, like Query.
+func (w *Warehouse) Search(name string, req keyword.Request) (*keyword.Result, error) {
+	ft, err := w.readSnapshot(name)
+	if err != nil {
+		return nil, err
+	}
+	w.search.searches.Add(1)
+	return keyword.Search(w.searchIndex(name, ft), req)
+}

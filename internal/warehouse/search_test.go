@@ -1,0 +1,140 @@
+package warehouse
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/fuzzy"
+	"repro/internal/keyword"
+	"repro/internal/tpwj"
+	"repro/internal/tree"
+	"repro/internal/update"
+)
+
+func searchDoc() *fuzzy.Tree {
+	return fuzzy.MustParseTree(
+		"lib(book[w1](title:kafka, author:max), shelf(book[w2](title:kafka)))",
+		map[event.ID]float64{"w1": 0.8, "w2": 0.5})
+}
+
+func TestWarehouseSearch(t *testing.T) {
+	w, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Create("lib", searchDoc()); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := w.Search("lib", keyword.Request{Keywords: []string{"kafka"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 2 || math.Abs(res.Answers[0].P-0.8) > 1e-12 {
+		t.Fatalf("answers = %+v", res.Answers)
+	}
+
+	if _, err := w.Search("nope", keyword.Request{Keywords: []string{"kafka"}}); err == nil {
+		t.Error("no error searching a missing document")
+	}
+}
+
+// TestSearchIndexLifecycle checks that the per-document index is built
+// once, reused across searches, and invalidated (rebuilt) when the
+// document is mutated.
+func TestSearchIndexLifecycle(t *testing.T) {
+	w, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Create("lib", searchDoc()); err != nil {
+		t.Fatal(err)
+	}
+
+	req := keyword.Request{Keywords: []string{"kafka"}}
+	if _, err := w.Search("lib", req); err != nil {
+		t.Fatal(err)
+	}
+	s0 := w.SearchStats()
+	if s0.Searches != 1 || s0.IndexHits != 0 {
+		t.Fatalf("after first search: %+v", s0)
+	}
+	if _, err := w.Search("lib", req); err != nil {
+		t.Fatal(err)
+	}
+	s1 := w.SearchStats()
+	if s1.IndexHits != s0.IndexHits+1 {
+		t.Fatalf("second search did not reuse the index: %+v", s1)
+	}
+
+	// A mutation installs a fresh snapshot; the next search must
+	// discard the cached index and see the new content.
+	tx := update.New(tpwj.MustParseQuery("lib $l"), 1, update.Insert("l", tree.MustParse("note:kafka")))
+	if _, err := w.Update("lib", tx); err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Search("lib", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := w.SearchStats()
+	if s2.IndexInvalidations != s1.IndexInvalidations+1 {
+		t.Fatalf("update did not invalidate the index: %+v", s2)
+	}
+	if len(res.Answers) != 3 {
+		t.Fatalf("post-update answers = %+v, want the inserted note too", res.Answers)
+	}
+
+	// Drop releases the cached index entry.
+	if err := w.Drop("lib"); err != nil {
+		t.Fatal(err)
+	}
+	w.search.mu.Lock()
+	_, still := w.search.idx["lib"]
+	w.search.mu.Unlock()
+	if still {
+		t.Error("dropped document still holds a cached search index")
+	}
+}
+
+// TestSearchConcurrent exercises concurrent searches against concurrent
+// updates of the same document (run with -race).
+func TestSearchConcurrent(t *testing.T) {
+	w, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Create("lib", searchDoc()); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if _, err := w.Search("lib", keyword.Request{Keywords: []string{"kafka"}}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			tx := update.New(tpwj.MustParseQuery("lib $l"), 0.5, update.Insert("l", tree.MustParse("note:extra")))
+			if _, err := w.Update("lib", tx); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}

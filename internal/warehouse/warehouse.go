@@ -115,6 +115,10 @@ type Warehouse struct {
 	cacheMu sync.Mutex
 	cache   map[string]*fuzzy.Tree
 
+	// search caches one keyword-search index per document, keyed by
+	// the snapshot it was built from (see searchIndexes).
+	search searchIndexes
+
 	// journaledMu guards journaled: the set of documents with a
 	// committed mutation record in the current journal. For those, the
 	// journal is the durable copy of the latest content — recovery
@@ -574,6 +578,7 @@ func (w *Warehouse) Drop(name string) error {
 	// churn of unique names cannot grow the table. Writers blocked on
 	// this entry re-check and retry (see lockWriter).
 	w.locks.del(name)
+	w.dropSearchIndex(name)
 	return nil
 }
 
@@ -652,7 +657,7 @@ func (w *Warehouse) mutateDoc(name string, compute func(ft *fuzzy.Tree) (*fuzzy.
 	if err != nil {
 		return err
 	}
-	return w.install(dl,
+	err = w.install(dl,
 		Record{Op: OpUpdate, Doc: name, Tx: txNote, Content: string(data)},
 		func(syncFile bool) error {
 			if err := w.writeDocFile(name, data, syncFile); err != nil {
@@ -661,6 +666,13 @@ func (w *Warehouse) mutateDoc(name string, compute func(ft *fuzzy.Tree) (*fuzzy.
 			w.cacheSet(name, next)
 			return nil
 		})
+	if err != nil {
+		return err
+	}
+	// The old snapshot is superseded; release its keyword index now so
+	// it cannot pin the whole pre-update tree until the next search.
+	w.dropSearchIndex(name)
+	return nil
 }
 
 // Update applies a probabilistic transaction to the named document,
