@@ -12,6 +12,7 @@ import (
 	"repro/internal/tpwj"
 	"repro/internal/tree"
 	"repro/internal/update"
+	"repro/internal/view"
 	"repro/internal/warehouse"
 	"repro/internal/worlds"
 	"repro/internal/xmlio"
@@ -98,6 +99,18 @@ type (
 	// WarehouseSearchStats reports a warehouse's keyword-search
 	// counters (index builds, hits, invalidations, threshold prunes).
 	WarehouseSearchStats = warehouse.SearchStats
+	// ViewDefinition is the registered identity of a materialized
+	// view: name, query text and syntax ("tpwj" or "xpath").
+	ViewDefinition = view.Definition
+	// ViewResult is one materialized-view read: the definition, the
+	// incrementally maintained answers, and whether the read was
+	// served stale (a maintenance pass was in flight).
+	ViewResult = warehouse.ViewResult
+	// WarehouseViewStats reports a warehouse's materialized-view
+	// counters: registered views, maintenance tiers taken (skipped /
+	// incremental / full recomputes), reused vs recomputed answer
+	// probabilities, and stale reads.
+	WarehouseViewStats = warehouse.ViewStats
 	// Server is an http.Handler exposing a warehouse over an HTTP/JSON
 	// API with per-document concurrency and a query-result cache.
 	Server = server.Server
@@ -119,6 +132,14 @@ var (
 	ErrInvalidDocName = warehouse.ErrInvalidName
 	// ErrWarehouseClosed reports use of a warehouse after Close.
 	ErrWarehouseClosed = warehouse.ErrClosed
+	// ErrViewNotFound reports an operation on a missing materialized
+	// view.
+	ErrViewNotFound = warehouse.ErrViewNotFound
+	// ErrViewExists reports registering a view name already in use on
+	// its document.
+	ErrViewExists = warehouse.ErrViewExists
+	// ErrInvalidView reports a view definition that does not compile.
+	ErrInvalidView = warehouse.ErrInvalidView
 )
 
 // NewServer builds an HTTP handler serving the warehouse: document

@@ -247,6 +247,81 @@ func TestCLIPxbenchJSON(t *testing.T) {
 	}
 }
 
+// TestCLIPxview drives the materialized-view CLI end to end: register,
+// read, list, maintenance across a warehouse update, stats and drop.
+func TestCLIPxview(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	bins := buildTools(t, "pxview", "pxwarehouse")
+	work := t.TempDir()
+	doc := filepath.Join(work, "slide12.pxml")
+	if err := os.WriteFile(doc, []byte(slide12XML), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wh := filepath.Join(work, "wh")
+	run(t, bins["pxwarehouse"], "-dir", wh, "init")
+	run(t, bins["pxwarehouse"], "-dir", wh, "load", "demo", doc)
+
+	// Register a TPWJ view and an XPath view.
+	out := run(t, bins["pxview"], "-dir", wh, "register", "demo", "bview", "A(B $x)")
+	if !strings.Contains(out, `registered "bview" on "demo" (1 answers)`) || !strings.Contains(out, "P=0.24") {
+		t.Errorf("pxview register:\n%s", out)
+	}
+	out = run(t, bins["pxview"], "-dir", wh, "-syntax", "xpath", "register", "demo", "dview", "/A/C/D")
+	if !strings.Contains(out, "P=0.7") {
+		t.Errorf("pxview register xpath:\n%s", out)
+	}
+	out = run(t, bins["pxview"], "-dir", wh, "list", "demo")
+	if !strings.Contains(out, "bview\ttpwj\tA(B $x)") || !strings.Contains(out, "dview\txpath\t/A/C/D") {
+		t.Errorf("pxview list:\n%s", out)
+	}
+
+	// A probabilistic deletion of B must flow into the maintained
+	// answers: P drops from 0.24 to 0.24 * 0.5 = 0.12.
+	tx := filepath.Join(work, "delb.xml")
+	txXML := `<transaction confidence="0.5"><where>A(B $b)</where><delete select="$b"/></transaction>`
+	if err := os.WriteFile(tx, []byte(txXML), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	run(t, bins["pxwarehouse"], "-dir", wh, "update", "demo", tx)
+	out = run(t, bins["pxview"], "-dir", wh, "read", "demo", "bview")
+	if !strings.Contains(out, "P=0.12") {
+		t.Errorf("pxview read after update:\n%s", out)
+	}
+
+	// JSON output parses and carries the condition.
+	out = run(t, bins["pxview"], "-dir", wh, "-json", "read", "demo", "bview")
+	var res struct {
+		Name    string `json:"name"`
+		Stale   bool   `json:"stale"`
+		Answers []struct {
+			P         float64 `json:"p"`
+			Tree      string  `json:"tree"`
+			Condition string  `json:"condition"`
+		} `json:"answers"`
+	}
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("pxview -json does not parse: %v\n%s", err, out)
+	}
+	if res.Name != "bview" || res.Stale || len(res.Answers) != 1 || res.Answers[0].Condition == "" {
+		t.Errorf("pxview -json read: %+v", res)
+	}
+
+	// Stats carries the registry size.
+	out = run(t, bins["pxview"], "-dir", wh, "stats")
+	if !strings.Contains(out, `"registered": 2`) {
+		t.Errorf("pxview stats:\n%s", out)
+	}
+
+	// Drop, and reads start failing.
+	run(t, bins["pxview"], "-dir", wh, "drop", "demo", "bview")
+	cmd := exec.Command(bins["pxview"], "-dir", wh, "read", "demo", "bview")
+	if cmdOut, err := cmd.CombinedOutput(); err == nil {
+		t.Errorf("pxview read of dropped view succeeded:\n%s", cmdOut)
+	}
+}
+
 // TestCLIPxsearch drives the keyword-search CLI end to end: text and
 // JSON output, ELCA mode, thresholds and Monte-Carlo estimation.
 func TestCLIPxsearch(t *testing.T) {

@@ -1,9 +1,9 @@
-// Command pxbench regenerates every experiment table of the reproduction
-// (E1–E10, indexed in DESIGN.md and EXPERIMENTS.md): the paper's worked
-// examples as golden checks, the two commutation theorems with their
-// fuzzy-vs-possible-worlds performance shape, the deletion blow-up,
-// simplification, warehouse throughput, Monte-Carlo accuracy and query
-// scaling.
+// Command pxbench regenerates every experiment table of the
+// reproduction (E1–E10; `pxbench -list` names them): the paper's
+// worked examples as golden checks, the two commutation theorems with
+// their fuzzy-vs-possible-worlds performance shape, the deletion
+// blow-up, simplification, warehouse throughput, Monte-Carlo accuracy
+// and query scaling.
 //
 // Usage:
 //

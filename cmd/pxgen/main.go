@@ -64,7 +64,10 @@ func main() {
 		}
 		fmt.Println()
 	default:
-		fatal(fmt.Errorf("unknown kind %q", *kind))
+		// A usage error, not a runtime failure: exit 2 like the other
+		// tools (see docs/CLI.md).
+		fmt.Fprintf(os.Stderr, "pxgen: unknown kind %q (want fuzzy | tree | feed)\n", *kind)
+		os.Exit(2)
 	}
 }
 

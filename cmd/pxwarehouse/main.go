@@ -158,7 +158,7 @@ func main() {
 		fmt.Println("dropped", args[1])
 
 	default:
-		fatal(fmt.Errorf("unknown command %q", cmd))
+		usage(fmt.Sprintf("unknown command %q", cmd))
 	}
 }
 
@@ -187,10 +187,16 @@ func verifyJournal(dir string) {
 	}
 }
 
-func need(args []string, n int, usage string) {
+func need(args []string, n int, form string) {
 	if len(args) < n {
-		fatal(fmt.Errorf("usage: pxwarehouse -dir DIR %s", usage))
+		usage("usage: pxwarehouse -dir DIR " + form)
 	}
+}
+
+// usage reports a usage error; these exit 2, runtime errors exit 1.
+func usage(msg string) {
+	fmt.Fprintln(os.Stderr, "pxwarehouse:", msg)
+	os.Exit(2)
 }
 
 func fatal(err error) {

@@ -75,6 +75,24 @@
 // monotone upper bound (provably without changing the answer set) and
 // TopK cuts the ranking. See docs/SEARCH.md.
 //
+// # Materialized views
+//
+// A query that clients re-run after every write can be registered as
+// a materialized view (Warehouse.RegisterView, PUT
+// /docs/{name}/views/{view} on the server, the pxview tool): the
+// warehouse keeps its answer set and per-answer probabilities
+// incrementally maintained across updates instead of invalidating
+// them. Each update's structural footprint (inserted labels, deletion
+// target paths) is tested against the view's match witnesses: provably
+// unrelated updates cost nothing; affected views re-run only the cheap
+// symbolic pass and recompute probabilities only for answers whose
+// condition actually changed; negation/ordered queries and tree-wide
+// rewrites (simplify) fall back to full recomputation. Registrations
+// are journaled and survive crash recovery. ReadView never blocks on a
+// writer — during an in-flight maintenance pass it returns the
+// previous complete answer set marked stale. See
+// docs/ARCHITECTURE.md for the data flow and consistency model.
+//
 // # Updates
 //
 // Updates are transactions: a TPWJ query locating the operations,

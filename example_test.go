@@ -2,6 +2,7 @@ package fuzzyxml_test
 
 import (
 	"fmt"
+	"os"
 	"sort"
 
 	fuzzyxml "repro"
@@ -92,6 +93,118 @@ func ExampleFromWorlds() {
 	// Output:
 	// P=0.50 R(X)
 	// P=0.50 R(Y)
+}
+
+// ExampleWarehouse_Query stores a document in a warehouse and queries
+// it: answers come back with exact probabilities, evaluated on an
+// immutable snapshot outside every lock.
+func ExampleWarehouse_Query() {
+	dir, err := os.MkdirTemp("", "wh")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	w, err := fuzzyxml.OpenWarehouse(dir)
+	if err != nil {
+		panic(err)
+	}
+	defer w.Close()
+
+	doc := fuzzyxml.MustParseFuzzy("A(B[w1 !w2], C(D[w2]))",
+		map[fuzzyxml.EventID]float64{"w1": 0.8, "w2": 0.7})
+	if err := w.Create("mydoc", doc); err != nil {
+		panic(err)
+	}
+
+	answers, err := w.Query("mydoc", fuzzyxml.MustParseQuery("A(B)"))
+	if err != nil {
+		panic(err)
+	}
+	for _, a := range answers {
+		fmt.Printf("%s with probability %.2f\n", fuzzyxml.FormatTree(a.Tree), a.P)
+	}
+	// Output:
+	// A(B) with probability 0.24
+}
+
+// ExampleWarehouse_Search runs a probabilistic keyword search against
+// a stored document: each answer is a document node with the exact
+// probability that it is an SLCA of the keywords in a random world.
+func ExampleWarehouse_Search() {
+	dir, err := os.MkdirTemp("", "wh")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	w, err := fuzzyxml.OpenWarehouse(dir)
+	if err != nil {
+		panic(err)
+	}
+	defer w.Close()
+
+	doc := fuzzyxml.MustParseFuzzy(
+		`lib(book[w1](title:kafka, author:max), shelf(book[w2](title:kafka)))`,
+		map[fuzzyxml.EventID]float64{"w1": 0.8, "w2": 0.5})
+	if err := w.Create("lib", doc); err != nil {
+		panic(err)
+	}
+
+	res, err := w.Search("lib", fuzzyxml.KeywordRequest{Keywords: []string{"kafka"}})
+	if err != nil {
+		panic(err)
+	}
+	for _, a := range res.Answers {
+		fmt.Printf("P=%.2g  %s\n", a.P, a.Path)
+	}
+	// Output:
+	// P=0.8  /lib/book/title
+	// P=0.5  /lib/shelf/book/title
+}
+
+// ExampleWarehouse_RegisterView registers a materialized view and
+// shows its answers staying current across an update — the
+// probability flows from 0.24 to 0.24 · 0.5 = 0.12 without the client
+// re-issuing the query.
+func ExampleWarehouse_RegisterView() {
+	dir, err := os.MkdirTemp("", "wh")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	w, err := fuzzyxml.OpenWarehouse(dir)
+	if err != nil {
+		panic(err)
+	}
+	defer w.Close()
+
+	doc := fuzzyxml.MustParseFuzzy("A(B[w1 !w2], C(D[w2]))",
+		map[fuzzyxml.EventID]float64{"w1": 0.8, "w2": 0.7})
+	if err := w.Create("mydoc", doc); err != nil {
+		panic(err)
+	}
+
+	reg, err := w.RegisterView("mydoc", "hot", "A(B $x)", "")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("registered with %d answer, P=%.2f\n", len(reg.Answers), reg.Answers[0].P)
+
+	// A probabilistic deletion of B with confidence 0.5; the view is
+	// maintained as part of the update.
+	tx := fuzzyxml.NewTransaction(
+		fuzzyxml.MustParseQuery("A(B $b)"), 0.5, fuzzyxml.DeleteOp("b"))
+	if _, err := w.Update("mydoc", tx); err != nil {
+		panic(err)
+	}
+
+	res, err := w.ReadView("mydoc", "hot")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("after update: P=%.2f (stale=%v)\n", res.Answers[0].P, res.Stale)
+	// Output:
+	// registered with 1 answer, P=0.24
+	// after update: P=0.12 (stale=false)
 }
 
 // ExampleSimplify prunes a redundant document.

@@ -1,0 +1,194 @@
+// Package docscheck keeps the documentation honest: it cross-checks
+// README.md and docs/*.md against the code they describe. Run as part
+// of `go test ./...` (and as the CI "docs references" step), it fails
+// when
+//
+//   - README links a docs/*.md file that does not exist,
+//   - a docs/*.md file is not linked from README (orphaned docs rot),
+//   - a fenced sh/go code block in README or docs invokes a px*
+//     binary with no directory under cmd/, or
+//   - such a block exercises a server URL whose path matches no route
+//     registered in internal/server.
+//
+// The checks are deliberately textual — no doc generation, no special
+// markers in the prose — so writing documentation stays cheap and
+// drifting documentation stays expensive.
+package docscheck
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+var (
+	docLinkRE = regexp.MustCompile(`docs/[A-Za-z0-9._-]+\.md`)
+	// fenceRE matches a code-fence line (indentation allowed, so
+	// fences inside markdown lists are still scanned) and captures its
+	// info string.
+	fenceRE = regexp.MustCompile("^[ \t]*```([A-Za-z0-9]*)")
+	// binaryRE matches px* tool invocations; the leading context group
+	// rejects file suffixes (.pxml) and XML tags (<pxml>).
+	binaryRE = regexp.MustCompile(`(^|[^.<A-Za-z0-9_])(px[a-z]+)\b`)
+	// urlRE matches example-server URLs and captures the path.
+	urlRE = regexp.MustCompile(`localhost(?::[0-9]+)?(/[A-Za-z0-9_{}./-]*)`)
+	// routeRE extracts the route patterns registered by the server.
+	routeRE = regexp.MustCompile(`s\.route\("([A-Z]+) ([^"]+)"`)
+)
+
+// Check cross-checks the documentation of the repository rooted at
+// root and returns one message per problem found (empty means clean).
+func Check(root string) ([]string, error) {
+	var problems []string
+
+	readme, err := os.ReadFile(filepath.Join(root, "README.md"))
+	if err != nil {
+		return nil, err
+	}
+
+	// README → docs: every linked file exists.
+	linked := make(map[string]bool)
+	for _, ref := range docLinkRE.FindAllString(string(readme), -1) {
+		if linked[ref] {
+			continue
+		}
+		linked[ref] = true
+		if _, err := os.Stat(filepath.Join(root, ref)); err != nil {
+			problems = append(problems, fmt.Sprintf("README.md references missing %s", ref))
+		}
+	}
+
+	// docs → README: every docs file is linked.
+	docFiles, err := filepath.Glob(filepath.Join(root, "docs", "*.md"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(docFiles)
+	for _, f := range docFiles {
+		rel := "docs/" + filepath.Base(f)
+		if !linked[rel] {
+			problems = append(problems, fmt.Sprintf("%s is not linked from README.md", rel))
+		}
+	}
+
+	binaries, err := cmdBinaries(root)
+	if err != nil {
+		return nil, err
+	}
+	routes, err := serverRoutes(root)
+	if err != nil {
+		return nil, err
+	}
+
+	// Fenced sh/go blocks: binaries and routes must exist.
+	files := append([]string{filepath.Join(root, "README.md")}, docFiles...)
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		rel, _ := filepath.Rel(root, f)
+		problems = append(problems, checkBlocks(rel, string(data), binaries, routes)...)
+	}
+	return problems, nil
+}
+
+// cmdBinaries returns the set of tool names under cmd/.
+func cmdBinaries(root string) (map[string]bool, error) {
+	entries, err := os.ReadDir(filepath.Join(root, "cmd"))
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			out[e.Name()] = true
+		}
+	}
+	return out, nil
+}
+
+// serverRoutes returns the path patterns registered in
+// internal/server/server.go ("/docs/{name}/query", ...).
+func serverRoutes(root string) ([]string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "internal", "server", "server.go"))
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, m := range routeRE.FindAllStringSubmatch(string(data), -1) {
+		out = append(out, m[2])
+	}
+	return out, nil
+}
+
+// checkBlocks scans the fenced sh/go blocks of one markdown document.
+func checkBlocks(file, content string, binaries map[string]bool, routes []string) []string {
+	var problems []string
+	inBlock := false
+	lang := ""
+	for i, line := range strings.Split(content, "\n") {
+		if m := fenceRE.FindStringSubmatch(line); m != nil {
+			if inBlock {
+				inBlock = false
+			} else {
+				inBlock, lang = true, m[1]
+			}
+			continue
+		}
+		if !inBlock || (lang != "sh" && lang != "bash" && lang != "go") {
+			continue
+		}
+		for _, m := range binaryRE.FindAllStringSubmatch(line, -1) {
+			if name := m[2]; name != "pxml" && !binaries[name] {
+				problems = append(problems,
+					fmt.Sprintf("%s:%d: references binary %q with no cmd/%s", file, i+1, name, name))
+			}
+		}
+		for _, m := range urlRE.FindAllStringSubmatch(line, -1) {
+			path := strings.TrimRight(strings.SplitN(m[1], "?", 2)[0], "/")
+			if path == "" {
+				continue
+			}
+			if !matchesRoute(path, routes) {
+				problems = append(problems,
+					fmt.Sprintf("%s:%d: references route %q matching no registered server route", file, i+1, path))
+			}
+		}
+	}
+	return problems
+}
+
+// matchesRoute reports whether the concrete path matches any
+// registered pattern, with {wildcard} segments matching any one
+// segment.
+func matchesRoute(path string, routes []string) bool {
+	segs := strings.Split(path, "/")
+	for _, pattern := range routes {
+		psegs := strings.Split(pattern, "/")
+		if len(psegs) != len(segs) {
+			continue
+		}
+		ok := true
+		for i := range psegs {
+			if strings.HasPrefix(psegs[i], "{") && strings.HasSuffix(psegs[i], "}") {
+				if segs[i] == "" {
+					ok = false
+					break
+				}
+				continue
+			}
+			if psegs[i] != segs[i] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,96 @@
+package docscheck
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRepositoryDocs runs the cross-check against this repository:
+// documentation drift fails the ordinary test suite, not just CI.
+func TestRepositoryDocs(t *testing.T) {
+	problems, err := Check(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
+
+// write populates a file under dir, creating parents.
+func write(t *testing.T, dir, rel, content string) {
+	t.Helper()
+	path := filepath.Join(dir, rel)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// scaffold builds a minimal fake repository for negative tests.
+func scaffold(t *testing.T) string {
+	dir := t.TempDir()
+	write(t, dir, "README.md", "See [docs/GOOD.md](docs/GOOD.md).\n\n```sh\npxgood -h\ncurl localhost:8080/docs/mydoc/query\n```\n")
+	write(t, dir, "docs/GOOD.md", "All fine.\n")
+	write(t, dir, "cmd/pxgood/main.go", "package main\n")
+	write(t, dir, "internal/server/server.go",
+		"package server\nfunc f() {\n\ts.route(\"GET /docs\", nil)\n\ts.route(\"POST /docs/{name}/query\", nil)\n}\n")
+	return dir
+}
+
+func TestCleanScaffold(t *testing.T) {
+	problems, err := Check(scaffold(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("clean scaffold reported: %v", problems)
+	}
+}
+
+func TestDetectsMissingLinkedDoc(t *testing.T) {
+	dir := scaffold(t)
+	write(t, dir, "README.md", "See [docs/GONE.md](docs/GONE.md) and [docs/GOOD.md](docs/GOOD.md).\n")
+	problems, _ := Check(dir)
+	if len(problems) != 1 || problems[0] != "README.md references missing docs/GONE.md" {
+		t.Fatalf("problems = %v", problems)
+	}
+}
+
+func TestDetectsOrphanedDoc(t *testing.T) {
+	dir := scaffold(t)
+	write(t, dir, "docs/ORPHAN.md", "nobody links me\n")
+	problems, _ := Check(dir)
+	if len(problems) != 1 || problems[0] != "docs/ORPHAN.md is not linked from README.md" {
+		t.Fatalf("problems = %v", problems)
+	}
+}
+
+func TestDetectsStaleBinaryAndRoute(t *testing.T) {
+	dir := scaffold(t)
+	write(t, dir, "docs/GOOD.md",
+		"```sh\npxgone -h\ndoc.pxml stays fine\ncurl -X POST localhost:8080/docs/mydoc/nosuch\n```\n\n```\npxignored in a plain block\n```\n")
+	problems, _ := Check(dir)
+	if len(problems) != 2 {
+		t.Fatalf("problems = %v", problems)
+	}
+	if problems[0] != `docs/GOOD.md:2: references binary "pxgone" with no cmd/pxgone` {
+		t.Errorf("binary problem = %q", problems[0])
+	}
+	if problems[1] != `docs/GOOD.md:4: references route "/docs/mydoc/nosuch" matching no registered server route` {
+		t.Errorf("route problem = %q", problems[1])
+	}
+}
+
+func TestScansIndentedFences(t *testing.T) {
+	dir := scaffold(t)
+	write(t, dir, "docs/GOOD.md",
+		"- a list item with an indented fence:\n\n  ```sh\n  pxgone -h\n  ```\n")
+	problems, _ := Check(dir)
+	if len(problems) != 1 || problems[0] != `docs/GOOD.md:4: references binary "pxgone" with no cmd/pxgone` {
+		t.Fatalf("problems = %v", problems)
+	}
+}

@@ -9,8 +9,12 @@ import (
 	"testing"
 
 	"repro/internal/event"
+	"repro/internal/fuzzy"
 	"repro/internal/keyword"
 	"repro/internal/tpwj"
+	"repro/internal/tree"
+	"repro/internal/update"
+	"repro/internal/view"
 )
 
 // This file backs pxbench's machine-readable output (-json): a fixed
@@ -113,6 +117,33 @@ func Probes() []Probe {
 				}
 			}
 		}},
+		{"view/maintain/skip/sections=32", func(b *testing.B) {
+			v, next, d := viewMaintenanceInstance(32, false)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := v.Maintain(next, d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"view/maintain/incremental/sections=32", func(b *testing.B) {
+			v, next, d := viewMaintenanceInstance(32, true)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := v.Maintain(next, d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"view/maintain/recompute/sections=32", func(b *testing.B) {
+			v, next, _ := viewMaintenanceInstance(32, true)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := view.Materialize(v.Def(), v.Query(), next); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 		{"query/fuzzy/events=12", func(b *testing.B) {
 			ft := SectionDoc(12)
 			q := tpwj.MustParseQuery("A(//L $x)")
@@ -132,6 +163,79 @@ func Probes() []Probe {
 				}
 			}
 		}},
+	}
+}
+
+// viewBenchDoc builds the view-maintenance workload document: m
+// sections, each holding one distinct L value witnessed under k
+// differently-conditioned G nodes (lits literals each, over a
+// per-section pool of ev events). The view "A(S(G(L $x)))" then has m
+// answers whose condition DNFs have k lits-literal clauses over up to
+// ev events — condition structure heavy enough that exact probability
+// computation dominates matching, i.e. the workload where materialized
+// views earn their keep.
+func viewBenchDoc(m, k, lits, ev int) *fuzzy.Tree {
+	root := fuzzy.NewNode("A")
+	tab := event.NewTable()
+	r := rand.New(rand.NewSource(42))
+	for i := 1; i <= m; i++ {
+		ids := make([]event.ID, ev)
+		for j := range ids {
+			id, err := tab.Fresh("e", 0.2+0.6*r.Float64())
+			if err != nil {
+				panic(err)
+			}
+			ids[j] = id
+		}
+		sec := fuzzy.NewNode("S")
+		for w := 0; w < k; w++ {
+			var c event.Condition
+			for l := 0; l < lits; l++ {
+				c = append(c, event.Literal{Event: ids[r.Intn(ev)], Neg: r.Intn(2) == 0})
+			}
+			sec.Add(fuzzy.NewNode("G",
+				fuzzy.NewLeaf("L", fmt.Sprintf("v%d", i)),
+			).WithCond(c))
+		}
+		root.Add(sec)
+	}
+	return &fuzzy.Tree{Root: root, Table: tab}
+}
+
+// viewMaintenanceInstance builds the view-maintenance workload: a view
+// over viewBenchDoc(m, 14, 6, 60), materialized, plus the post-state
+// of one update and its footprint. With touching, the update inserts a
+// fresh G(L) witness under one section — affecting one of the m
+// answers, the shape where incremental maintenance should beat
+// recomputing all m answer probabilities. Without, it inserts an
+// unrelated label, which the overlap analysis proves harmless (the
+// skip tier).
+func viewMaintenanceInstance(m int, touching bool) (*view.View, *fuzzy.Tree, *view.Delta) {
+	ft := viewBenchDoc(m, 14, 6, 60)
+	def := view.Definition{Name: "bench", Query: "A(S(G(L $x)))"}
+	q, err := def.Compile()
+	if err != nil {
+		panic(err)
+	}
+	v, err := view.Materialize(def, q, ft)
+	if err != nil {
+		panic(err)
+	}
+	var tx *update.Transaction
+	if touching {
+		tx = update.New(tpwj.MustParseQuery("A(S $s(G(L=v1)))"), 0.9,
+			update.Insert("s", tree.MustParse("G(L:extra)")))
+	} else {
+		tx = update.New(tpwj.MustParseQuery("A $a"), 0.9,
+			update.Insert("a", tree.MustParse("Z:zed")))
+	}
+	next, stats, err := tx.ApplyFuzzy(ft)
+	if err != nil {
+		panic(err)
+	}
+	return v, next, &view.Delta{
+		InsertedLabels:    stats.InsertedLabels,
+		DeleteTargetPaths: stats.DeleteTargetPaths,
 	}
 }
 

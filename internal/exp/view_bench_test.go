@@ -1,0 +1,73 @@
+package exp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tree"
+	"repro/internal/view"
+)
+
+// TestViewMaintenanceInstance pins the mechanics behind the pxbench
+// view probes: the touching update takes the incremental tier and
+// affects exactly one of the 32 answers, the unrelated update is
+// skipped outright, and both end states equal recompute-from-scratch.
+func TestViewMaintenanceInstance(t *testing.T) {
+	v, next, d := viewMaintenanceInstance(32, true)
+	nv, res, err := v.Maintain(next, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != view.Incremental {
+		t.Fatalf("touching update: outcome %v, want Incremental", res.Outcome)
+	}
+	if res.Recomputed != 1 || res.Reused != 32 {
+		t.Errorf("touching update: recomputed=%d reused=%d, want 1/32", res.Recomputed, res.Reused)
+	}
+	fresh, err := view.Materialize(v.Def(), v.Query(), next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := nv.Answers(), fresh.Answers()
+	if len(got) != len(want) {
+		t.Fatalf("maintained %d answers, recompute %d", len(got), len(want))
+	}
+	for i := range want {
+		if tree.Canonical(got[i].Tree) != tree.Canonical(want[i].Tree) ||
+			math.Abs(got[i].P-want[i].P) > 1e-9 {
+			t.Fatalf("answer %d differs: %v vs %v", i, got[i], want[i])
+		}
+	}
+
+	v, next, d = viewMaintenanceInstance(32, false)
+	if _, res, err = v.Maintain(next, d); err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != view.Skipped {
+		t.Fatalf("unrelated update: outcome %v, want Skipped", res.Outcome)
+	}
+}
+
+// TestViewMaintainBeatsRecompute pins the acceptance property behind
+// the benchmark: on an update affecting one answer in 32, incremental
+// maintenance must beat recomputing every answer probability from
+// scratch.
+func TestViewMaintainBeatsRecompute(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive; skipped in -short mode")
+	}
+	v, next, d := viewMaintenanceInstance(32, true)
+	timeIt := func(f func()) int64 {
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f()
+			}
+		})
+		return r.NsPerOp()
+	}
+	incr := timeIt(func() { v.Maintain(next, d) })                        //nolint:errcheck
+	full := timeIt(func() { view.Materialize(v.Def(), v.Query(), next) }) //nolint:errcheck
+	if incr >= full {
+		t.Errorf("incremental maintenance (%d ns/op) not faster than recompute (%d ns/op)", incr, full)
+	}
+}

@@ -3,9 +3,8 @@
 // match, and update streams with controllable dependency structure. The
 // paper's demo used hand-curated web data that is no longer available;
 // these generators produce documents with the same tunable
-// characteristics (size, fan-out, number of events, condition complexity)
-// that drive the paper's complexity claims — see the substitution table
-// in DESIGN.md.
+// characteristics (size, fan-out, number of events, condition
+// complexity) that drive the paper's complexity claims.
 //
 // All generators are pure functions of their *rand.Rand source, so every
 // experiment is reproducible from a seed.

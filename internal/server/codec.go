@@ -11,6 +11,7 @@ import (
 	"repro/internal/tpwj"
 	"repro/internal/tree"
 	"repro/internal/update"
+	"repro/internal/warehouse"
 	"repro/internal/xupdate"
 )
 
@@ -89,6 +90,53 @@ type SearchResponse struct {
 	Pruned     int            `json:"pruned"`
 	// Cached reports whether the answers came from the result cache.
 	Cached bool `json:"cached"`
+}
+
+// ViewRequest is the PUT /docs/{name}/views/{view} body.
+type ViewRequest struct {
+	// Query is the view's query text.
+	Query string `json:"query"`
+	// Syntax selects the query language: "tpwj" (default) or "xpath".
+	Syntax string `json:"syntax,omitempty"`
+}
+
+// ViewInfo is one registered view in a GET /docs/{name}/views listing.
+type ViewInfo struct {
+	Name   string `json:"name"`
+	Query  string `json:"query"`
+	Syntax string `json:"syntax,omitempty"`
+}
+
+// ViewListResponse is the GET /docs/{name}/views response body.
+type ViewListResponse struct {
+	Views []ViewInfo `json:"views"`
+}
+
+// ViewResponse is the GET (and PUT) /docs/{name}/views/{view} response
+// body: the definition and the incrementally maintained answers.
+type ViewResponse struct {
+	Name    string   `json:"name"`
+	Query   string   `json:"query"`
+	Syntax  string   `json:"syntax,omitempty"`
+	Answers []Answer `json:"answers"`
+	Count   int      `json:"count"`
+	// Stale reports that a maintenance pass was in flight when the
+	// answers were read: they are the complete result against the
+	// document as of the last finished pass, not the mutation being
+	// applied. Reads never block on writers.
+	Stale bool `json:"stale"`
+}
+
+// encodeView converts a warehouse view read to its wire form.
+func encodeView(res *warehouse.ViewResult) ViewResponse {
+	return ViewResponse{
+		Name:    res.Name,
+		Query:   res.Query,
+		Syntax:  res.Syntax,
+		Answers: encodeAnswers(res.Answers),
+		Count:   len(res.Answers),
+		Stale:   res.Stale,
+	}
 }
 
 // UpdateOp is one elementary operation of a textual update request.

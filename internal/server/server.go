@@ -13,13 +13,20 @@
 //	POST   /docs/{name}/search    probabilistic keyword search (SLCA/ELCA)
 //	POST   /docs/{name}/update    apply a probabilistic transaction
 //	POST   /docs/{name}/simplify  run simplification passes
+//	GET    /docs/{name}/views             list materialized views
+//	PUT    /docs/{name}/views/{view}      register a materialized view
+//	GET    /docs/{name}/views/{view}      read a view's maintained answers
+//	DELETE /docs/{name}/views/{view}      drop a view
 //	POST   /admin/compact         truncate the journal
-//	GET    /stats                 request, cache, engine, journal and search counters
+//	GET    /stats                 request, cache, engine, journal, search and view counters
 //	GET    /healthz               liveness probe
 //
 // Query and search results are served from an LRU cache keyed by
 // (document, canonical query or keyword set, mode); any mutation of a
-// document drops its entries.
+// document drops its entries. Materialized views are not cached here:
+// the warehouse keeps them incrementally maintained, and view reads
+// never block on an in-flight update — they return the previous answer
+// set with "stale": true instead.
 // Errors are reported as {"error": "..."} with conventional status
 // codes (400 bad input, 404 missing document, 409 name conflict).
 package server
@@ -103,6 +110,10 @@ func New(wh *warehouse.Warehouse, opts Options) *Server {
 	s.route("POST /docs/{name}/search", s.handleSearch)
 	s.route("POST /docs/{name}/update", s.handleUpdate)
 	s.route("POST /docs/{name}/simplify", s.handleSimplify)
+	s.route("GET /docs/{name}/views", s.handleViewList)
+	s.route("PUT /docs/{name}/views/{view}", s.handleViewRegister)
+	s.route("GET /docs/{name}/views/{view}", s.handleViewRead)
+	s.route("DELETE /docs/{name}/views/{view}", s.handleViewDrop)
 	s.route("POST /admin/compact", s.handleCompact)
 	s.route("GET /stats", s.handleStats)
 	s.route("GET /healthz", s.handleHealthz)
@@ -144,11 +155,11 @@ func (r *statusRecorder) WriteHeader(status int) {
 // errStatus maps warehouse and parse failures to HTTP status codes.
 func errStatus(err error) int {
 	switch {
-	case errors.Is(err, warehouse.ErrNotFound):
+	case errors.Is(err, warehouse.ErrNotFound), errors.Is(err, warehouse.ErrViewNotFound):
 		return http.StatusNotFound
-	case errors.Is(err, warehouse.ErrExists):
+	case errors.Is(err, warehouse.ErrExists), errors.Is(err, warehouse.ErrViewExists):
 		return http.StatusConflict
-	case errors.Is(err, warehouse.ErrInvalidName):
+	case errors.Is(err, warehouse.ErrInvalidName), errors.Is(err, warehouse.ErrInvalidView):
 		return http.StatusBadRequest
 	case errors.Is(err, warehouse.ErrClosed):
 		return http.StatusServiceUnavailable
@@ -482,6 +493,69 @@ func (s *Server) handleSimplify(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// --- materialized views ----------------------------------------------------
+
+// handleViewRegister registers (and eagerly materializes) a named view
+// of a TPWJ or XPath query. The registration is journaled and survives
+// recovery; the initial answers come back in the response.
+func (s *Server) handleViewRegister(w http.ResponseWriter, r *http.Request) {
+	doc, name := r.PathValue("name"), r.PathValue("view")
+	if err := warehouse.ValidateName(doc); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := warehouse.ValidateName(name); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var req ViewRequest
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, bodyStatus(err), err)
+		return
+	}
+	res, err := s.wh.RegisterView(doc, name, req.Query, req.Syntax)
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, encodeView(res))
+}
+
+// handleViewRead serves the view's maintained answers. During an
+// in-flight maintenance pass it does not wait for the writer: the
+// previous (complete and internally consistent) answer set is returned
+// with "stale": true.
+func (s *Server) handleViewRead(w http.ResponseWriter, r *http.Request) {
+	res, err := s.wh.ReadView(r.PathValue("name"), r.PathValue("view"))
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, encodeView(res))
+}
+
+func (s *Server) handleViewDrop(w http.ResponseWriter, r *http.Request) {
+	doc, name := r.PathValue("name"), r.PathValue("view")
+	if err := s.wh.DropView(doc, name); err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"dropped": name})
+}
+
+func (s *Server) handleViewList(w http.ResponseWriter, r *http.Request) {
+	defs, err := s.wh.ListViews(r.PathValue("name"))
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	resp := ViewListResponse{Views: make([]ViewInfo, len(defs))}
+	for i, d := range defs {
+		resp.Views[i] = ViewInfo{Name: d.Name, Query: d.Query, Syntax: d.Syntax}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 // --- admin -----------------------------------------------------------------
 
 func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
@@ -497,7 +571,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if capacity < 0 {
 		capacity = 0
 	}
-	writeJSON(w, http.StatusOK, s.stats.snapshot(s.cache.len(), capacity, s.wh.JournalStats(), s.wh.SearchStats()))
+	writeJSON(w, http.StatusOK, s.stats.snapshot(s.cache.len(), capacity, s.wh.JournalStats(), s.wh.SearchStats(), s.wh.ViewStats()))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

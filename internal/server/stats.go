@@ -111,9 +111,14 @@ type StatsSnapshot struct {
 	Engine   event.EngineCounters     `json:"engine"`
 	Journal  warehouse.JournalStats   `json:"journal"`
 	Search   SearchSnapshot           `json:"search"`
+	// Views reports the materialized-view subsystem: registered views
+	// and the maintenance-tier counters (skipped / incremental / full
+	// recomputes, reused vs recomputed answer probabilities, stale
+	// reads served during in-flight maintenance).
+	Views warehouse.ViewStats `json:"views"`
 }
 
-func (s *stats) snapshot(entries, capacity int, journal warehouse.JournalStats, search warehouse.SearchStats) StatsSnapshot {
+func (s *stats) snapshot(entries, capacity int, journal warehouse.JournalStats, search warehouse.SearchStats, views warehouse.ViewStats) StatsSnapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := StatsSnapshot{
@@ -131,6 +136,7 @@ func (s *stats) snapshot(entries, capacity int, journal warehouse.JournalStats, 
 			CacheHits:   s.searchHits,
 			CacheMisses: s.searchMisses,
 		},
+		Views: views,
 	}
 	if total := s.hits + s.misses; total > 0 {
 		out.Cache.HitRate = float64(s.hits) / float64(total)

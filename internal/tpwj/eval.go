@@ -161,6 +161,20 @@ func EvalFuzzyMonteCarlo(q *Query, ft *fuzzy.Tree, samples int, r *rand.Rand) ([
 	return out, nil
 }
 
+// EvalFuzzySymbolic computes the answers of the query and their
+// conditions (DNF for positive queries, general formulas when the
+// pattern uses negation) without computing any probability: every
+// returned ProbAnswer has P == 0. The symbolic pass is the cheap half
+// of EvalFuzzy — the expensive half is the per-answer probability
+// computation — which makes it the tool for incremental maintenance of
+// materialized views (internal/view): re-derive the answer set, then
+// pay for ProbDNF only on answers whose condition actually changed.
+// Answers are returned in deterministic order (ascending canonical
+// form).
+func EvalFuzzySymbolic(q *Query, ft *fuzzy.Tree) ([]ProbAnswer, error) {
+	return evalFuzzySymbolic(q, ft)
+}
+
 // evalFuzzySymbolic computes answers and their conditions (DNF for
 // positive queries, general formulas when the pattern uses negation)
 // without probabilities.

@@ -3,6 +3,7 @@ package update
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/event"
 	"repro/internal/fuzzy"
@@ -27,6 +28,23 @@ type FuzzyStats struct {
 	// this is the quantity that grows exponentially under complex
 	// dependencies (slide 14, experiment E5).
 	Copies int
+
+	// The structural footprint of the transaction, recorded for
+	// materialized-view maintenance (internal/view): which parts of the
+	// document the update could have changed. Label paths are rooted
+	// slash-joined label sequences ("/A/B"); they identify positions up
+	// to same-labeled siblings, which is all the (conservative) overlap
+	// analysis needs.
+
+	// InsertedLabels are the distinct labels appearing in subtrees the
+	// transaction attached. A query that tests none of these labels
+	// (and has no wildcard) cannot gain a valuation from the inserts.
+	InsertedLabels []string
+	// DeleteTargetPaths are the distinct label paths of deletion
+	// targets. Deletion rewrites the target into conditioned copies (or
+	// removes it), so conditions changed — and structure was duplicated
+	// or removed — only at or below these paths.
+	DeleteTargetPaths []string
 }
 
 // ApplyFuzzy applies the transaction directly to a fuzzy tree
@@ -129,6 +147,22 @@ func (tx *Transaction) ApplyFuzzy(ft *fuzzy.Tree) (*fuzzy.Tree, *FuzzyStats, err
 	if stats.Valuations == 0 {
 		return work, stats, nil
 	}
+
+	// Record the structural footprint (on the pre-update tree, before
+	// any mutation moves nodes around) for view maintenance.
+	insLabels := make(map[string]bool)
+	for _, ins := range inserts {
+		ins.subtree.Walk(func(n *tree.Node) bool {
+			insLabels[n.Label] = true
+			return true
+		})
+	}
+	stats.InsertedLabels = sortedKeys(insLabels)
+	delPaths := make(map[string]bool)
+	for _, target := range delOrder {
+		delPaths[labelPath(fparent, target)] = true
+	}
+	stats.DeleteTargetPaths = sortedKeys(delPaths)
 
 	// Mint the confidence event.
 	var confLit event.Condition
@@ -238,6 +272,33 @@ func matchCondition(ix *tree.Index, m tpwj.Match, toFuzzy map[*tree.Node]*fuzzy.
 		}
 	}
 	return gamma.Normalize()
+}
+
+// labelPath returns n's rooted label path "/A/B/C".
+func labelPath(parent map[*fuzzy.Node]*fuzzy.Node, n *fuzzy.Node) string {
+	var labels []string
+	for p := n; p != nil; p = parent[p] {
+		labels = append(labels, p.Label)
+	}
+	var b strings.Builder
+	for i := len(labels) - 1; i >= 0; i-- {
+		b.WriteByte('/')
+		b.WriteString(labels[i])
+	}
+	return b.String()
+}
+
+// sortedKeys returns the keys of a string set, sorted.
+func sortedKeys(set map[string]bool) []string {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // fpathDepth returns the ancestor chain of n (used for depth ordering).

@@ -1,0 +1,299 @@
+package view
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/fuzzy"
+	"repro/internal/gen"
+	"repro/internal/tpwj"
+	"repro/internal/tree"
+	"repro/internal/update"
+)
+
+// sectionDoc builds A( S[e1](L:v1, M:u1), …, S[em](L:vm, M:um) ) with
+// P(ei) = 0.5, the deterministic workload of the tier tests.
+func sectionDoc(m int) *fuzzy.Tree {
+	root := fuzzy.NewNode("A")
+	tab := event.NewTable()
+	for i := 1; i <= m; i++ {
+		id := event.ID(fmt.Sprintf("e%d", i))
+		tab.MustSet(id, 0.5)
+		root.Add(fuzzy.NewNode("S",
+			fuzzy.NewLeaf("L", fmt.Sprintf("v%d", i)),
+			fuzzy.NewLeaf("M", fmt.Sprintf("u%d", i)),
+		).WithCond(event.Cond(event.Pos(id))))
+	}
+	return &fuzzy.Tree{Root: root, Table: tab}
+}
+
+func mustMaterialize(t *testing.T, query string, ft *fuzzy.Tree) *View {
+	t.Helper()
+	def := Definition{Name: "v", Query: query}
+	q, err := def.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Materialize(def, q, ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// applyTx applies a transaction and converts its stats to a Delta.
+func applyTx(t *testing.T, ft *fuzzy.Tree, tx *update.Transaction) (*fuzzy.Tree, *Delta) {
+	t.Helper()
+	next, stats, err := tx.ApplyFuzzy(ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return next, &Delta{
+		InsertedLabels:    stats.InsertedLabels,
+		DeleteTargetPaths: stats.DeleteTargetPaths,
+	}
+}
+
+// assertFresh checks the maintained view against recompute-from-scratch.
+func assertFresh(t *testing.T, v *View, ft *fuzzy.Tree) {
+	t.Helper()
+	want, err := tpwj.EvalFuzzy(v.Query(), ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := v.Answers()
+	if len(got) != len(want) {
+		t.Fatalf("view has %d answers, recompute has %d", len(got), len(want))
+	}
+	for i := range want {
+		wc, gc := tree.Canonical(want[i].Tree), tree.Canonical(got[i].Tree)
+		if wc != gc {
+			t.Fatalf("answer %d: view tree %s, recompute tree %s", i, gc, wc)
+		}
+		if math.Abs(want[i].P-got[i].P) > 1e-9 {
+			t.Fatalf("answer %d (%s): view P=%v, recompute P=%v", i, gc, got[i].P, want[i].P)
+		}
+	}
+}
+
+func TestMaintainSkipsUnrelatedInsert(t *testing.T) {
+	ft := sectionDoc(4)
+	v := mustMaterialize(t, "A(S(L $x))", ft)
+	if len(v.Answers()) != 4 {
+		t.Fatalf("want 4 answers, got %d", len(v.Answers()))
+	}
+
+	// Insert a label the query never tests: provably no effect.
+	tx := update.New(tpwj.MustParseQuery("A $a"), 0.9, update.Insert("a", tree.MustParse("Z(Q:new)")))
+	next, d := applyTx(t, ft, tx)
+	nv, res, err := v.Maintain(next, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Skipped {
+		t.Fatalf("outcome %v, want Skipped", res.Outcome)
+	}
+	if nv != v {
+		t.Fatal("skip must reuse the same state")
+	}
+	assertFresh(t, nv, next)
+}
+
+func TestMaintainIncrementalOnInsert(t *testing.T) {
+	ft := sectionDoc(4)
+	v := mustMaterialize(t, "A(S(L $x))", ft)
+
+	// Insert an L leaf under one section: one new answer, old ones reused.
+	tx := update.New(tpwj.MustParseQuery("A(S $s(L=v1))"), 0.8, update.Insert("s", tree.MustParse("L:extra")))
+	next, d := applyTx(t, ft, tx)
+	nv, res, err := v.Maintain(next, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Incremental {
+		t.Fatalf("outcome %v, want Incremental", res.Outcome)
+	}
+	if res.Reused == 0 || res.Recomputed == 0 {
+		t.Fatalf("want a mix of reused and recomputed answers, got reused=%d recomputed=%d", res.Reused, res.Recomputed)
+	}
+	assertFresh(t, nv, next)
+}
+
+func TestMaintainIncrementalOnDelete(t *testing.T) {
+	ft := sectionDoc(4)
+	v := mustMaterialize(t, "A(S(L $x))", ft)
+
+	// Delete one section's L: the witness path /A/S/L is shared by all
+	// answers (label paths ignore sibling identity), so the pass is
+	// incremental and every touched answer is re-evaluated.
+	tx := update.New(tpwj.MustParseQuery("A(S(L=v2 $x))"), 0.9, update.Delete("x"))
+	next, d := applyTx(t, ft, tx)
+	nv, res, err := v.Maintain(next, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Incremental {
+		t.Fatalf("outcome %v, want Incremental", res.Outcome)
+	}
+	assertFresh(t, nv, next)
+}
+
+func TestMaintainSkipsDeleteOutsideWitnesses(t *testing.T) {
+	ft := sectionDoc(4)
+	// The view only watches M leaves; deleting an L cannot touch it.
+	v := mustMaterialize(t, "A(S(M $x))", ft)
+	tx := update.New(tpwj.MustParseQuery("A(S(L=v3 $x))"), 0.9, update.Delete("x"))
+	next, d := applyTx(t, ft, tx)
+	nv, res, err := v.Maintain(next, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Skipped {
+		t.Fatalf("outcome %v, want Skipped", res.Outcome)
+	}
+	assertFresh(t, nv, next)
+}
+
+func TestMaintainFullOnNilDelta(t *testing.T) {
+	ft := sectionDoc(3)
+	v := mustMaterialize(t, "A(S(L $x))", ft)
+	nv, res, err := v.Maintain(ft, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Full {
+		t.Fatalf("outcome %v, want Full", res.Outcome)
+	}
+	assertFresh(t, nv, ft)
+}
+
+func TestMaintainFullOnNegationQuery(t *testing.T) {
+	ft := sectionDoc(3)
+	v := mustMaterialize(t, "A(S $s(!M))", ft)
+	tx := update.New(tpwj.MustParseQuery("A $a"), 1, update.Insert("a", tree.MustParse("Z")))
+	next, d := applyTx(t, ft, tx)
+	nv, res, err := v.Maintain(next, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Full {
+		t.Fatalf("negation views must recompute, got %v", res.Outcome)
+	}
+	assertFresh(t, nv, next)
+}
+
+func TestMaintainWildcardInsertAffects(t *testing.T) {
+	ft := sectionDoc(3)
+	v := mustMaterialize(t, "A(* $x)", ft)
+	tx := update.New(tpwj.MustParseQuery("A $a"), 0.7, update.Insert("a", tree.MustParse("Z")))
+	next, d := applyTx(t, ft, tx)
+	nv, res, err := v.Maintain(next, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Incremental {
+		t.Fatalf("wildcard views must treat every insert as affecting, got %v", res.Outcome)
+	}
+	assertFresh(t, nv, next)
+}
+
+// randomTx builds a random transaction against the document's current
+// underlying tree: a query guaranteed to match, with one insert or one
+// delete (never of the root).
+func randomTx(r *rand.Rand, ft *fuzzy.Tree) *update.Transaction {
+	doc := ft.Underlying()
+	for tries := 0; ; tries++ {
+		q := gen.MatchingQuery(r, doc, true)
+		conf := 0.3 + 0.7*r.Float64()
+		if r.Intn(4) == 0 {
+			conf = 1
+		}
+		if r.Intn(2) == 0 {
+			sub := gen.Tree(r, gen.TreeConfig{Depth: 2, MaxFanout: 2})
+			return update.New(q, conf, update.Insert("x", sub))
+		}
+		// Deletions of the document root are rejected; re-draw.
+		if q.Root.Var == "x" && !q.Root.Desc && tries < 50 {
+			continue
+		}
+		return update.New(q, conf, update.Delete("x"))
+	}
+}
+
+// TestDifferentialRandom drives random views through random update
+// sequences and checks, after every step, that maintained state equals
+// recompute-from-scratch — answers, order and probabilities.
+func TestDifferentialRandom(t *testing.T) {
+	steps := 60
+	if testing.Short() {
+		steps = 15
+	}
+	for seed := int64(1); seed <= 8; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		ft := gen.Fuzzy(r, gen.FuzzyConfig{
+			Tree:   gen.TreeConfig{Depth: 3, MaxFanout: 3},
+			Events: 5,
+		})
+
+		views := make([]*View, 0, 3)
+		for i := 0; i < 3; i++ {
+			def := Definition{Name: fmt.Sprintf("v%d", i)}
+			q := gen.MatchingQuery(r, ft.Underlying(), true)
+			def.Query = tpwj.FormatQuery(q)
+			v, err := Materialize(def, q, ft)
+			if err != nil {
+				t.Fatal(err)
+			}
+			views = append(views, v)
+		}
+
+		var skipped, incremental, full int
+		for step := 0; step < steps; step++ {
+			// Random transactions may be inapplicable (insert under a
+			// value leaf, delete of the root); draw until one applies.
+			var (
+				next  *fuzzy.Tree
+				stats *update.FuzzyStats
+				err   error
+			)
+			for tries := 0; ; tries++ {
+				tx := randomTx(r, ft)
+				next, stats, err = tx.ApplyFuzzy(ft)
+				if err == nil {
+					break
+				}
+				if tries > 100 {
+					t.Fatalf("seed %d step %d: no applicable transaction: %v", seed, step, err)
+				}
+			}
+			if next.Size() > 400 {
+				break // deletion blow-up; enough steps done on this doc
+			}
+			d := &Delta{InsertedLabels: stats.InsertedLabels, DeleteTargetPaths: stats.DeleteTargetPaths}
+			ft = next
+			for i, v := range views {
+				nv, res, err := v.Maintain(ft, d)
+				if err != nil {
+					t.Fatalf("seed %d step %d view %d: %v", seed, step, i, err)
+				}
+				switch res.Outcome {
+				case Skipped:
+					skipped++
+				case Incremental:
+					incremental++
+				case Full:
+					full++
+				}
+				assertFresh(t, nv, ft)
+				views[i] = nv
+			}
+		}
+		t.Logf("seed %d: skipped=%d incremental=%d full=%d", seed, skipped, incremental, full)
+		if skipped+incremental == 0 {
+			t.Errorf("seed %d: maintenance never took a cheap tier", seed)
+		}
+	}
+}

@@ -23,6 +23,11 @@ const (
 	OpUpdate Op = "update"
 	// OpDrop removes a document.
 	OpDrop Op = "drop"
+	// OpViewRegister registers a materialized view on a document; View
+	// names it and Query/Syntax carry its definition.
+	OpViewRegister Op = "view-register"
+	// OpViewDrop removes a materialized view.
+	OpViewDrop Op = "view-drop"
 	// OpCommit marks the mutation its RefSeq names as taken effect.
 	OpCommit Op = "commit"
 	// OpAbort marks the mutation its RefSeq names as without effect.
@@ -30,8 +35,15 @@ const (
 )
 
 // Mutation reports whether op is a document mutation (as opposed to a
-// commit/abort marker).
+// view operation or a commit/abort marker). Only mutations carry
+// document content, so only they make the journal the durable copy of
+// a document (see Warehouse.journaled).
 func (op Op) Mutation() bool { return op == OpCreate || op == OpUpdate || op == OpDrop }
+
+// ViewOp reports whether op changes the view registry. View operations
+// follow the same two-record Seq/RefSeq protocol as mutations but
+// carry no document content.
+func (op Op) ViewOp() bool { return op == OpViewRegister || op == OpViewDrop }
 
 // Marker reports whether op resolves a prior mutation record.
 func (op Op) Marker() bool { return op == OpCommit || op == OpAbort }
@@ -60,6 +72,13 @@ type Record struct {
 	// Content is the full post-state document serialization
 	// (ops "create" and "update").
 	Content string `json:"content,omitempty"`
+	// View names the materialized view a view-register/view-drop record
+	// concerns; Query and Syntax carry the registered definition
+	// (op "view-register" only). The answer set itself is derived state
+	// and is never journaled — recovery re-materializes it.
+	View   string `json:"view,omitempty"`
+	Query  string `json:"query,omitempty"`
+	Syntax string `json:"syntax,omitempty"`
 }
 
 // maxRecordBytes bounds one journal record, enforced at append time so

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"repro/internal/view"
 )
 
 // JournalStats reports journal activity counters: durable appends,
@@ -79,6 +81,10 @@ func (w *Warehouse) recover(records []Record) error {
 		switch {
 		case r.Op.Mutation():
 			lastMut = r.Seq
+		case r.Op.ViewOp():
+			// View records follow the two-record protocol with explicit
+			// RefSeq markers; they never participate in the legacy
+			// adjacency resolution below.
 		case r.Op.Marker():
 			ref := r.RefSeq
 			if ref == 0 {
@@ -202,6 +208,29 @@ func (w *Warehouse) recover(records []Record) error {
 			}
 		}
 	}
+
+	// Pass 4: replay the committed view operations over the registry
+	// (seeded from views.json by Open) in journal order — a committed
+	// document drop takes the document's views with it — and roll back
+	// in-flight view operations, whose callers were never acknowledged.
+	for i := range records {
+		r := &records[i]
+		switch {
+		case r.Op == OpViewRegister && marked[r.Seq] == OpCommit:
+			w.views.set(r.Doc, &viewHandle{def: view.Definition{
+				Name: r.View, Query: r.Query, Syntax: r.Syntax,
+			}})
+		case r.Op == OpViewDrop && marked[r.Seq] == OpCommit:
+			w.views.del(r.Doc, r.View)
+		case r.Op == OpDrop && marked[r.Seq] == OpCommit:
+			w.views.delDoc(r.Doc)
+		case r.Op.ViewOp() && !marked[r.Seq].Marker():
+			if _, err := w.journal.append(Record{Op: OpAbort, RefSeq: r.Seq}); err != nil {
+				return err
+			}
+			w.recoveryRollbacks++
+		}
+	}
 	return nil
 }
 
@@ -238,12 +267,15 @@ func (w *Warehouse) replayCommitted(rec *Record) (changed bool, err error) {
 	return false, fmt.Errorf("warehouse: unknown journal op %q", rec.Op)
 }
 
-// PendingMutation identifies a journaled mutation with no commit/abort
-// marker — in-flight at crash time. Opening the warehouse resolves it.
+// PendingMutation identifies a journaled mutation or view operation
+// with no commit/abort marker — in-flight at crash time. Opening the
+// warehouse resolves it.
 type PendingMutation struct {
 	Seq int64  `json:"seq"`
 	Op  Op     `json:"op"`
 	Doc string `json:"doc"`
+	// View names the view concerned (view operations only).
+	View string `json:"view,omitempty"`
 }
 
 // JournalSummary describes a journal file as found on disk, without
@@ -252,6 +284,7 @@ type PendingMutation struct {
 type JournalSummary struct {
 	Records   int   `json:"records"`
 	Mutations int   `json:"mutations"`
+	ViewOps   int   `json:"view_ops"`
 	Committed int   `json:"committed"`
 	Aborted   int   `json:"aborted"`
 	LastSeq   int64 `json:"last_seq"`
@@ -295,6 +328,10 @@ func InspectJournal(dir string) (JournalSummary, error) {
 			mutations[r.Seq] = r
 			mutationOrder = append(mutationOrder, r.Seq)
 			lastMut = r.Seq
+		case r.Op.ViewOp():
+			sum.ViewOps++
+			mutations[r.Seq] = r
+			mutationOrder = append(mutationOrder, r.Seq)
 		case r.Op.Marker():
 			ref := r.RefSeq
 			if ref == 0 {
@@ -325,7 +362,7 @@ func InspectJournal(dir string) (JournalSummary, error) {
 			sum.Aborted++
 		default:
 			m := mutations[seq]
-			sum.Pending = append(sum.Pending, PendingMutation{Seq: m.Seq, Op: m.Op, Doc: m.Doc})
+			sum.Pending = append(sum.Pending, PendingMutation{Seq: m.Seq, Op: m.Op, Doc: m.Doc, View: m.View})
 		}
 	}
 	return sum, nil

@@ -1,0 +1,542 @@
+package warehouse
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/fuzzy"
+	"repro/internal/tpwj"
+	"repro/internal/view"
+)
+
+// viewSnapshotFile is the compaction snapshot of the view registry:
+// the journal's view records are the durable copy of registrations, so
+// Compact — which truncates the journal — first writes all current
+// definitions here, and Open loads it before replaying the journal.
+const viewSnapshotFile = "views.json"
+
+// View sentinel errors; test with errors.Is.
+var (
+	// ErrViewNotFound reports an operation on a missing view.
+	ErrViewNotFound = errors.New("no such view")
+	// ErrViewExists reports registering a view name already in use on
+	// the document.
+	ErrViewExists = errors.New("view already exists")
+	// ErrInvalidView reports a view definition that does not compile
+	// (bad query text or unknown syntax).
+	ErrInvalidView = errors.New("invalid view definition")
+)
+
+// ViewResult is one materialized view read: the definition and the
+// current answer set. Stale reports that a maintenance pass was in
+// flight (or the state trailed the document) when the answers were
+// copied out: the answers are the complete, consistent result of the
+// view's query against the document as of the last completed
+// maintenance pass, not of the mutation currently being applied. See
+// docs/ARCHITECTURE.md for the consistency model.
+type ViewResult struct {
+	Doc     string
+	Name    string
+	Query   string
+	Syntax  string
+	Answers []tpwj.ProbAnswer
+	Stale   bool
+}
+
+// ViewStats reports the materialized-view counters of this warehouse.
+// Served by pxserve under /stats as "views".
+type ViewStats struct {
+	// Registered is the number of currently registered views.
+	Registered int `json:"registered"`
+	// Skipped counts maintenance passes resolved by the overlap
+	// analysis alone: the update provably could not affect the view.
+	Skipped int64 `json:"maintenance_skipped"`
+	// Incremental counts maintenance passes that re-ran the symbolic
+	// evaluation and recomputed only changed answers' probabilities.
+	Incremental int64 `json:"maintenance_incremental"`
+	// FullRecomputes counts maintenance passes (and registrations)
+	// that evaluated the view from scratch.
+	FullRecomputes int64 `json:"full_recomputes"`
+	// AnswersReused / AnswersRecomputed count answer probabilities
+	// kept versus re-derived across incremental passes; their ratio is
+	// the affected-answer ratio.
+	AnswersReused     int64 `json:"answers_reused"`
+	AnswersRecomputed int64 `json:"answers_recomputed"`
+	// AffectedAnswerRatio is AnswersRecomputed over all answers
+	// handled by incremental passes (0 when none ran).
+	AffectedAnswerRatio float64 `json:"affected_answer_ratio"`
+	// StaleReads counts ReadView calls served from a previous state
+	// while a maintenance pass was in flight.
+	StaleReads int64 `json:"stale_reads"`
+}
+
+// viewHandle is the registry's mutable slot for one view. def is
+// immutable after registration; v (the materialized state, an
+// immutable view.View), tree (the snapshot v was computed against) and
+// maintaining are guarded by mu. Holders of mu do only pointer work —
+// evaluation always runs outside it — so ReadView never blocks on a
+// maintenance pass.
+type viewHandle struct {
+	def view.Definition
+
+	mu          sync.Mutex
+	q           *tpwj.Query // compiled lazily for recovered definitions
+	v           *view.View
+	tree        *fuzzy.Tree
+	maintaining bool
+}
+
+// compiled returns the handle's compiled query, compiling the
+// definition on first use (registrations compile eagerly; definitions
+// replayed from the journal or the compaction snapshot do it here).
+// The caller must hold h.mu.
+func (h *viewHandle) compiled() (*tpwj.Query, error) {
+	if h.q == nil {
+		q, err := h.def.Compile()
+		if err != nil {
+			return nil, fmt.Errorf("warehouse: view %q: %w", h.def.Name, err)
+		}
+		h.q = q
+	}
+	return h.q, nil
+}
+
+// viewRegistry maps document → view name → handle, and accumulates the
+// maintenance counters. The registry mutex guards only the maps;
+// per-view state is guarded by each handle's own mutex.
+type viewRegistry struct {
+	mu    sync.Mutex
+	byDoc map[string]map[string]*viewHandle
+
+	skipped           atomic.Int64
+	incremental       atomic.Int64
+	full              atomic.Int64
+	answersReused     atomic.Int64
+	answersRecomputed atomic.Int64
+	staleReads        atomic.Int64
+}
+
+func (r *viewRegistry) get(doc, name string) (*viewHandle, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.byDoc[doc][name]
+	return h, ok
+}
+
+// set installs a handle for the definition, replacing any previous one.
+func (r *viewRegistry) set(doc string, h *viewHandle) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.byDoc == nil {
+		r.byDoc = make(map[string]map[string]*viewHandle)
+	}
+	m := r.byDoc[doc]
+	if m == nil {
+		m = make(map[string]*viewHandle)
+		r.byDoc[doc] = m
+	}
+	m[h.def.Name] = h
+}
+
+func (r *viewRegistry) del(doc, name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m := r.byDoc[doc]; m != nil {
+		delete(m, name)
+		if len(m) == 0 {
+			delete(r.byDoc, doc)
+		}
+	}
+}
+
+func (r *viewRegistry) delDoc(doc string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.byDoc, doc)
+}
+
+// forDoc returns the document's handles, sorted by view name so
+// maintenance runs in deterministic order.
+func (r *viewRegistry) forDoc(doc string) []*viewHandle {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.byDoc[doc]
+	out := make([]*viewHandle, 0, len(m))
+	for _, h := range m {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].def.Name < out[j].def.Name })
+	return out
+}
+
+// defs returns all definitions, keyed by document, for the compaction
+// snapshot.
+func (r *viewRegistry) defs() map[string][]view.Definition {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string][]view.Definition, len(r.byDoc))
+	for doc, m := range r.byDoc {
+		for _, h := range m {
+			out[doc] = append(out[doc], h.def)
+		}
+		sort.Slice(out[doc], func(i, j int) bool { return out[doc][i].Name < out[doc][j].Name })
+	}
+	return out
+}
+
+// count returns the number of registered views.
+func (r *viewRegistry) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, m := range r.byDoc {
+		n += len(m)
+	}
+	return n
+}
+
+// pruneMissing drops every document's views unless exists(doc).
+func (r *viewRegistry) pruneMissing(exists func(doc string) bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for doc := range r.byDoc {
+		if !exists(doc) {
+			delete(r.byDoc, doc)
+		}
+	}
+}
+
+// record folds one maintenance result into the counters.
+func (r *viewRegistry) record(res view.Result) {
+	switch res.Outcome {
+	case view.Skipped:
+		r.skipped.Add(1)
+	case view.Incremental:
+		r.incremental.Add(1)
+		r.answersReused.Add(int64(res.Reused))
+		r.answersRecomputed.Add(int64(res.Recomputed))
+	case view.Full:
+		r.full.Add(1)
+	}
+}
+
+// ViewStats returns the warehouse's materialized-view counters.
+func (w *Warehouse) ViewStats() ViewStats {
+	r := &w.views
+	s := ViewStats{
+		Registered:        r.count(),
+		Skipped:           r.skipped.Load(),
+		Incremental:       r.incremental.Load(),
+		FullRecomputes:    r.full.Load(),
+		AnswersReused:     r.answersReused.Load(),
+		AnswersRecomputed: r.answersRecomputed.Load(),
+		StaleReads:        r.staleReads.Load(),
+	}
+	if total := s.AnswersReused + s.AnswersRecomputed; total > 0 {
+		s.AffectedAnswerRatio = float64(s.AnswersRecomputed) / float64(total)
+	}
+	return s
+}
+
+// RegisterView registers (and eagerly materializes) a named view of a
+// TPWJ or XPath query over the document. The registration is journaled
+// with the same two-record protocol as document mutations, so it
+// survives crash recovery; the answer set is derived state and is
+// re-materialized on demand after recovery. The initial answers are
+// returned.
+func (w *Warehouse) RegisterView(doc, name, query, syntax string) (*ViewResult, error) {
+	if err := validName(doc); err != nil {
+		return nil, err
+	}
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	def := view.Definition{Name: name, Query: query, Syntax: syntax}
+	q, err := def.Compile()
+	if err != nil {
+		return nil, fmt.Errorf("warehouse: %w: %v", ErrInvalidView, err)
+	}
+	release, err := w.startOp()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	dl, err := w.lockWriter(doc, true)
+	if err != nil {
+		return nil, err
+	}
+	defer dl.writers.Unlock()
+	if _, ok := w.views.get(doc, name); ok {
+		return nil, fmt.Errorf("warehouse: %w: %q on %q", ErrViewExists, name, doc)
+	}
+	ft, err := w.snapshot(doc)
+	if err != nil {
+		w.releaseIfGone(doc, err)
+		return nil, err
+	}
+	// Materialize outside the state lock: the writers lock already
+	// serializes this against mutations of the document, and readers
+	// must not wait on query evaluation.
+	v, err := view.Materialize(def, q, ft)
+	if err != nil {
+		return nil, err
+	}
+	h := &viewHandle{def: def, q: q, v: v, tree: ft}
+	err = w.install(dl,
+		Record{Op: OpViewRegister, Doc: doc, View: name, Query: query, Syntax: syntax},
+		func(bool) error {
+			w.views.set(doc, h)
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	w.views.full.Add(1)
+	return &ViewResult{Doc: doc, Name: name, Query: query, Syntax: syntax, Answers: v.Answers()}, nil
+}
+
+// DropView removes a registered view, journaled like a registration.
+func (w *Warehouse) DropView(doc, name string) error {
+	if err := validName(doc); err != nil {
+		return err
+	}
+	if err := validName(name); err != nil {
+		return err
+	}
+	release, err := w.startOp()
+	if err != nil {
+		return err
+	}
+	defer release()
+	dl, err := w.lockWriter(doc, true)
+	if err != nil {
+		return err
+	}
+	defer dl.writers.Unlock()
+	if _, ok := w.views.get(doc, name); !ok {
+		return fmt.Errorf("warehouse: %w: %q on %q", ErrViewNotFound, name, doc)
+	}
+	return w.install(dl,
+		Record{Op: OpViewDrop, Doc: doc, View: name},
+		func(bool) error {
+			w.views.del(doc, name)
+			return nil
+		})
+}
+
+// ListViews returns the document's view definitions, sorted by name.
+func (w *Warehouse) ListViews(doc string) ([]view.Definition, error) {
+	if err := validName(doc); err != nil {
+		return nil, err
+	}
+	release, err := w.startOp()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	if err := w.statGuard(doc); err != nil {
+		return nil, err
+	}
+	handles := w.views.forDoc(doc)
+	out := make([]view.Definition, len(handles))
+	for i, h := range handles {
+		out[i] = h.def
+	}
+	return out, nil
+}
+
+// ReadView returns the view's materialized answers. It never blocks on
+// a writer: while a mutation's maintenance pass is in flight (or
+// imminent — the window between a mutation's install and the pass
+// reaching this view), the previous answer set is returned with Stale
+// set — a complete, consistent result against the pre-mutation
+// document. A view with no materialized state at all (first read after
+// recovery) is materialized here, against the current snapshot.
+func (w *Warehouse) ReadView(doc, name string) (*ViewResult, error) {
+	if err := validName(doc); err != nil {
+		return nil, err
+	}
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	release, err := w.startOp()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	h, ok := w.views.get(doc, name)
+	if !ok {
+		return nil, fmt.Errorf("warehouse: %w: %q on %q", ErrViewNotFound, name, doc)
+	}
+	res := &ViewResult{Doc: doc, Name: name, Query: h.def.Query, Syntax: h.def.Syntax}
+	for {
+		cur, err := w.snapshot(doc)
+		if err != nil {
+			return nil, err
+		}
+		h.mu.Lock()
+		if h.v != nil {
+			// A state trailing the snapshot with no maintaining flag
+			// set is the window between a mutation's install and its
+			// maintenance pass reaching this handle (maintenance always
+			// runs before the mutation returns): serve it stale like an
+			// in-flight pass, rather than paying a full materialization
+			// the imminent pass would duplicate.
+			res.Answers = h.v.Answers()
+			res.Stale = h.maintaining || h.tree != cur
+			h.mu.Unlock()
+			if res.Stale {
+				w.views.staleReads.Add(1)
+			}
+			return res, nil
+		}
+		// Never materialized (first read after recovery, or a failed
+		// maintenance pass): evaluate against the current snapshot,
+		// outside the handle mutex.
+		q, err := h.compiled()
+		h.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		v, err := view.Materialize(h.def, q, cur)
+		if err != nil {
+			return nil, err
+		}
+		w.views.full.Add(1)
+		h.mu.Lock()
+		if h.v == nil && !h.maintaining {
+			h.v, h.tree = v, cur
+			h.mu.Unlock()
+			res.Answers = v.Answers()
+			return res, nil
+		}
+		if h.maintaining && h.v == nil {
+			// A maintenance pass is re-materializing concurrently; our
+			// result is a complete answer set against the pre-pass
+			// snapshot — exactly what a stale read promises.
+			h.mu.Unlock()
+			w.views.staleReads.Add(1)
+			res.Answers = v.Answers()
+			res.Stale = true
+			return res, nil
+		}
+		// A maintenance pass installed a state while we evaluated; it
+		// is at least as fresh as ours. Retry: the next iteration
+		// serves it with its staleness judged against a fresh snapshot.
+		h.mu.Unlock()
+	}
+}
+
+// maintainViews brings every view of the document from the pre-update
+// snapshot to the post-update snapshot. Called by mutateDoc after the
+// install, still under the document's writers lock (so passes of
+// successive updates never interleave) but outside every handle mutex
+// (so concurrent ReadView calls serve the previous state marked stale
+// instead of blocking). delta is the update's structural footprint;
+// nil forces affected views to recompute from scratch.
+func (w *Warehouse) maintainViews(doc string, pre, next *fuzzy.Tree, delta *view.Delta) {
+	for _, h := range w.views.forDoc(doc) {
+		h.mu.Lock()
+		old, oldTree := h.v, h.tree
+		q, err := h.compiled()
+		h.maintaining = true
+		h.mu.Unlock()
+
+		var nv *view.View
+		if err == nil {
+			if old != nil && oldTree == pre {
+				var res view.Result
+				nv, res, err = old.Maintain(next, delta)
+				if err == nil {
+					w.views.record(res)
+				}
+			} else {
+				// The state does not correspond to the pre-update
+				// snapshot (first use after recovery): start over.
+				nv, err = view.Materialize(h.def, q, next)
+				if err == nil {
+					w.views.full.Add(1)
+				}
+			}
+		}
+
+		h.mu.Lock()
+		if err == nil {
+			h.v, h.tree = nv, next
+		} else {
+			// Leave the view unmaterialized; the next ReadView retries
+			// against the then-current snapshot.
+			h.v, h.tree = nil, nil
+		}
+		h.maintaining = false
+		h.mu.Unlock()
+	}
+}
+
+// --- persistence across Compact --------------------------------------------
+
+// viewSnapshot is the views.json document.
+type viewSnapshot struct {
+	// Docs maps document name to its view definitions.
+	Docs map[string][]view.Definition `json:"docs"`
+}
+
+// writeViewSnapshot persists all current view definitions to
+// views.json (fsynced, atomically swapped). Called by Compact under
+// the exclusive warehouse lock, before the journal — until then the
+// durable copy of registrations — is truncated.
+func (w *Warehouse) writeViewSnapshot() error {
+	data, err := json.MarshalIndent(viewSnapshot{Docs: w.views.defs()}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("warehouse: marshal view snapshot: %w", err)
+	}
+	path := filepath.Join(w.dir, viewSnapshotFile)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("warehouse: write view snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(w.dir)
+}
+
+// loadViewSnapshot seeds the registry from views.json, if present.
+// Called by Open before journal recovery, whose committed view records
+// (and document drops) are replayed on top in journal order.
+func (w *Warehouse) loadViewSnapshot() error {
+	data, err := os.ReadFile(filepath.Join(w.dir, viewSnapshotFile))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("warehouse: read view snapshot: %w", err)
+	}
+	var snap viewSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("warehouse: view snapshot corrupt: %w", err)
+	}
+	for doc, defs := range snap.Docs {
+		for _, def := range defs {
+			w.views.set(doc, &viewHandle{def: def})
+		}
+	}
+	return nil
+}

@@ -57,6 +57,7 @@ import (
 	"repro/internal/fuzzy"
 	"repro/internal/tpwj"
 	"repro/internal/update"
+	"repro/internal/view"
 	"repro/internal/xmlio"
 	"repro/internal/xupdate"
 )
@@ -119,6 +120,10 @@ type Warehouse struct {
 	// the snapshot it was built from (see searchIndexes).
 	search searchIndexes
 
+	// views holds the registered materialized views and their
+	// maintenance counters (see views.go).
+	views viewRegistry
+
 	// journaledMu guards journaled: the set of documents with a
 	// committed mutation record in the current journal. For those, the
 	// journal is the durable copy of the latest content — recovery
@@ -174,10 +179,22 @@ func Open(dir string) (*Warehouse, error) {
 		return nil, fmt.Errorf("warehouse: sync layout: %w", err)
 	}
 	w.journal = j
+	// Seed the view registry from the compaction snapshot (if any);
+	// recovery then replays the journal's view records on top.
+	if err := w.loadViewSnapshot(); err != nil {
+		j.close()
+		return nil, err
+	}
 	if err := w.recover(records); err != nil {
 		j.close()
 		return nil, err
 	}
+	// Drop view definitions whose document no longer exists (defensive:
+	// a hand-edited snapshot or journal could leave orphans behind).
+	w.views.pruneMissing(func(doc string) bool {
+		_, err := os.Stat(w.docPath(doc))
+		return err == nil
+	})
 	return w, nil
 }
 
@@ -450,7 +467,12 @@ func (w *Warehouse) install(dl *docLock, rec Record, apply func(syncFile bool) e
 		// never landed, kept if it did. See the package comment.
 		return err
 	}
-	w.markJournaled(rec.Doc)
+	if rec.Op.Mutation() {
+		// Only content-carrying mutations make the journal the durable
+		// copy of the document; a committed view record must not let
+		// later file swaps skip their fsync.
+		w.markJournaled(rec.Doc)
+	}
 	return nil
 }
 
@@ -579,6 +601,9 @@ func (w *Warehouse) Drop(name string) error {
 	// this entry re-check and retry (see lockWriter).
 	w.locks.del(name)
 	w.dropSearchIndex(name)
+	// Views follow their document: the committed drop record implies
+	// their removal at recovery too (see recover).
+	w.views.delDoc(name)
 	return nil
 }
 
@@ -627,10 +652,19 @@ func (w *Warehouse) readSnapshot(name string) (*fuzzy.Tree, error) {
 // operations: pin the warehouse open, acquire the document's writers
 // lock, snapshot, run compute outside the state lock (concurrent
 // queries on the same document are never blocked by it), then journal
-// and install the successor tree. compute returns the successor and
-// the journal's Tx annotation. The lock-entry lifecycle bookkeeping
-// (releaseIfGone on vanished documents) lives only here.
-func (w *Warehouse) mutateDoc(name string, compute func(ft *fuzzy.Tree) (*fuzzy.Tree, string, error)) error {
+// and install the successor tree. compute returns the successor, the
+// journal's Tx annotation, and the update's structural footprint for
+// view maintenance (nil when unknown, forcing affected views to
+// recompute). The lock-entry lifecycle bookkeeping (releaseIfGone on
+// vanished documents) lives only here.
+//
+// Registered views of the document are maintained after the install,
+// still under the writers lock — so view state advances in lockstep
+// with the document and the next writer cannot interleave — but
+// outside every view's own mutex, so concurrent ReadView calls are
+// never blocked: they serve the previous state marked stale until the
+// maintenance pass lands (see maintainViews).
+func (w *Warehouse) mutateDoc(name string, compute func(ft *fuzzy.Tree) (*fuzzy.Tree, string, *view.Delta, error)) error {
 	if err := validName(name); err != nil {
 		return err
 	}
@@ -649,7 +683,7 @@ func (w *Warehouse) mutateDoc(name string, compute func(ft *fuzzy.Tree) (*fuzzy.
 		w.releaseIfGone(name, err)
 		return err
 	}
-	next, txNote, err := compute(ft)
+	next, txNote, delta, err := compute(ft)
 	if err != nil {
 		return err
 	}
@@ -672,6 +706,7 @@ func (w *Warehouse) mutateDoc(name string, compute func(ft *fuzzy.Tree) (*fuzzy.
 	// The old snapshot is superseded; release its keyword index now so
 	// it cannot pin the whole pre-update tree until the next search.
 	w.dropSearchIndex(name)
+	w.maintainViews(name, ft, next, delta)
 	return nil
 }
 
@@ -683,13 +718,16 @@ func (w *Warehouse) Update(name string, tx *update.Transaction) (*update.FuzzySt
 		return nil, err
 	}
 	var stats *update.FuzzyStats
-	err = w.mutateDoc(name, func(ft *fuzzy.Tree) (*fuzzy.Tree, string, error) {
+	err = w.mutateDoc(name, func(ft *fuzzy.Tree) (*fuzzy.Tree, string, *view.Delta, error) {
 		next, s, err := tx.ApplyFuzzy(ft)
 		if err != nil {
-			return nil, "", err
+			return nil, "", nil, err
 		}
 		stats = s
-		return next, string(txXML), nil
+		return next, string(txXML), &view.Delta{
+			InsertedLabels:    s.InsertedLabels,
+			DeleteTargetPaths: s.DeleteTargetPaths,
+		}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -701,10 +739,13 @@ func (w *Warehouse) Update(name string, tx *update.Transaction) (*update.FuzzySt
 // persists the result.
 func (w *Warehouse) Simplify(name string) (fuzzy.SimplifyStats, error) {
 	var stats fuzzy.SimplifyStats
-	err := w.mutateDoc(name, func(ft *fuzzy.Tree) (*fuzzy.Tree, string, error) {
+	// The nil footprint makes every view of the document recompute:
+	// simplification rewrites conditions tree-wide, which the overlap
+	// analysis cannot bound.
+	err := w.mutateDoc(name, func(ft *fuzzy.Tree) (*fuzzy.Tree, string, *view.Delta, error) {
 		next := ft.Clone()
 		stats = next.Simplify()
-		return next, "<simplify/>", nil
+		return next, "<simplify/>", nil, nil
 	})
 	if err != nil {
 		return fuzzy.SimplifyStats{}, err
@@ -767,6 +808,12 @@ func (w *Warehouse) Compact() error {
 		return ErrClosed
 	}
 	if err := w.syncDocs(); err != nil {
+		return err
+	}
+	// The journal is also the durable copy of the view registry (its
+	// view-register/view-drop records); snapshot the registry to
+	// views.json before dropping it.
+	if err := w.writeViewSnapshot(); err != nil {
 		return err
 	}
 	if err := w.journal.close(); err != nil {
