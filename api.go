@@ -114,10 +114,12 @@ type (
 	// Server is an http.Handler exposing a warehouse over an HTTP/JSON
 	// API with per-document concurrency and a query-result cache.
 	Server = server.Server
-	// ServerOptions configures NewServer (cache size, request logging).
+	// ServerOptions configures NewServer (cache size, request logging,
+	// slow-query threshold, trace-ring size).
 	ServerOptions = server.Options
-	// ServerStats is the GET /stats response: request counters and
-	// cache hit rate.
+	// ServerStats is the GET /stats response: request counters with
+	// latency quantiles, per-stage latencies, cache hit rate, engine
+	// and journal counters, uptime and build version.
 	ServerStats = server.StatsSnapshot
 )
 

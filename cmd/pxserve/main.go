@@ -8,18 +8,26 @@
 //
 //	pxserve -dir ./wh
 //	pxserve -dir ./wh -addr :9090 -cache 1024 -v
+//	pxserve -dir ./wh -slow-query 250ms -pprof localhost:6060
 //
-// See the package documentation of repro/internal/server for the route
-// list, and the repository README for curl examples.
+// On SIGINT/SIGTERM the server drains in-flight requests (up to 10s)
+// and logs a final stats summary before exiting. -slow-query logs
+// every request over the threshold with its span breakdown; -pprof
+// serves net/http/pprof on a separate address (keep it off public
+// interfaces). See the package documentation of repro/internal/server
+// for the route list, docs/OBSERVABILITY.md for the metrics and
+// tracing guide, and the repository README for curl examples.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -34,6 +42,8 @@ func main() {
 		addr      = flag.String("addr", ":8080", "listen address")
 		cacheSize = flag.Int("cache", 0, "query cache entries (0 = default, negative = disabled)")
 		verbose   = flag.Bool("v", false, "log every request")
+		slowQuery = flag.Duration("slow-query", 0, "log requests at least this slow, with span breakdown (0 = disabled)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -47,26 +57,64 @@ func main() {
 	}
 	defer wh.Close()
 
-	opts := fuzzyxml.ServerOptions{CacheSize: *cacheSize}
+	opts := fuzzyxml.ServerOptions{
+		CacheSize:          *cacheSize,
+		SlowQueryThreshold: *slowQuery,
+	}
 	if *verbose {
 		opts.Logf = log.Printf
 	}
+	api := fuzzyxml.NewServer(wh, opts)
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: fuzzyxml.NewServer(wh, opts),
+		Handler: api,
 	}
 
+	if *pprofAddr != "" {
+		// pprof gets its own mux on its own address so profiling
+		// endpoints are never reachable through the public listener.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("pxserve: pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
+				log.Printf("pxserve: pprof: %v", err)
+			}
+		}()
+	}
+
+	// Graceful shutdown: on the first SIGINT/SIGTERM stop accepting
+	// connections and drain in-flight requests for up to 10 seconds.
+	// ListenAndServe returns as soon as Shutdown starts, so main waits
+	// on done for the drain to finish before closing the warehouse.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	done := make(chan struct{})
 	go func() {
+		defer close(done)
 		<-ctx.Done()
+		log.Printf("pxserve: shutting down, draining requests")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		srv.Shutdown(shutdownCtx) //nolint:errcheck
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("pxserve: shutdown: %v", err)
+		}
 	}()
 
 	fmt.Printf("pxserve: warehouse %s listening on %s\n", wh.Dir(), *addr)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("pxserve: %v", err)
 	}
+	<-done
+
+	// Final stats summary: the full /stats payload, so a terminated
+	// server leaves its counters in the log.
+	if summary, err := json.Marshal(api.Snapshot()); err == nil {
+		log.Printf("pxserve: final stats: %s", summary)
+	}
+	log.Printf("pxserve: shutdown complete")
 }

@@ -161,6 +161,19 @@
 // updates; repeated identical queries are answered from an LRU result
 // cache that document mutations invalidate.
 //
+// # Observability
+//
+// Every layer records into internal/obs, the shared metrics registry
+// (lock-free counters, gauges, latency histograms) and span-tracing
+// substrate. The server exposes the registry as JSON under /stats and
+// as Prometheus text under /metrics; each request runs under a trace
+// whose span tree (warehouse snapshot fetch, symbolic match, DNF
+// compile, probability evaluation, journal writes, view maintenance)
+// is retained in the /debug/traces ring, echoed by ?trace=1, and fed
+// into per-stage histograms. Requests over ServerOptions.
+// SlowQueryThreshold are logged with their span breakdown. See
+// docs/OBSERVABILITY.md for the metric catalog and span names.
+//
 // The quickest way in:
 //
 //	doc := fuzzyxml.MustParseFuzzy("A(B[w1 !w2], C(D[w2]))",

@@ -37,6 +37,9 @@ var (
 	urlRE = regexp.MustCompile(`localhost(?::[0-9]+)?(/[A-Za-z0-9_{}./-]*)`)
 	// routeRE extracts the route patterns registered by the server.
 	routeRE = regexp.MustCompile(`s\.route\("([A-Z]+) ([^"]+)"`)
+	// muxRouteRE extracts the plain-path registrations of pxserve's
+	// auxiliary pprof mux, so docs may reference /debug/pprof URLs.
+	muxRouteRE = regexp.MustCompile(`mux\.HandleFunc\("(/[^"]+)"`)
 )
 
 // Check cross-checks the documentation of the repository rooted at
@@ -112,7 +115,9 @@ func cmdBinaries(root string) (map[string]bool, error) {
 }
 
 // serverRoutes returns the path patterns registered in
-// internal/server/server.go ("/docs/{name}/query", ...).
+// internal/server/server.go ("/docs/{name}/query", ...) plus the
+// pprof paths pxserve registers on its auxiliary mux. A pattern ending
+// in "/" is a subtree root and matches any path under it.
 func serverRoutes(root string) ([]string, error) {
 	data, err := os.ReadFile(filepath.Join(root, "internal", "server", "server.go"))
 	if err != nil {
@@ -121,6 +126,13 @@ func serverRoutes(root string) ([]string, error) {
 	var out []string
 	for _, m := range routeRE.FindAllStringSubmatch(string(data), -1) {
 		out = append(out, m[2])
+	}
+	data, err = os.ReadFile(filepath.Join(root, "cmd", "pxserve", "main.go"))
+	if err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	for _, m := range muxRouteRE.FindAllStringSubmatch(string(data), -1) {
+		out = append(out, m[1])
 	}
 	return out, nil
 }
@@ -164,10 +176,14 @@ func checkBlocks(file, content string, binaries map[string]bool, routes []string
 
 // matchesRoute reports whether the concrete path matches any
 // registered pattern, with {wildcard} segments matching any one
-// segment.
+// segment and a trailing-slash pattern matching its whole subtree.
 func matchesRoute(path string, routes []string) bool {
 	segs := strings.Split(path, "/")
 	for _, pattern := range routes {
+		if strings.HasSuffix(pattern, "/") &&
+			(path+"/" == pattern || strings.HasPrefix(path, pattern)) {
+			return true
+		}
 		psegs := strings.Split(pattern, "/")
 		if len(psegs) != len(segs) {
 			continue

@@ -85,6 +85,25 @@ func TestDetectsStaleBinaryAndRoute(t *testing.T) {
 	}
 }
 
+// TestPprofMuxRoutes covers the auxiliary-mux scan: paths registered
+// with mux.HandleFunc in cmd/pxserve (the pprof endpoints) are valid
+// route references, a trailing-slash registration covers its whole
+// subtree, and unregistered /debug paths still fail.
+func TestPprofMuxRoutes(t *testing.T) {
+	dir := scaffold(t)
+	write(t, dir, "cmd/pxserve/main.go",
+		"package main\nfunc f() {\n\tmux.HandleFunc(\"/debug/pprof/\", nil)\n\tmux.HandleFunc(\"/debug/pprof/profile\", nil)\n}\n")
+	write(t, dir, "docs/GOOD.md",
+		"```sh\ncurl localhost:6060/debug/pprof/heap\ncurl localhost:6060/debug/pprof/profile\ncurl localhost:6060/debug/nosuch\n```\n")
+	problems, err := Check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 || problems[0] != `docs/GOOD.md:4: references route "/debug/nosuch" matching no registered server route` {
+		t.Fatalf("problems = %v", problems)
+	}
+}
+
 func TestScansIndentedFences(t *testing.T) {
 	dir := scaffold(t)
 	write(t, dir, "docs/GOOD.md",

@@ -3,7 +3,8 @@ package event
 import (
 	"fmt"
 	"slices"
-	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // This file implements the compilation front end of the exact
@@ -20,15 +21,17 @@ import (
 // uint64 masks over the local slots, making contradiction, subset
 // (absorption) and sample-evaluation checks single word operations.
 
-// engine counters (package-global, atomic: tables are read concurrently
-// by query evaluation running outside warehouse locks).
+// engine counters (package-global, lock-free: tables are read
+// concurrently by query evaluation running outside warehouse locks).
+// They live on the obs default registry, so /metrics and /stats read
+// the same source of truth.
 var (
-	engineCompiles       atomic.Int64
-	engineBitsetCompiles atomic.Int64
-	engineMemoHits       atomic.Int64
-	engineMemoMisses     atomic.Int64
-	engineComponents     atomic.Int64
-	engineHashCollisions atomic.Int64
+	engineCompiles       = obs.Default().Counter("px_engine_compiles_total", "DNFs compiled by the exact probability engine")
+	engineBitsetCompiles = obs.Default().Counter("px_engine_bitset_compiles_total", "compiled DNFs that qualified for the <=64-event bitset fast path")
+	engineMemoHits       = obs.Default().Counter("px_engine_memo_hits_total", "Shannon-expansion structural-hash memo hits")
+	engineMemoMisses     = obs.Default().Counter("px_engine_memo_misses_total", "Shannon-expansion structural-hash memo misses")
+	engineComponents     = obs.Default().Counter("px_engine_components_total", "independent components produced by the decomposition")
+	engineHashCollisions = obs.Default().Counter("px_engine_hash_collisions_total", "structural hash collisions (checked, recomputed)")
 )
 
 // EngineCounters is a snapshot of the probability-engine counters:
@@ -49,23 +52,23 @@ type EngineCounters struct {
 // ReadEngineCounters returns the current engine counter values.
 func ReadEngineCounters() EngineCounters {
 	return EngineCounters{
-		Compiles:       engineCompiles.Load(),
-		BitsetCompiles: engineBitsetCompiles.Load(),
-		MemoHits:       engineMemoHits.Load(),
-		MemoMisses:     engineMemoMisses.Load(),
-		Components:     engineComponents.Load(),
-		HashCollisions: engineHashCollisions.Load(),
+		Compiles:       engineCompiles.Value(),
+		BitsetCompiles: engineBitsetCompiles.Value(),
+		MemoHits:       engineMemoHits.Value(),
+		MemoMisses:     engineMemoMisses.Value(),
+		Components:     engineComponents.Value(),
+		HashCollisions: engineHashCollisions.Value(),
 	}
 }
 
 // ResetEngineCounters zeroes the engine counters (tests, benchmarks).
 func ResetEngineCounters() {
-	engineCompiles.Store(0)
-	engineBitsetCompiles.Store(0)
-	engineMemoHits.Store(0)
-	engineMemoMisses.Store(0)
-	engineComponents.Store(0)
-	engineHashCollisions.Store(0)
+	engineCompiles.Reset()
+	engineBitsetCompiles.Reset()
+	engineMemoHits.Reset()
+	engineMemoMisses.Reset()
+	engineComponents.Reset()
+	engineHashCollisions.Reset()
 }
 
 // cclause is one compiled conjunctive clause: sorted local literals,

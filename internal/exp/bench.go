@@ -1,16 +1,19 @@
 package exp
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
 	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/event"
 	"repro/internal/fuzzy"
 	"repro/internal/keyword"
+	"repro/internal/obs"
 	"repro/internal/tpwj"
 	"repro/internal/tree"
 	"repro/internal/update"
@@ -154,6 +157,27 @@ func Probes() []Probe {
 				}
 			}
 		}},
+		{"obs/overhead/off/events=12", func(b *testing.B) {
+			ft := SectionDoc(12)
+			q := tpwj.MustParseQuery("A(//L $x)")
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := tpwj.EvalFuzzyContext(context.Background(), q, ft); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"obs/overhead/on/events=12", func(b *testing.B) {
+			ft := SectionDoc(12)
+			q := tpwj.MustParseQuery("A(//L $x)")
+			record := obsStageRecorder()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := obsTracedEval(q, ft, record); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 		{"expand/worlds/events=12", func(b *testing.B) {
 			ft := SectionDoc(12)
 			b.ReportAllocs()
@@ -164,6 +188,37 @@ func Probes() []Probe {
 			}
 		}},
 	}
+}
+
+// obsStageRecorder models the server's trace onEnd hook: finished
+// spans feed per-stage histograms on a live registry, with the handle
+// cached after the first lookup (the benchmarks are single-goroutine,
+// so a plain map stands in for the server's sync.Map).
+func obsStageRecorder() func(name string, d time.Duration) {
+	reg := obs.NewRegistry()
+	hists := make(map[string]*obs.Histogram)
+	return func(name string, d time.Duration) {
+		h, ok := hists[name]
+		if !ok {
+			h = reg.Histogram("px_stage_seconds", "pipeline stage latency", obs.L("stage", name))
+			hists[name] = h
+		}
+		h.Observe(d)
+	}
+}
+
+// obsTracedEval runs one fully instrumented query evaluation: a fresh
+// trace per call (as the server's middleware does per request), the
+// eval recording its pipeline spans into it, each finished span
+// feeding a histogram. The obs/overhead probe pair compares this
+// against the identical eval on a context without a trace — the no-op
+// instrumentation path.
+func obsTracedEval(q *tpwj.Query, ft *fuzzy.Tree, record func(string, time.Duration)) error {
+	_, root := obs.NewTrace("bench", record)
+	ctx := obs.ContextWithSpan(context.Background(), root)
+	_, err := tpwj.EvalFuzzyContext(ctx, q, ft)
+	root.End()
+	return err
 }
 
 // viewBenchDoc builds the view-maintenance workload document: m

@@ -1,0 +1,70 @@
+package exp
+
+import (
+	"context"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/tpwj"
+)
+
+// TestObsOverhead is the CI smoke for the observability cost contract:
+// the fully instrumented query path (trace + spans + stage histograms)
+// must stay within 5% of the identical eval on an untraced context —
+// the no-op instrumentation path. Each sample times one uninstrumented
+// and one instrumented eval back to back, so slow drift (thermal,
+// noisy neighbors) hits both sides equally, and the comparison uses
+// per-side medians, so one-off stalls (GC, scheduler) drop out. A
+// failing attempt is retried because CI machines misbehave; a real
+// regression fails every attempt.
+func TestObsOverhead(t *testing.T) {
+	ft := SectionDoc(12)
+	q := tpwj.MustParseQuery("A(//L $x)")
+	record := obsStageRecorder()
+
+	evalOff := func() {
+		if _, err := tpwj.EvalFuzzyContext(context.Background(), q, ft); err != nil {
+			t.Fatal(err)
+		}
+	}
+	evalOn := func() {
+		if err := obsTracedEval(q, ft, record); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm both paths: the first evaluations pay allocator and memo
+	// warmup that has nothing to do with instrumentation.
+	for i := 0; i < 5; i++ {
+		evalOff()
+		evalOn()
+	}
+
+	const pairs = 120
+	median := func(ds []time.Duration) time.Duration {
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		return ds[len(ds)/2]
+	}
+
+	const limit = 0.05
+	var overhead float64
+	for attempt := 0; attempt < 3; attempt++ {
+		offs := make([]time.Duration, pairs)
+		ons := make([]time.Duration, pairs)
+		for i := 0; i < pairs; i++ {
+			s := time.Now()
+			evalOff()
+			m := time.Now()
+			evalOn()
+			offs[i] = m.Sub(s)
+			ons[i] = time.Since(m)
+		}
+		medOff, medOn := median(offs), median(ons)
+		overhead = float64(medOn-medOff) / float64(medOff)
+		t.Logf("attempt %d: off=%v on=%v overhead=%.2f%%", attempt, medOff, medOn, overhead*100)
+		if overhead < limit {
+			return
+		}
+	}
+	t.Fatalf("instrumentation overhead %.2f%% exceeds %.0f%%", overhead*100, limit*100)
+}

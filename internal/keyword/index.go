@@ -23,19 +23,21 @@ import (
 	"sort"
 	"strconv"
 	"strings"
-	"sync/atomic"
 
 	"repro/internal/event"
 	"repro/internal/fuzzy"
+	"repro/internal/obs"
 )
 
-// package counters (atomic: indexes are built and searched concurrently
-// by server requests), served by pxserve under /stats as "search".
+// package counters (lock-free: indexes are built and searched
+// concurrently by server requests), served by pxserve under /stats as
+// "search" and under /metrics as px_keyword_* counters — both read the
+// same obs registry handles.
 var (
-	ctrIndexBuilds     atomic.Int64
-	ctrPostings        atomic.Int64
-	ctrSearches        atomic.Int64
-	ctrThresholdPrunes atomic.Int64
+	ctrIndexBuilds     = obs.Default().Counter("px_keyword_index_builds_total", "inverted keyword indexes built")
+	ctrPostings        = obs.Default().Counter("px_keyword_postings_total", "inverted-index postings built")
+	ctrSearches        = obs.Default().Counter("px_keyword_searches_total", "keyword searches evaluated")
+	ctrThresholdPrunes = obs.Default().Counter("px_keyword_threshold_prunes_total", "candidates pruned by the MinProb upper bound")
 )
 
 // Counters is a snapshot of the package counters: how many inverted
@@ -52,19 +54,19 @@ type Counters struct {
 // ReadCounters returns the current counter values.
 func ReadCounters() Counters {
 	return Counters{
-		IndexBuilds:     ctrIndexBuilds.Load(),
-		Postings:        ctrPostings.Load(),
-		Searches:        ctrSearches.Load(),
-		ThresholdPrunes: ctrThresholdPrunes.Load(),
+		IndexBuilds:     ctrIndexBuilds.Value(),
+		Postings:        ctrPostings.Value(),
+		Searches:        ctrSearches.Value(),
+		ThresholdPrunes: ctrThresholdPrunes.Value(),
 	}
 }
 
 // ResetCounters zeroes the package counters (tests, benchmarks).
 func ResetCounters() {
-	ctrIndexBuilds.Store(0)
-	ctrPostings.Store(0)
-	ctrSearches.Store(0)
-	ctrThresholdPrunes.Store(0)
+	ctrIndexBuilds.Reset()
+	ctrPostings.Reset()
+	ctrSearches.Reset()
+	ctrThresholdPrunes.Reset()
 }
 
 // nodeInfo is one document node in the index, identified by its

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements the Prometheus text exposition format
+// (version 0.0.4): `# HELP` / `# TYPE` headers followed by
+// `name{label="value"} value` samples, histograms expanded into
+// cumulative `_bucket{le="..."}` series plus `_sum` and `_count`.
+
+// WriteText writes all metrics of the given registries in Prometheus
+// text exposition format. Families with the same name across
+// registries are merged under one header (first registration's help
+// text wins); within a family, samples appear in registration order.
+func WriteText(w io.Writer, regs ...*Registry) error {
+	// Merge families by name, preserving first-seen help/kind.
+	merged := make(map[string]*family)
+	var names []string
+	for _, r := range regs {
+		for _, f := range r.snapshotFamilies() {
+			m, ok := merged[f.name]
+			if !ok {
+				cp := &family{name: f.name, help: f.help, kind: f.kind,
+					metrics: make(map[string]*metric)}
+				merged[f.name] = cp
+				names = append(names, f.name)
+				m = cp
+			}
+			for _, key := range f.order {
+				if _, dup := m.metrics[key]; !dup {
+					m.metrics[key] = f.metrics[key]
+					m.order = append(m.order, key)
+				}
+			}
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := writeFamily(w, merged[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeFamily(w io.Writer, f *family) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+		f.name, escapeHelp(f.help), f.name, f.kind); err != nil {
+		return err
+	}
+	for _, key := range f.order {
+		m := f.metrics[key]
+		var err error
+		switch f.kind {
+		case KindHistogram:
+			err = writeHistogram(w, f.name, m)
+		case KindGauge:
+			v := float64(m.g.Value())
+			if m.gf != nil {
+				v = m.gf()
+			}
+			_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, formatLabels(m.labels, "", ""), formatFloat(v))
+		default:
+			_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, formatLabels(m.labels, "", ""), m.c.Value())
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, name string, m *metric) error {
+	cum, sum, total := m.h.bucketCumulative()
+	for i, bound := range m.h.bounds {
+		le := formatFloat(bound)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			name, formatLabels(m.labels, "le", le), cum[i]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+		name, formatLabels(m.labels, "le", "+Inf"), cum[len(cum)-1]); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n",
+		name, formatLabels(m.labels, "", ""), formatFloat(sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n",
+		name, formatLabels(m.labels, "", ""), total)
+	return err
+}
+
+// formatLabels renders {a="x",b="y"}, appending the extra label (le
+// for histogram buckets) when its name is non-empty. Returns "" when
+// there are no labels at all.
+func formatLabels(labels []Label, extraName, extraValue string) string {
+	if len(labels) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeValue(l.Value))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(escapeValue(extraValue))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeValue escapes a label value per the exposition format:
+// backslash, double-quote and newline.
+func escapeValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// escapeHelp escapes a help string: backslash and newline only.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

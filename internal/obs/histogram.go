@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// DefaultBuckets are the latency bucket upper bounds in seconds: a
+// 1-2.5-5 ladder from 1µs to 10s. Queries on cached snapshots land in
+// the microsecond decades; cold loads, Monte-Carlo runs and journal
+// fsyncs in the millisecond ones. The +Inf bucket is implicit.
+var DefaultBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6,
+	1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2,
+	1e-1, 2.5e-1, 5e-1,
+	1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket latency histogram. Observe is lock-free:
+// one atomic add into the bucket, one into the sum, one into the
+// count. Quantiles (p50/p95/p99) are derived at snapshot time by
+// linear interpolation within the owning bucket — the usual Prometheus
+// histogram_quantile estimate, computed server-side.
+//
+// A nil *Histogram discards observations.
+type Histogram struct {
+	bounds []float64 // upper bounds in seconds, ascending
+	counts []atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+	count  atomic.Int64
+}
+
+// NewHistogram returns a histogram over DefaultBuckets.
+func NewHistogram() *Histogram {
+	return &Histogram{
+		bounds: DefaultBuckets,
+		counts: make([]atomic.Int64, len(DefaultBuckets)+1),
+	}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	s := d.Seconds()
+	// Linear scan: the ladder is short and the common case (µs–ms)
+	// exits within the first dozen compares; a branch-predicted scan
+	// beats binary search at this size.
+	i := 0
+	for i < len(h.bounds) && s > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(int64(d))
+	h.count.Add(1)
+}
+
+// HistogramSnapshot is a point-in-time view of a histogram, with
+// derived quantiles in milliseconds (the unit /stats reports latencies
+// in).
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	AvgMS float64 `json:"avg_ms"`
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+}
+
+// Snapshot returns the current counts and derived quantiles. Counts
+// are read without a lock, so a snapshot concurrent with observations
+// may be off by in-flight increments — fine for monitoring.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	var s HistogramSnapshot
+	s.Count = h.count.Load()
+	if s.Count == 0 {
+		return s
+	}
+	s.AvgMS = float64(h.sum.Load()) / float64(s.Count) / 1e6
+	s.P50MS = h.Quantile(0.50) * 1e3
+	s.P95MS = h.Quantile(0.95) * 1e3
+	s.P99MS = h.Quantile(0.99) * 1e3
+	return s
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) in seconds by linear
+// interpolation within the bucket holding the target rank. Values in
+// the +Inf bucket are reported as the largest finite bound — an
+// underestimate, as with any bounded-bucket histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := int64(0)
+	counts := make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	cum := float64(0)
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			if i == len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			hi := h.bounds[i]
+			frac := (rank - cum) / float64(c)
+			return lo + (hi-lo)*frac
+		}
+		cum = next
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// bucketCumulative returns the cumulative bucket counts (Prometheus
+// `le` semantics: counts[i] = observations ≤ bounds[i], final entry is
+// the total) plus the sum in seconds. Used by the exposition writer.
+func (h *Histogram) bucketCumulative() (cum []int64, sumSeconds float64, total int64) {
+	cum = make([]int64, len(h.counts))
+	running := int64(0)
+	for i := range h.counts {
+		running += h.counts[i].Load()
+		cum[i] = running
+	}
+	return cum, float64(h.sum.Load()) / 1e9, running
+}

@@ -1,0 +1,271 @@
+package obs
+
+import (
+	"context"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("px_test_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("px_test_total", "a counter"); again != c {
+		t.Fatal("re-registration did not return the same handle")
+	}
+	g := r.Gauge("px_test_gauge", "a gauge")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	g.SetMax(3)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("SetMax lowered the gauge to %d", got)
+	}
+	g.SetMax(9)
+	if got := g.Value(); got != 9 {
+		t.Fatalf("SetMax = %d, want 9", got)
+	}
+}
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("px_x_total", "")
+	g := r.Gauge("px_x", "")
+	h := r.Histogram("px_x_seconds", "")
+	r.GaugeFunc("px_x_f", "", func() float64 { return 1 })
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.SetMax(2)
+	h.Observe(time.Millisecond)
+	if c.Value() != 0 || g.Value() != 0 || h.Snapshot().Count != 0 {
+		t.Fatal("nil handles recorded values")
+	}
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram quantile nonzero")
+	}
+	var b strings.Builder
+	if err := WriteText(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("nil registry exposed metrics: %q", b.String())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	// 100 observations at 2ms: every quantile lands in the (1ms, 2.5ms]
+	// bucket, interpolated within it.
+	for i := 0; i < 100; i++ {
+		h.Observe(2 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if math.Abs(s.AvgMS-2.0) > 1e-9 {
+		t.Fatalf("avg = %v ms, want 2", s.AvgMS)
+	}
+	for _, q := range []float64{s.P50MS, s.P95MS, s.P99MS} {
+		if q <= 1.0 || q > 2.5 {
+			t.Fatalf("quantile %v ms outside owning bucket (1, 2.5]", q)
+		}
+	}
+	// A bimodal load: p50 in the low mode, p99 in the high one.
+	h2 := NewHistogram()
+	for i := 0; i < 98; i++ {
+		h2.Observe(10 * time.Microsecond)
+	}
+	for i := 0; i < 2; i++ {
+		h2.Observe(time.Second)
+	}
+	if p50 := h2.Quantile(0.50); p50 > 1e-3 {
+		t.Fatalf("p50 = %v s, want microsecond-scale", p50)
+	}
+	if p99 := h2.Quantile(0.99); p99 < 0.5 {
+		t.Fatalf("p99 = %v s, want second-scale", p99)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(time.Hour) // beyond the last bound
+	cum, _, total := h.bucketCumulative()
+	if total != 1 {
+		t.Fatalf("total = %d", total)
+	}
+	if cum[len(cum)-2] != 0 {
+		t.Fatal("overflow observation counted in a finite bucket")
+	}
+	if q := h.Quantile(0.99); q != DefaultBuckets[len(DefaultBuckets)-1] {
+		t.Fatalf("overflow quantile = %v, want clamped to last bound", q)
+	}
+}
+
+func TestWriteTextFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("px_req_total", "requests", L("route", `GET /docs/{name}`)).Add(3)
+	r.Counter("px_req_total", "requests", L("route", `quote " and \ back`)).Add(1)
+	r.Gauge("px_entries", "entries").Set(4)
+	r.GaugeFunc("px_uptime_seconds", "uptime", func() float64 { return 1.5 })
+	r.Histogram("px_lat_seconds", "latency", L("route", "q")).Observe(3 * time.Millisecond)
+
+	var b strings.Builder
+	if err := WriteText(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP px_req_total requests\n# TYPE px_req_total counter\n",
+		`px_req_total{route="GET /docs/{name}"} 3`,
+		`px_req_total{route="quote \" and \\ back"} 1`,
+		"# TYPE px_entries gauge",
+		"px_entries 4",
+		"px_uptime_seconds 1.5",
+		"# TYPE px_lat_seconds histogram",
+		`px_lat_seconds_bucket{route="q",le="0.005"} 1`,
+		`px_lat_seconds_bucket{route="q",le="+Inf"} 1`,
+		`px_lat_seconds_sum{route="q"} 0.003`,
+		`px_lat_seconds_count{route="q"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	// Bucket counts must be cumulative (monotone in le).
+	if !strings.Contains(out, `px_lat_seconds_bucket{route="q",le="0.01"} 1`) {
+		t.Errorf("cumulative bucket after the owning one should still read 1\n%s", out)
+	}
+}
+
+func TestWriteTextMergesRegistries(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("px_a_total", "ha").Add(1)
+	b.Counter("px_b_total", "hb").Add(2)
+	b.Counter("px_a_total", "ignored help", L("src", "b")).Add(3)
+	var out strings.Builder
+	if err := WriteText(&out, a, b); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if strings.Count(s, "# TYPE px_a_total counter") != 1 {
+		t.Fatalf("family px_a_total not merged:\n%s", s)
+	}
+	for _, want := range []string{"px_a_total 1", `px_a_total{src="b"} 3`, "px_b_total 2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in\n%s", want, s)
+		}
+	}
+}
+
+func TestTraceSpans(t *testing.T) {
+	var ended []string
+	tr, root := NewTrace("GET /x", func(name string, d time.Duration) {
+		ended = append(ended, name)
+		if d < 0 {
+			t.Errorf("span %s negative duration", name)
+		}
+	})
+	ctx := ContextWithSpan(context.Background(), root)
+	ctx2, outer := StartSpan(ctx, "outer")
+	_, inner := StartSpan(ctx2, "inner")
+	inner.End()
+	inner.End() // idempotent
+	outer.End()
+	root.End()
+
+	snap := tr.Snapshot()
+	if snap.Name != "GET /x" {
+		t.Fatalf("root name %q", snap.Name)
+	}
+	o := snap.Find("outer")
+	if o == nil {
+		t.Fatal("outer span missing")
+	}
+	if o.Find("inner") == nil {
+		t.Fatal("inner span not nested under outer")
+	}
+	if len(ended) != 2 || ended[0] != "inner" || ended[1] != "outer" {
+		t.Fatalf("onEnd calls = %v, want [inner outer] (root excluded)", ended)
+	}
+}
+
+func TestStartSpanWithoutTrace(t *testing.T) {
+	ctx := context.Background()
+	ctx2, s := StartSpan(ctx, "anything")
+	if s != nil {
+		t.Fatal("expected nil span on an untraced context")
+	}
+	if ctx2 != ctx {
+		t.Fatal("untraced StartSpan should return the context unchanged")
+	}
+	s.End() // must not panic
+}
+
+func TestTraceRing(t *testing.T) {
+	r := NewTraceRing(3)
+	for i := 1; i <= 5; i++ {
+		r.Add(TraceRecord{Status: i})
+	}
+	got := r.List()
+	if len(got) != 3 {
+		t.Fatalf("len = %d, want 3", len(got))
+	}
+	for i, want := range []int{5, 4, 3} {
+		if got[i].Status != want {
+			t.Fatalf("ring order %v, want newest-first [5 4 3]", got)
+		}
+	}
+}
+
+// TestConcurrentRecording hammers one counter, one histogram and one
+// trace from many goroutines while snapshotting — the -race guarantee
+// the request path relies on.
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("px_c_total", "")
+	h := r.Histogram("px_h_seconds", "")
+	tr, root := NewTrace("root", func(string, time.Duration) {})
+	ctx := ContextWithSpan(context.Background(), root)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.Inc()
+				h.Observe(time.Microsecond)
+				_, s := StartSpan(ctx, "work")
+				s.End()
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = tr.Snapshot()
+			var b strings.Builder
+			_ = WriteText(&b, r)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if c.Value() != 8*500 {
+		t.Fatalf("counter = %d, want %d", c.Value(), 8*500)
+	}
+	if got := h.Snapshot().Count; got != 8*500 {
+		t.Fatalf("histogram count = %d, want %d", got, 8*500)
+	}
+}

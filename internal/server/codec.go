@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"repro/internal/keyword"
+	"repro/internal/obs"
 	"repro/internal/tpwj"
 	"repro/internal/tree"
 	"repro/internal/update"
@@ -47,6 +48,9 @@ type QueryResponse struct {
 	Count   int      `json:"count"`
 	// Cached reports whether the answers came from the result cache.
 	Cached bool `json:"cached"`
+	// Trace is the request's span tree, present only when the request
+	// asked for it with ?trace=1.
+	Trace *obs.SpanSnapshot `json:"trace,omitempty"`
 }
 
 // SearchRequest is the POST /docs/{name}/search body.
@@ -90,6 +94,16 @@ type SearchResponse struct {
 	Pruned     int            `json:"pruned"`
 	// Cached reports whether the answers came from the result cache.
 	Cached bool `json:"cached"`
+	// Trace is the request's span tree, present only when the request
+	// asked for it with ?trace=1.
+	Trace *obs.SpanSnapshot `json:"trace,omitempty"`
+}
+
+// TracesResponse is the GET /debug/traces response body: the most
+// recent request traces, newest first.
+type TracesResponse struct {
+	Traces []obs.TraceRecord `json:"traces"`
+	Count  int               `json:"count"`
 }
 
 // ViewRequest is the PUT /docs/{name}/views/{view} body.

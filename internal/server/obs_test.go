@@ -1,0 +1,476 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// createSampleDoc uploads the running example document as "ex".
+func createSampleDoc(t *testing.T, ts *httptest.Server) {
+	t.Helper()
+	if status, body := do(t, "PUT", ts.URL+"/docs/ex", sampleDocXML(t)); status != http.StatusCreated {
+		t.Fatalf("PUT /docs/ex = %d: %s", status, body)
+	}
+}
+
+// expoSample is one parsed sample line of the exposition text.
+type expoSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+var expoSampleRE = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})? (\S+)$`)
+
+// parseExposition parses Prometheus text format 0.0.4, failing the
+// test on any malformed line, and returns the samples plus the
+// declared TYPE per family.
+func parseExposition(t *testing.T, text string) ([]expoSample, map[string]string) {
+	t.Helper()
+	var samples []expoSample
+	types := make(map[string]string)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			types[fields[2]] = fields[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if !strings.HasPrefix(line, "# HELP ") {
+				t.Fatalf("unexpected comment line %q", line)
+			}
+			continue
+		}
+		m := expoSampleRE.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(m[3], 64)
+		if err != nil && m[3] != "+Inf" {
+			t.Fatalf("sample %q: bad value: %v", line, err)
+		}
+		s := expoSample{name: m[1], labels: make(map[string]string), value: v}
+		if m[2] != "" {
+			for _, pair := range splitLabelPairs(t, m[2]) {
+				eq := strings.Index(pair, "=")
+				if eq < 0 {
+					t.Fatalf("sample %q: bad label %q", line, pair)
+				}
+				val, err := strconv.Unquote(pair[eq+1:])
+				if err != nil {
+					t.Fatalf("sample %q: label value %q not a quoted string: %v", line, pair, err)
+				}
+				s.labels[pair[:eq]] = val
+			}
+		}
+		samples = append(samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return samples, types
+}
+
+// splitLabelPairs splits `a="x",b="y"` on commas outside quotes.
+func splitLabelPairs(t *testing.T, s string) []string {
+	t.Helper()
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}
+
+func findSample(samples []expoSample, name string, labels map[string]string) *expoSample {
+	for i := range samples {
+		if samples[i].name != name {
+			continue
+		}
+		ok := true
+		for k, v := range labels {
+			if samples[i].labels[k] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return &samples[i]
+		}
+	}
+	return nil
+}
+
+// TestMetricsExposition scrapes /metrics after real traffic and checks
+// that the text parses, that every family is typed, that histograms
+// are internally consistent, and that the route counters agree with
+// what /stats reports — both must read the same registry.
+func TestMetricsExposition(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	createSampleDoc(t, ts)
+	if status, resp := query(t, ts, "ex", QueryRequest{Query: "A(B $x)"}); status != 200 || resp.Count == 0 {
+		t.Fatalf("query = %d, %+v", status, resp)
+	}
+	var sresp SearchResponse
+	if status := doJSON(t, "POST", ts.URL+"/docs/ex/search",
+		SearchRequest{Keywords: []string{"x"}}, &sresp); status != 200 {
+		t.Fatalf("search = %d", status)
+	}
+
+	status, body := do(t, "GET", ts.URL+"/metrics", nil)
+	if status != 200 {
+		t.Fatalf("GET /metrics = %d", status)
+	}
+	samples, types := parseExposition(t, string(body))
+	if len(samples) == 0 {
+		t.Fatal("no samples in /metrics output")
+	}
+
+	// Every sample's family is declared with a TYPE (histogram series
+	// reduce to their base family name).
+	for _, s := range samples {
+		base := s.name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if bn := strings.TrimSuffix(base, suffix); bn != base && types[bn] == "histogram" {
+				base = bn
+				break
+			}
+		}
+		if types[base] == "" {
+			t.Errorf("sample %s has no TYPE declaration", s.name)
+		}
+	}
+
+	// The pipeline counters of every layer are present.
+	for _, name := range []string{
+		"px_http_requests_total",
+		"px_http_request_seconds_count",
+		"px_stage_seconds_count",
+		"px_cache_misses_total",
+		"px_engine_compiles_total",
+		"px_journal_appends_total",
+		"px_searches_total",
+		"px_build_info",
+		"px_uptime_seconds",
+	} {
+		if findSample(samples, name, nil) == nil {
+			t.Errorf("/metrics is missing %s", name)
+		}
+	}
+	for _, stage := range []string{"warehouse.query", "tpwj.match", "event.compile", "event.prob", "keyword.search"} {
+		if findSample(samples, "px_stage_seconds_count", map[string]string{"stage": stage}) == nil {
+			t.Errorf("/metrics has no px_stage_seconds series for stage %q", stage)
+		}
+	}
+
+	// Histogram consistency: cumulative buckets are non-decreasing and
+	// the +Inf bucket equals the series count.
+	counts := make(map[string]float64)
+	for _, s := range samples {
+		if strings.HasSuffix(s.name, "_count") {
+			counts[strings.TrimSuffix(s.name, "_count")+labelSig(s.labels)] = s.value
+		}
+	}
+	last := make(map[string]float64)
+	for _, s := range samples {
+		if !strings.HasSuffix(s.name, "_bucket") {
+			continue
+		}
+		base := strings.TrimSuffix(s.name, "_bucket")
+		sig := base + labelSigExcept(s.labels, "le")
+		if s.value < last[sig] {
+			t.Errorf("histogram %s: bucket le=%s decreases (%g < %g)", sig, s.labels["le"], s.value, last[sig])
+		}
+		last[sig] = s.value
+		if s.labels["le"] == "+Inf" && s.value != counts[sig] {
+			t.Errorf("histogram %s: +Inf bucket %g != count %g", sig, s.value, counts[sig])
+		}
+	}
+
+	// /metrics and /stats read the same registry: the query route's
+	// request counter must match exactly.
+	snap := serverStats(t, ts)
+	route := "POST /docs/{name}/query"
+	s := findSample(samples, "px_http_requests_total", map[string]string{"route": route})
+	if s == nil {
+		t.Fatalf("no px_http_requests_total sample for route %q", route)
+	}
+	// The /stats scrape itself may have raced ahead of the /metrics
+	// one, but the query route was quiet in between.
+	if got := snap.Requests[route].Count; float64(got) != s.value {
+		t.Errorf("route %q: /metrics says %g requests, /stats says %d", route, s.value, got)
+	}
+}
+
+func labelSig(labels map[string]string) string { return labelSigExcept(labels, "") }
+
+func labelSigExcept(labels map[string]string, skip string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != skip {
+			keys = append(keys, k)
+		}
+	}
+	// Deterministic order without importing sort for two keys.
+	for i := range keys {
+		for j := i + 1; j < len(keys); j++ {
+			if keys[j] < keys[i] {
+				keys[i], keys[j] = keys[j], keys[i]
+			}
+		}
+	}
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "|%s=%s", k, labels[k])
+	}
+	return b.String()
+}
+
+// TestQueryTraceEcho pins the ?trace=1 span tree: the response must
+// carry the full request trace with the pipeline stages nested under
+// the route root in the documented order.
+func TestQueryTraceEcho(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	createSampleDoc(t, ts)
+
+	var resp QueryResponse
+	status := doJSON(t, "POST", ts.URL+"/docs/ex/query?trace=1",
+		QueryRequest{Query: "A(B $x)"}, &resp)
+	if status != 200 {
+		t.Fatalf("query = %d", status)
+	}
+	if resp.Trace == nil {
+		t.Fatal("?trace=1 response has no trace")
+	}
+	root := resp.Trace
+	if root.Name != "POST /docs/{name}/query" {
+		t.Fatalf("trace root = %q, want the route pattern", root.Name)
+	}
+	wq := root.Find("warehouse.query")
+	if wq == nil {
+		t.Fatalf("trace has no warehouse.query span: %+v", root)
+	}
+	// The pipeline stages are children of the warehouse.query span —
+	// presence anywhere is not enough, the nesting must hold.
+	for _, stage := range []string{"warehouse.snapshot", "tpwj.match", "event.compile", "event.prob"} {
+		if wq.Find(stage) == nil {
+			t.Errorf("warehouse.query span has no nested %q span", stage)
+		}
+	}
+	if root.DurUS < wq.DurUS {
+		t.Errorf("root span (%v µs) shorter than its child warehouse.query (%v µs)", root.DurUS, wq.DurUS)
+	}
+
+	// Without ?trace=1 the response must not carry a trace.
+	if _, resp := query(t, ts, "ex", QueryRequest{Query: "A(B $x)"}); resp.Trace != nil {
+		t.Error("response without ?trace=1 carries a trace")
+	}
+}
+
+// TestSearchTraceEcho checks the search pipeline's spans.
+func TestSearchTraceEcho(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	createSampleDoc(t, ts)
+
+	var resp SearchResponse
+	status := doJSON(t, "POST", ts.URL+"/docs/ex/search?trace=1",
+		SearchRequest{Keywords: []string{"x"}}, &resp)
+	if status != 200 {
+		t.Fatalf("search = %d", status)
+	}
+	if resp.Trace == nil {
+		t.Fatal("?trace=1 search response has no trace")
+	}
+	for _, stage := range []string{"warehouse.snapshot", "keyword.index", "keyword.search"} {
+		if resp.Trace.Find(stage) == nil {
+			t.Errorf("search trace has no %q span", stage)
+		}
+	}
+}
+
+// TestDebugTraces exercises the trace ring: after traffic it holds the
+// most recent requests, newest first, with their span trees.
+func TestDebugTraces(t *testing.T) {
+	ts, _ := newTestServer(t, Options{TraceRingSize: 4})
+	createSampleDoc(t, ts)
+	for i := 0; i < 6; i++ {
+		query(t, ts, "ex", QueryRequest{Query: "A(B $x)"})
+	}
+
+	var resp TracesResponse
+	if status := doJSON(t, "GET", ts.URL+"/debug/traces", nil, &resp); status != 200 {
+		t.Fatalf("GET /debug/traces = %d", status)
+	}
+	if resp.Count != 4 || len(resp.Traces) != 4 {
+		t.Fatalf("ring of 4 after 7 requests holds %d traces", len(resp.Traces))
+	}
+	if got := resp.Traces[0].Route; got != "POST /docs/{name}/query" {
+		t.Errorf("newest trace route = %q", got)
+	}
+	for i, tr := range resp.Traces {
+		if tr.Status != 200 || tr.Spans.Name == "" {
+			t.Errorf("trace %d incomplete: %+v", i, tr)
+		}
+		if i > 0 && tr.Time.After(resp.Traces[i-1].Time) {
+			t.Errorf("traces not newest-first at %d", i)
+		}
+	}
+
+	// A disabled ring serves an empty list, not an error.
+	ts2, _ := newTestServer(t, Options{TraceRingSize: -1})
+	if status := doJSON(t, "GET", ts2.URL+"/debug/traces", nil, &resp); status != 200 || resp.Count != 0 {
+		t.Fatalf("disabled ring: status %d, count %d", status, resp.Count)
+	}
+}
+
+// TestSlowQueryLog drives a request over a zero-ish threshold and
+// checks the structured record lands in the configured logger.
+func TestSlowQueryLog(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	logger := slog.New(slog.NewJSONHandler(lockedWriter{&mu, &buf}, nil))
+	ts, _ := newTestServer(t, Options{
+		SlowQueryThreshold: time.Nanosecond,
+		SlowQueryLog:       logger,
+	})
+	createSampleDoc(t, ts)
+	query(t, ts, "ex", QueryRequest{Query: "A(B $x)"})
+
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	if !strings.Contains(out, "slow query") {
+		t.Fatalf("no slow-query record in log: %q", out)
+	}
+	if !strings.Contains(out, "POST /docs/{name}/query") {
+		t.Errorf("slow-query record does not name the route: %q", out)
+	}
+	if !strings.Contains(out, "warehouse.query") {
+		t.Errorf("slow-query record has no span breakdown: %q", out)
+	}
+}
+
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  *bytes.Buffer
+}
+
+func (l lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}
+
+// TestStatsUptimeVersion covers the new /stats fields.
+func TestStatsUptimeVersion(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	snap := serverStats(t, ts)
+	if snap.Version != Version {
+		t.Errorf("stats version = %q, want %q", snap.Version, Version)
+	}
+	if snap.UptimeSeconds <= 0 {
+		t.Errorf("uptime_seconds = %v, want > 0", snap.UptimeSeconds)
+	}
+}
+
+// TestObsConcurrency hammers queries, searches and updates while
+// other goroutines scrape /metrics, /stats and /debug/traces. Run
+// under -race it proves the mutex-free recording and the scrape paths
+// are safe against each other.
+func TestObsConcurrency(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	createSampleDoc(t, ts)
+
+	const workers, iters = 4, 15
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch (g + i) % 4 {
+				case 0:
+					if status, _ := query(t, ts, "ex", QueryRequest{Query: "A(B $x)"}); status != 200 {
+						t.Errorf("query = %d", status)
+					}
+				case 1:
+					var resp SearchResponse
+					if status := doJSON(t, "POST", ts.URL+"/docs/ex/search",
+						SearchRequest{Keywords: []string{"x"}}, &resp); status != 200 {
+						t.Errorf("search = %d", status)
+					}
+				case 2:
+					var ur UpdateResponse
+					status := doJSON(t, "POST", ts.URL+"/docs/ex/update", UpdateRequest{
+						Query:      "A $a",
+						Confidence: 0.5,
+						Ops:        []UpdateOp{{Op: "insert", Var: "$a", Tree: fmt.Sprintf("N%d_%d", g, i)}},
+					}, &ur)
+					if status != 200 {
+						t.Errorf("update = %d", status)
+					}
+				case 3:
+					if status, _ := do(t, "GET", ts.URL+"/docs/ex", nil); status != 200 {
+						t.Errorf("GET doc = %d", status)
+					}
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			paths := []string{"/metrics", "/stats", "/debug/traces"}
+			for i := 0; i < iters; i++ {
+				if status, _ := do(t, "GET", ts.URL+paths[(g+i)%len(paths)], nil); status != 200 {
+					t.Errorf("scrape %s = %d", paths[(g+i)%len(paths)], status)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// After the dust settles the registry is coherent: requests were
+	// counted and the exposition still parses.
+	status, body := do(t, "GET", ts.URL+"/metrics", nil)
+	if status != 200 {
+		t.Fatalf("final /metrics = %d", status)
+	}
+	samples, _ := parseExposition(t, string(body))
+	s := findSample(samples, "px_http_requests_total", map[string]string{"route": "POST /docs/{name}/query"})
+	if s == nil || s.value == 0 {
+		t.Fatalf("query route recorded no requests: %+v", s)
+	}
+}

@@ -19,6 +19,8 @@
 //	DELETE /docs/{name}/views/{view}      drop a view
 //	POST   /admin/compact         truncate the journal
 //	GET    /stats                 request, cache, engine, journal, search and view counters
+//	GET    /metrics               Prometheus text exposition of the same counters
+//	GET    /debug/traces          ring buffer of recent request traces
 //	GET    /healthz               liveness probe
 //
 // Query and search results are served from an LRU cache keyed by
@@ -29,18 +31,29 @@
 // set with "stale": true instead.
 // Errors are reported as {"error": "..."} with conventional status
 // codes (400 bad input, 404 missing document, 409 name conflict).
+//
+// Every request runs under an obs trace: the middleware opens a span
+// tree, the pipeline below (warehouse snapshot fetch, symbolic match,
+// DNF compile, probability evaluation, keyword search, journal writes,
+// view maintenance) records timed spans into it, and the finished tree
+// lands in the /debug/traces ring. Appending ?trace=1 to a query or
+// search request echoes the tree in the response; requests slower than
+// Options.SlowQueryThreshold are logged with their span breakdown. See
+// docs/OBSERVABILITY.md.
 package server
 
 import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"strings"
 	"time"
 
 	"repro/internal/keyword"
+	"repro/internal/obs"
 	"repro/internal/tpwj"
 	"repro/internal/warehouse"
 	"repro/internal/xmlio"
@@ -60,6 +73,10 @@ const DefaultMaxBodyBytes = 64 << 20
 // with an absurd samples value.
 const MaxSamples = 1_000_000
 
+// DefaultTraceRingSize is the number of recent request traces retained
+// for GET /debug/traces when Options.TraceRingSize is zero.
+const DefaultTraceRingSize = 64
+
 // Options configures a Server.
 type Options struct {
 	// CacheSize is the query-result cache capacity in entries. Zero
@@ -70,6 +87,16 @@ type Options struct {
 	MaxBodyBytes int64
 	// Logf, when set, receives one line per request.
 	Logf func(format string, args ...any)
+	// SlowQueryThreshold, when positive, makes the server log every
+	// request that takes at least this long, with its span breakdown.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog receives the slow-request records; nil selects
+	// slog.Default().
+	SlowQueryLog *slog.Logger
+	// TraceRingSize is the number of recent request traces retained
+	// for GET /debug/traces. Zero selects DefaultTraceRingSize; a
+	// negative value disables the ring.
+	TraceRingSize int
 }
 
 // Server is an http.Handler serving a warehouse. Create one with New.
@@ -77,9 +104,14 @@ type Server struct {
 	wh      *warehouse.Warehouse
 	cache   *lruCache
 	stats   *stats
+	reg     *obs.Registry
+	traces  *obs.TraceRing
 	mux     *http.ServeMux
 	maxBody int64
 	logf    func(format string, args ...any)
+
+	slowThreshold time.Duration
+	slowLog       *slog.Logger
 }
 
 // New builds a Server over an open warehouse. The caller remains
@@ -93,14 +125,39 @@ func New(wh *warehouse.Warehouse, opts Options) *Server {
 	if maxBody == 0 {
 		maxBody = DefaultMaxBodyBytes
 	}
+	ringSize := opts.TraceRingSize
+	if ringSize == 0 {
+		ringSize = DefaultTraceRingSize
+	}
+	slowLog := opts.SlowQueryLog
+	if slowLog == nil {
+		slowLog = slog.Default()
+	}
+	reg := obs.NewRegistry()
 	s := &Server{
 		wh:      wh,
 		cache:   newLRU(size),
-		stats:   newStats(),
+		stats:   newStats(reg),
+		reg:     reg,
 		mux:     http.NewServeMux(),
 		maxBody: maxBody,
 		logf:    opts.Logf,
+
+		slowThreshold: opts.SlowQueryThreshold,
+		slowLog:       slowLog,
 	}
+	if ringSize > 0 {
+		s.traces = obs.NewTraceRing(ringSize)
+	}
+	reg.GaugeFunc("px_build_info",
+		"always 1, labeled with the build version (see -ldflags in docs/OBSERVABILITY.md)",
+		func() float64 { return 1 }, obs.L("version", Version))
+	reg.GaugeFunc("px_uptime_seconds",
+		"seconds since the server was constructed",
+		func() float64 { return time.Since(s.stats.start).Seconds() })
+	reg.GaugeFunc("px_cache_entries",
+		"entries currently in the query/search result cache",
+		func() float64 { return float64(s.cache.len()) })
 	s.route("GET /docs", s.handleList)
 	s.route("PUT /docs/{name}", s.handleCreate)
 	s.route("GET /docs/{name}", s.handleGet)
@@ -116,6 +173,8 @@ func New(wh *warehouse.Warehouse, opts Options) *Server {
 	s.route("DELETE /docs/{name}/views/{view}", s.handleViewDrop)
 	s.route("POST /admin/compact", s.handleCompact)
 	s.route("GET /stats", s.handleStats)
+	s.route("GET /metrics", s.handleMetrics)
+	s.route("GET /debug/traces", s.handleTraces)
 	s.route("GET /healthz", s.handleHealthz)
 	return s
 }
@@ -126,15 +185,48 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// route registers a handler wrapped with stats recording and logging,
-// labeled by the route pattern.
+// route registers a handler wrapped with the observability middleware,
+// labeled by the route pattern: each request runs under a fresh trace
+// whose root span carries the pattern, finished stage spans feed the
+// px_stage_seconds histograms, the completed tree lands in the
+// /debug/traces ring, and requests over the slow-query threshold are
+// logged with their span breakdown. Metric handles are resolved here,
+// once, so the per-request recording is lock-free.
 func (s *Server) route(pattern string, h http.HandlerFunc) {
+	s.stats.register(pattern)
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		trace, root := obs.NewTrace(pattern, s.stats.observeStage)
+		r = r.WithContext(obs.ContextWithSpan(r.Context(), root))
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		h(rec, r)
+		root.End()
 		d := time.Since(start)
 		s.stats.record(pattern, rec.status, d)
+		slow := s.slowThreshold > 0 && d >= s.slowThreshold
+		if s.traces != nil || slow {
+			spans := trace.Snapshot()
+			if s.traces != nil {
+				s.traces.Add(obs.TraceRecord{
+					Time:     start,
+					Route:    pattern,
+					Path:     r.URL.Path,
+					Status:   rec.status,
+					DurMS:    float64(d) / float64(time.Millisecond),
+					Spans:    spans,
+					SlowOver: slow,
+				})
+			}
+			if slow {
+				s.slowLog.LogAttrs(r.Context(), slog.LevelWarn, "slow query",
+					slog.String("route", pattern),
+					slog.String("path", r.URL.Path),
+					slog.Int("status", rec.status),
+					slog.Duration("duration", d),
+					slog.Any("spans", spans),
+				)
+			}
+		}
 		if s.logf != nil {
 			s.logf("%s %s -> %d (%s)", r.Method, r.URL.Path, rec.status, d)
 		}
@@ -212,7 +304,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := s.wh.Create(name, doc); err != nil {
+	if err := s.wh.CreateCtx(r.Context(), name, doc); err != nil {
 		writeError(w, errStatus(err), err)
 		return
 	}
@@ -225,7 +317,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
-	data, err := s.wh.GetXML(r.PathValue("name"))
+	data, err := s.wh.GetXMLCtx(r.Context(), r.PathValue("name"))
 	if err != nil {
 		writeError(w, errStatus(err), err)
 		return
@@ -325,18 +417,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if cached, ok := s.cache.get(key); ok {
 		answers := cached.([]Answer)
 		s.stats.hit()
-		writeJSON(w, http.StatusOK, QueryResponse{
-			Answers: answers, Count: len(answers), Cached: true,
-		})
+		resp := QueryResponse{Answers: answers, Count: len(answers), Cached: true}
+		attachTrace(r, &resp.Trace)
+		writeJSON(w, http.StatusOK, resp)
 		return
 	}
 	s.stats.miss()
 
 	var raw []tpwj.ProbAnswer
 	if mode == "exact" {
-		raw, err = s.wh.Query(name, q)
+		raw, err = s.wh.QueryCtx(r.Context(), name, q)
 	} else {
-		raw, err = s.wh.QueryMC(name, q, samples, rand.New(rand.NewSource(seed)))
+		raw, err = s.wh.QueryMCCtx(r.Context(), name, q, samples, rand.New(rand.NewSource(seed)))
 	}
 	if err != nil {
 		writeError(w, errStatus(err), err)
@@ -344,9 +436,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	answers := encodeAnswers(raw)
 	s.cache.put(key, answers, gen)
-	writeJSON(w, http.StatusOK, QueryResponse{
-		Answers: answers, Count: len(answers), Cached: false,
-	})
+	resp := QueryResponse{Answers: answers, Count: len(answers), Cached: false}
+	attachTrace(r, &resp.Trace)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// attachTrace fills *dst with the request's span tree when the client
+// asked for it with ?trace=1. Called just before the response is
+// written, so the tree covers all the work the handler did (the root
+// span itself is still open and reports its duration so far).
+func attachTrace(r *http.Request, dst **obs.SpanSnapshot) {
+	if r.URL.Query().Get("trace") != "1" {
+		return
+	}
+	if sp := obs.SpanFromContext(r.Context()); sp != nil {
+		snap := sp.TraceSnapshot()
+		*dst = &snap
+	}
 }
 
 // handleSearch evaluates a probabilistic keyword search. Results are
@@ -424,12 +530,13 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		s.stats.searchHit()
 		resp := cached.(SearchResponse)
 		resp.Cached = true
+		attachTrace(r, &resp.Trace)
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
 	s.stats.searchMiss()
 
-	res, err := s.wh.Search(name, kreq)
+	res, err := s.wh.SearchCtx(r.Context(), name, kreq)
 	if err != nil {
 		writeError(w, errStatus(err), err)
 		return
@@ -441,6 +548,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		Pruned:     res.Pruned,
 	}
 	s.cache.put(key, resp, gen)
+	attachTrace(r, &resp.Trace)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -462,7 +570,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	stats, err := s.wh.Update(name, tx)
+	stats, err := s.wh.UpdateCtx(r.Context(), name, tx)
 	if err != nil {
 		writeError(w, errStatus(err), err)
 		return
@@ -479,7 +587,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSimplify(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	stats, err := s.wh.Simplify(name)
+	stats, err := s.wh.SimplifyCtx(r.Context(), name)
 	if err != nil {
 		writeError(w, errStatus(err), err)
 		return
@@ -513,7 +621,7 @@ func (s *Server) handleViewRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, bodyStatus(err), err)
 		return
 	}
-	res, err := s.wh.RegisterView(doc, name, req.Query, req.Syntax)
+	res, err := s.wh.RegisterViewCtx(r.Context(), doc, name, req.Query, req.Syntax)
 	if err != nil {
 		writeError(w, errStatus(err), err)
 		return
@@ -567,11 +675,36 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+// Snapshot returns the GET /stats payload: every counter the server,
+// warehouse and engine registries hold, in JSON form. pxserve logs it
+// as the final summary on graceful shutdown.
+func (s *Server) Snapshot() StatsSnapshot {
 	capacity := s.cache.cap
 	if capacity < 0 {
 		capacity = 0
 	}
-	writeJSON(w, http.StatusOK, s.stats.snapshot(s.cache.len(), capacity, s.wh.JournalStats(), s.wh.SearchStats(), s.wh.ViewStats()))
+	return s.stats.snapshot(s.cache.len(), capacity, s.wh.JournalStats(), s.wh.SearchStats(), s.wh.ViewStats())
+}
+
+// handleMetrics serves the Prometheus text exposition, merging the
+// server's registry (routes, caches, stages), the warehouse's (journal,
+// recovery, search, views) and the process-global one (probability and
+// keyword engines) — the same handles /stats reads.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.WriteText(w, s.reg, s.wh.Registry(), obs.Default()) //nolint:errcheck
+}
+
+// handleTraces serves the retained request traces, newest first.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	list := []obs.TraceRecord{}
+	if s.traces != nil {
+		list = s.traces.List()
+	}
+	writeJSON(w, http.StatusOK, TracesResponse{Traces: list, Count: len(list)})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

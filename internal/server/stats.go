@@ -5,78 +5,127 @@ import (
 	"time"
 
 	"repro/internal/event"
+	"repro/internal/obs"
 	"repro/internal/warehouse"
 )
 
-// stats accumulates per-route request counters and cache counters.
+// Version identifies the build serving /stats and /metrics. "dev" by
+// default; release builds override it with
+//
+//	go build -ldflags "-X repro/internal/server.Version=$(git rev-parse --short HEAD)"
+var Version = "dev"
+
+// stats records per-request metrics into the server's obs registry.
+//
+// The recording hot path is mutex-free: every route's handles (request
+// counter, error counter, latency histogram, max-latency gauge) are
+// created up front when the route is registered, so record is four
+// atomic operations on pre-resolved pointers. This replaces the
+// previous design, where every request took one global sync.Mutex to
+// bump counters in a map — under concurrent load all requests
+// serialized on that lock at the exact moment they were trying to
+// finish.
 type stats struct {
-	mu           sync.Mutex
-	routes       map[string]*routeStats
-	hits         int64
-	misses       int64
-	searchHits   int64
-	searchMisses int64
+	reg   *obs.Registry
+	start time.Time
+
+	// routes is written only during construction (stats.register runs
+	// from Server.route before the mux serves anything) and read-only
+	// afterwards, so record reads it without a lock.
+	routes map[string]*routeMetrics
+
+	hits, misses             *obs.Counter // query-result cache
+	searchHits, searchMisses *obs.Counter // search-result cache
+
+	// stages maps span names to their px_stage_seconds histogram,
+	// populated lazily by the trace onEnd hook (stage names are only
+	// known when a span first finishes). sync.Map fits the workload:
+	// each key is written once and read forever after.
+	stages sync.Map // string -> *obs.Histogram
 }
 
-type routeStats struct {
-	count  int64
-	errors int64 // responses with status >= 400
-	total  time.Duration
-	max    time.Duration
+// routeMetrics are one route's pre-registered handles. max is kept out
+// of the registry: a maximum in nanoseconds is not a meaningful
+// Prometheus series (the histogram covers tail latency there), but
+// /stats has always reported it.
+type routeMetrics struct {
+	count  *obs.Counter
+	errors *obs.Counter
+	lat    *obs.Histogram
+	max    obs.Gauge // nanoseconds, updated via SetMax
 }
 
-func newStats() *stats {
-	return &stats{routes: make(map[string]*routeStats)}
+func newStats(reg *obs.Registry) *stats {
+	return &stats{
+		reg:    reg,
+		start:  time.Now(),
+		routes: make(map[string]*routeMetrics),
+		hits: reg.Counter("px_cache_hits_total",
+			"result-cache hits by cache (query or search)", obs.L("cache", "query")),
+		misses: reg.Counter("px_cache_misses_total",
+			"result-cache misses by cache (query or search)", obs.L("cache", "query")),
+		searchHits: reg.Counter("px_cache_hits_total",
+			"result-cache hits by cache (query or search)", obs.L("cache", "search")),
+		searchMisses: reg.Counter("px_cache_misses_total",
+			"result-cache misses by cache (query or search)", obs.L("cache", "search")),
+	}
 }
 
+// register creates the metric handles for a route. Called once per
+// route from Server.route, before the server is shared.
+func (s *stats) register(route string) {
+	s.routes[route] = &routeMetrics{
+		count: s.reg.Counter("px_http_requests_total",
+			"HTTP requests by route", obs.L("route", route)),
+		errors: s.reg.Counter("px_http_request_errors_total",
+			"HTTP responses with status >= 400 by route", obs.L("route", route)),
+		lat: s.reg.Histogram("px_http_request_seconds",
+			"HTTP request latency by route", obs.L("route", route)),
+	}
+}
+
+// record is the per-request hot path: lock-free, allocation-free.
 func (s *stats) record(route string, status int, d time.Duration) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	rs, ok := s.routes[route]
-	if !ok {
-		rs = &routeStats{}
-		s.routes[route] = rs
+	rm := s.routes[route]
+	if rm == nil {
+		return
 	}
-	rs.count++
+	rm.count.Inc()
 	if status >= 400 {
-		rs.errors++
+		rm.errors.Inc()
 	}
-	rs.total += d
-	if d > rs.max {
-		rs.max = d
+	rm.lat.Observe(d)
+	rm.max.SetMax(int64(d))
+}
+
+func (s *stats) hit()        { s.hits.Inc() }
+func (s *stats) miss()       { s.misses.Inc() }
+func (s *stats) searchHit()  { s.searchHits.Inc() }
+func (s *stats) searchMiss() { s.searchMisses.Inc() }
+
+// observeStage feeds one finished span into the per-stage histogram
+// family — the Trace onEnd hook. Registry handles are stable per
+// (name, labels), so a racing first observation of a stage costs one
+// redundant lookup, never a duplicate series.
+func (s *stats) observeStage(name string, d time.Duration) {
+	h, ok := s.stages.Load(name)
+	if !ok {
+		h, _ = s.stages.LoadOrStore(name, s.reg.Histogram("px_stage_seconds",
+			"pipeline stage latency by span name", obs.L("stage", name)))
 	}
+	h.(*obs.Histogram).Observe(d)
 }
 
-func (s *stats) hit() {
-	s.mu.Lock()
-	s.hits++
-	s.mu.Unlock()
-}
-
-func (s *stats) miss() {
-	s.mu.Lock()
-	s.misses++
-	s.mu.Unlock()
-}
-
-func (s *stats) searchHit() {
-	s.mu.Lock()
-	s.searchHits++
-	s.mu.Unlock()
-}
-
-func (s *stats) searchMiss() {
-	s.mu.Lock()
-	s.searchMisses++
-	s.mu.Unlock()
-}
-
-// RouteSnapshot reports the request counters of one route.
+// RouteSnapshot reports the request counters of one route, with
+// latency quantiles derived from its histogram.
 type RouteSnapshot struct {
 	Count  int64   `json:"count"`
 	Errors int64   `json:"errors"`
 	AvgMS  float64 `json:"avg_ms"`
 	MaxMS  float64 `json:"max_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
 }
 
 // CacheSnapshot reports the query-result cache counters.
@@ -104,13 +153,21 @@ type SearchSnapshot struct {
 // the whole process; Journal reports the warehouse's write-ahead
 // journal counters (durable appends, group-commit fsync batches, and
 // the recovery outcomes of the last Open); Search reports the keyword
-// search subsystem (see SearchSnapshot).
+// search subsystem (see SearchSnapshot). Every number is read from the
+// same obs registries that GET /metrics exposes.
 type StatsSnapshot struct {
-	Requests map[string]RouteSnapshot `json:"requests"`
-	Cache    CacheSnapshot            `json:"cache"`
-	Engine   event.EngineCounters     `json:"engine"`
-	Journal  warehouse.JournalStats   `json:"journal"`
-	Search   SearchSnapshot           `json:"search"`
+	// Version is the build identifier (see Version).
+	Version string `json:"version"`
+	// UptimeSeconds is the time since the server was constructed.
+	UptimeSeconds float64                  `json:"uptime_seconds"`
+	Requests      map[string]RouteSnapshot `json:"requests"`
+	// Stages reports per-stage latency distributions (span names like
+	// "warehouse.query" or "event.prob"), fed by request traces.
+	Stages  map[string]obs.HistogramSnapshot `json:"stages,omitempty"`
+	Cache   CacheSnapshot                    `json:"cache"`
+	Engine  event.EngineCounters             `json:"engine"`
+	Journal warehouse.JournalStats           `json:"journal"`
+	Search  SearchSnapshot                   `json:"search"`
 	// Views reports the materialized-view subsystem: registered views
 	// and the maintenance-tier counters (skipped / incremental / full
 	// recomputes, reused vs recomputed answer probabilities, stale
@@ -119,13 +176,13 @@ type StatsSnapshot struct {
 }
 
 func (s *stats) snapshot(entries, capacity int, journal warehouse.JournalStats, search warehouse.SearchStats, views warehouse.ViewStats) StatsSnapshot {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	out := StatsSnapshot{
-		Requests: make(map[string]RouteSnapshot, len(s.routes)),
+		Version:       Version,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Requests:      make(map[string]RouteSnapshot, len(s.routes)),
 		Cache: CacheSnapshot{
-			Hits:     s.hits,
-			Misses:   s.misses,
+			Hits:     s.hits.Value(),
+			Misses:   s.misses.Value(),
 			Entries:  entries,
 			Capacity: capacity,
 		},
@@ -133,24 +190,36 @@ func (s *stats) snapshot(entries, capacity int, journal warehouse.JournalStats, 
 		Journal: journal,
 		Search: SearchSnapshot{
 			SearchStats: search,
-			CacheHits:   s.searchHits,
-			CacheMisses: s.searchMisses,
+			CacheHits:   s.searchHits.Value(),
+			CacheMisses: s.searchMisses.Value(),
 		},
 		Views: views,
 	}
-	if total := s.hits + s.misses; total > 0 {
-		out.Cache.HitRate = float64(s.hits) / float64(total)
+	if total := out.Cache.Hits + out.Cache.Misses; total > 0 {
+		out.Cache.HitRate = float64(out.Cache.Hits) / float64(total)
 	}
-	for route, rs := range s.routes {
-		snap := RouteSnapshot{
-			Count:  rs.count,
-			Errors: rs.errors,
-			MaxMS:  float64(rs.max) / float64(time.Millisecond),
+	for route, rm := range s.routes {
+		count := rm.count.Value()
+		if count == 0 {
+			continue // keep /stats to routes that have actually served
 		}
-		if rs.count > 0 {
-			snap.AvgMS = float64(rs.total) / float64(rs.count) / float64(time.Millisecond)
+		hs := rm.lat.Snapshot()
+		out.Requests[route] = RouteSnapshot{
+			Count:  count,
+			Errors: rm.errors.Value(),
+			AvgMS:  hs.AvgMS,
+			MaxMS:  float64(rm.max.Value()) / float64(time.Millisecond),
+			P50MS:  hs.P50MS,
+			P95MS:  hs.P95MS,
+			P99MS:  hs.P99MS,
 		}
-		out.Requests[route] = snap
 	}
+	s.stages.Range(func(k, v any) bool {
+		if out.Stages == nil {
+			out.Stages = make(map[string]obs.HistogramSnapshot)
+		}
+		out.Stages[k.(string)] = v.(*obs.Histogram).Snapshot()
+		return true
+	})
 	return out
 }

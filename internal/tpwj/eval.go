@@ -1,12 +1,14 @@
 package tpwj
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 
 	"repro/internal/event"
 	"repro/internal/fuzzy"
+	"repro/internal/obs"
 	"repro/internal/tree"
 	"repro/internal/worlds"
 )
@@ -90,10 +92,20 @@ type ProbAnswer struct {
 // By the commutation theorem, EvalFuzzy(q, ft) agrees with
 // EvalWorlds(q, ft.Expand()) — tested property, experiment E3.
 func EvalFuzzy(q *Query, ft *fuzzy.Tree) ([]ProbAnswer, error) {
-	answers, err := evalFuzzySymbolic(q, ft)
+	return EvalFuzzyContext(context.Background(), q, ft)
+}
+
+// EvalFuzzyContext is EvalFuzzy with a context: when the context
+// carries an obs trace, the symbolic match, DNF compilation and
+// probability evaluation stages record spans into it. On a plain
+// context it is EvalFuzzy (the span calls are no-ops).
+func EvalFuzzyContext(ctx context.Context, q *Query, ft *fuzzy.Tree) ([]ProbAnswer, error) {
+	answers, err := evalFuzzySymbolic(ctx, q, ft)
 	if err != nil {
 		return nil, err
 	}
+	_, span := obs.StartSpan(ctx, "event.prob")
+	defer span.End()
 	// Answers whose condition holds in no world (probability exactly 0,
 	// possible with negation or degenerate event probabilities) are not
 	// answers: the possible-worlds semantics never produces them.
@@ -130,10 +142,20 @@ func EvalFuzzy(q *Query, ft *fuzzy.Tree) ([]ProbAnswer, error) {
 // events. It is the scalable fallback when condition DNFs grow large
 // (experiment E9).
 func EvalFuzzyMonteCarlo(q *Query, ft *fuzzy.Tree, samples int, r *rand.Rand) ([]ProbAnswer, error) {
-	answers, err := evalFuzzySymbolic(q, ft)
+	return EvalFuzzyMonteCarloContext(context.Background(), q, ft, samples, r)
+}
+
+// EvalFuzzyMonteCarloContext is EvalFuzzyMonteCarlo with a context,
+// traced like EvalFuzzyContext (the probability stage records its span
+// under the same "event.prob" name: it is the same pipeline position,
+// estimated instead of computed exactly).
+func EvalFuzzyMonteCarloContext(ctx context.Context, q *Query, ft *fuzzy.Tree, samples int, r *rand.Rand) ([]ProbAnswer, error) {
+	answers, err := evalFuzzySymbolic(ctx, q, ft)
 	if err != nil {
 		return nil, err
 	}
+	_, span := obs.StartSpan(ctx, "event.prob")
+	defer span.End()
 	out := answers[:0]
 	for i := range answers {
 		var p float64
@@ -172,19 +194,24 @@ func EvalFuzzyMonteCarlo(q *Query, ft *fuzzy.Tree, samples int, r *rand.Rand) ([
 // Answers are returned in deterministic order (ascending canonical
 // form).
 func EvalFuzzySymbolic(q *Query, ft *fuzzy.Tree) ([]ProbAnswer, error) {
-	return evalFuzzySymbolic(q, ft)
+	return evalFuzzySymbolic(context.Background(), q, ft)
 }
 
 // evalFuzzySymbolic computes answers and their conditions (DNF for
 // positive queries, general formulas when the pattern uses negation)
-// without probabilities.
-func evalFuzzySymbolic(q *Query, ft *fuzzy.Tree) ([]ProbAnswer, error) {
+// without probabilities. The match enumeration records a "tpwj.match"
+// span and the condition-DNF normalization an "event.compile" span
+// when ctx carries an obs trace.
+func evalFuzzySymbolic(ctx context.Context, q *Query, ft *fuzzy.Tree) ([]ProbAnswer, error) {
 	if err := ft.Validate(); err != nil {
 		return nil, err
 	}
 	if q.HasNegation() {
+		_, span := obs.StartSpan(ctx, "tpwj.match")
+		defer span.End()
 		return evalFuzzyNegSymbolic(q, ft)
 	}
+	_, mspan := obs.StartSpan(ctx, "tpwj.match")
 	doc, toFuzzy := underlyingWithMap(ft)
 	ix := tree.NewIndex(doc)
 	type acc struct {
@@ -211,9 +238,12 @@ func evalFuzzySymbolic(q *Query, ft *fuzzy.Tree) ([]ProbAnswer, error) {
 		entry.dnf = append(entry.dnf, clause)
 		return true
 	})
+	mspan.End()
 	if err != nil {
 		return nil, err
 	}
+	_, cspan := obs.StartSpan(ctx, "event.compile")
+	defer cspan.End()
 	keys := make([]string, 0, len(byCanon))
 	for k := range byCanon {
 		keys = append(keys, k)

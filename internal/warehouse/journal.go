@@ -8,7 +8,8 @@ import (
 	"io"
 	"os"
 	"sync"
-	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Op enumerates the journal record kinds: three document mutations and
@@ -90,10 +91,12 @@ const maxRecordBytes = 512 << 20
 
 // journalCounters accumulates journal activity across the journal
 // instances a warehouse goes through (Compact replaces the instance
-// but keeps the counters, so /stats stays monotonic).
+// but keeps the counters, so /stats stays monotonic). The handles live
+// on the warehouse's obs registry (see Open), so /metrics reads the
+// same values.
 type journalCounters struct {
-	appends atomic.Int64 // records durably appended
-	batches atomic.Int64 // fsync calls (group commit: batches ≤ appends)
+	appends *obs.Counter // records durably appended
+	batches *obs.Counter // fsync calls (group commit: batches ≤ appends)
 }
 
 // journal is an append-only JSON-lines file. Appends from concurrent

@@ -35,11 +35,11 @@ type JournalStats struct {
 // JournalStats returns the warehouse's journal counters.
 func (w *Warehouse) JournalStats() JournalStats {
 	return JournalStats{
-		Appends:              w.jc.appends.Load(),
-		SyncBatches:          w.jc.batches.Load(),
-		RecoveryReplays:      w.recoveryReplays,
-		RecoveryRollbacks:    w.recoveryRollbacks,
-		RecoveryRollforwards: w.recoveryRollforwards,
+		Appends:              w.jc.appends.Value(),
+		SyncBatches:          w.jc.batches.Value(),
+		RecoveryReplays:      w.recoveryReplays.Value(),
+		RecoveryRollbacks:    w.recoveryRollbacks.Value(),
+		RecoveryRollforwards: w.recoveryRollforwards.Value(),
 	}
 }
 
@@ -143,13 +143,13 @@ func (w *Warehouse) recover(records []Record) error {
 				return err
 			}
 			if changed {
-				w.recoveryReplays++
+				w.recoveryReplays.Inc()
 			}
 			for _, p := range ds.pending {
 				if _, err := w.journal.append(Record{Op: OpAbort, RefSeq: p.Seq}); err != nil {
 					return err
 				}
-				w.recoveryRollbacks++
+				w.recoveryRollbacks.Inc()
 			}
 			continue
 		}
@@ -163,7 +163,7 @@ func (w *Warehouse) recover(records []Record) error {
 				if _, err := w.journal.append(Record{Op: OpAbort, RefSeq: p.Seq}); err != nil {
 					return err
 				}
-				w.recoveryRollbacks++
+				w.recoveryRollbacks.Inc()
 				continue
 			}
 			resolve := OpAbort
@@ -176,7 +176,7 @@ func (w *Warehouse) recover(records []Record) error {
 				if err := os.Remove(w.docPath(p.Doc)); err != nil && !os.IsNotExist(err) {
 					return fmt.Errorf("warehouse: recovery rollback of create %q: %w", p.Doc, err)
 				}
-				w.recoveryRollbacks++
+				w.recoveryRollbacks.Inc()
 			case OpUpdate:
 				cur, err := os.ReadFile(w.docPath(p.Doc))
 				if err != nil && !os.IsNotExist(err) {
@@ -184,18 +184,18 @@ func (w *Warehouse) recover(records []Record) error {
 				}
 				if err == nil && string(cur) == p.Content {
 					resolve = OpCommit
-					w.recoveryRollforwards++
+					w.recoveryRollforwards.Inc()
 				} else {
-					w.recoveryRollbacks++
+					w.recoveryRollbacks.Inc()
 				}
 			case OpDrop:
 				if _, err := os.Stat(w.docPath(p.Doc)); os.IsNotExist(err) {
 					resolve = OpCommit
-					w.recoveryRollforwards++
+					w.recoveryRollforwards.Inc()
 				} else if err != nil {
 					return fmt.Errorf("warehouse: recovery of %q: %w", p.Doc, err)
 				} else {
-					w.recoveryRollbacks++
+					w.recoveryRollbacks.Inc()
 				}
 			}
 			if _, err := w.journal.append(Record{Op: resolve, RefSeq: p.Seq}); err != nil {
@@ -228,7 +228,7 @@ func (w *Warehouse) recover(records []Record) error {
 			if _, err := w.journal.append(Record{Op: OpAbort, RefSeq: r.Seq}); err != nil {
 				return err
 			}
-			w.recoveryRollbacks++
+			w.recoveryRollbacks.Inc()
 		}
 	}
 	return nil

@@ -1,11 +1,12 @@
 package warehouse
 
 import (
+	"context"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/fuzzy"
 	"repro/internal/keyword"
+	"repro/internal/obs"
 )
 
 // searchIndexes caches one keyword.Index per document, built lazily on
@@ -19,9 +20,17 @@ type searchIndexes struct {
 	mu  sync.Mutex
 	idx map[string]*keyword.Index
 
-	hits          atomic.Int64
-	invalidations atomic.Int64
-	searches      atomic.Int64
+	hits          *obs.Counter
+	invalidations *obs.Counter
+	searches      *obs.Counter
+}
+
+// initMetrics registers the index-cache counters on the warehouse's
+// registry. Called once from Open, before the warehouse is shared.
+func (s *searchIndexes) initMetrics(reg *obs.Registry) {
+	s.hits = reg.Counter("px_search_index_hits_total", "searches served by a cached up-to-date keyword index")
+	s.invalidations = reg.Counter("px_search_index_invalidations_total", "cached keyword indexes discarded after mutations")
+	s.searches = reg.Counter("px_searches_total", "keyword searches on this warehouse")
 }
 
 // SearchStats reports the keyword-search counters of this warehouse
@@ -49,9 +58,9 @@ type SearchStats struct {
 func (w *Warehouse) SearchStats() SearchStats {
 	kc := keyword.ReadCounters()
 	return SearchStats{
-		Searches:           w.search.searches.Load(),
-		IndexHits:          w.search.hits.Load(),
-		IndexInvalidations: w.search.invalidations.Load(),
+		Searches:           w.search.searches.Value(),
+		IndexHits:          w.search.hits.Value(),
+		IndexInvalidations: w.search.invalidations.Value(),
 		IndexBuilds:        kc.IndexBuilds,
 		Postings:           kc.Postings,
 		ThresholdPrunes:    kc.ThresholdPrunes,
@@ -64,7 +73,7 @@ func (w *Warehouse) SearchStats() SearchStats {
 // the (warehouse-wide) lock across it would serialize searches on
 // unrelated documents behind one cold build — so two racing first
 // searches may both build; the double-check install keeps one.
-func (w *Warehouse) searchIndex(name string, ft *fuzzy.Tree) *keyword.Index {
+func (w *Warehouse) searchIndex(ctx context.Context, name string, ft *fuzzy.Tree) *keyword.Index {
 	s := &w.search
 	s.mu.Lock()
 	cached, ok := s.idx[name]
@@ -79,7 +88,9 @@ func (w *Warehouse) searchIndex(name string, ft *fuzzy.Tree) *keyword.Index {
 		// covers a search racing that drop.
 		s.invalidations.Add(1)
 	}
+	_, span := obs.StartSpan(ctx, "keyword.index")
 	ix := keyword.NewIndex(ft)
+	span.End()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if cur, ok := s.idx[name]; ok && cur.Tree() == ft {
@@ -113,10 +124,20 @@ func (w *Warehouse) dropSearchIndex(name string) {
 // first use and reused until the document is mutated; evaluation runs
 // on an immutable snapshot outside every lock, like Query.
 func (w *Warehouse) Search(name string, req keyword.Request) (*keyword.Result, error) {
-	ft, err := w.readSnapshot(name)
+	return w.SearchCtx(context.Background(), name, req)
+}
+
+// SearchCtx is Search with a context: the snapshot fetch, index build
+// and search evaluation record spans when the context carries an obs
+// trace.
+func (w *Warehouse) SearchCtx(ctx context.Context, name string, req keyword.Request) (*keyword.Result, error) {
+	ft, err := w.readSnapshot(ctx, name)
 	if err != nil {
 		return nil, err
 	}
 	w.search.searches.Add(1)
-	return keyword.Search(w.searchIndex(name, ft), req)
+	ix := w.searchIndex(ctx, name, ft)
+	_, span := obs.StartSpan(ctx, "keyword.search")
+	defer span.End()
+	return keyword.Search(ix, req)
 }

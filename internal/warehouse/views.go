@@ -1,6 +1,7 @@
 package warehouse
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -8,9 +9,9 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/fuzzy"
+	"repro/internal/obs"
 	"repro/internal/tpwj"
 	"repro/internal/view"
 )
@@ -114,12 +115,23 @@ type viewRegistry struct {
 	mu    sync.Mutex
 	byDoc map[string]map[string]*viewHandle
 
-	skipped           atomic.Int64
-	incremental       atomic.Int64
-	full              atomic.Int64
-	answersReused     atomic.Int64
-	answersRecomputed atomic.Int64
-	staleReads        atomic.Int64
+	skipped           *obs.Counter
+	incremental       *obs.Counter
+	full              *obs.Counter
+	answersReused     *obs.Counter
+	answersRecomputed *obs.Counter
+	staleReads        *obs.Counter
+}
+
+// initMetrics registers the maintenance counters on the warehouse's
+// registry. Called once from Open, before the warehouse is shared.
+func (r *viewRegistry) initMetrics(reg *obs.Registry) {
+	r.skipped = reg.Counter("px_view_maintenance_total", "view maintenance passes by tier", obs.L("tier", "skip"))
+	r.incremental = reg.Counter("px_view_maintenance_total", "view maintenance passes by tier", obs.L("tier", "incremental"))
+	r.full = reg.Counter("px_view_maintenance_total", "view maintenance passes by tier", obs.L("tier", "recompute"))
+	r.answersReused = reg.Counter("px_view_answers_total", "answer probabilities handled by incremental passes", obs.L("outcome", "reused"))
+	r.answersRecomputed = reg.Counter("px_view_answers_total", "answer probabilities handled by incremental passes", obs.L("outcome", "recomputed"))
+	r.staleReads = reg.Counter("px_view_stale_reads_total", "ReadView calls served a previous state during maintenance")
 }
 
 func (r *viewRegistry) get(doc, name string) (*viewHandle, bool) {
@@ -231,12 +243,12 @@ func (w *Warehouse) ViewStats() ViewStats {
 	r := &w.views
 	s := ViewStats{
 		Registered:        r.count(),
-		Skipped:           r.skipped.Load(),
-		Incremental:       r.incremental.Load(),
-		FullRecomputes:    r.full.Load(),
-		AnswersReused:     r.answersReused.Load(),
-		AnswersRecomputed: r.answersRecomputed.Load(),
-		StaleReads:        r.staleReads.Load(),
+		Skipped:           r.skipped.Value(),
+		Incremental:       r.incremental.Value(),
+		FullRecomputes:    r.full.Value(),
+		AnswersReused:     r.answersReused.Value(),
+		AnswersRecomputed: r.answersRecomputed.Value(),
+		StaleReads:        r.staleReads.Value(),
 	}
 	if total := s.AnswersReused + s.AnswersRecomputed; total > 0 {
 		s.AffectedAnswerRatio = float64(s.AnswersRecomputed) / float64(total)
@@ -251,6 +263,13 @@ func (w *Warehouse) ViewStats() ViewStats {
 // re-materialized on demand after recovery. The initial answers are
 // returned.
 func (w *Warehouse) RegisterView(doc, name, query, syntax string) (*ViewResult, error) {
+	return w.RegisterViewCtx(context.Background(), doc, name, query, syntax)
+}
+
+// RegisterViewCtx is RegisterView with a context: the materialization
+// and journal install record spans when the context carries an obs
+// trace.
+func (w *Warehouse) RegisterViewCtx(ctx context.Context, doc, name, query, syntax string) (*ViewResult, error) {
 	if err := validName(doc); err != nil {
 		return nil, err
 	}
@@ -283,12 +302,14 @@ func (w *Warehouse) RegisterView(doc, name, query, syntax string) (*ViewResult, 
 	// Materialize outside the state lock: the writers lock already
 	// serializes this against mutations of the document, and readers
 	// must not wait on query evaluation.
+	_, mspan := obs.StartSpan(ctx, "view.materialize")
 	v, err := view.Materialize(def, q, ft)
+	mspan.End()
 	if err != nil {
 		return nil, err
 	}
 	h := &viewHandle{def: def, q: q, v: v, tree: ft}
-	err = w.install(dl,
+	err = w.install(ctx, dl,
 		Record{Op: OpViewRegister, Doc: doc, View: name, Query: query, Syntax: syntax},
 		func(bool) error {
 			w.views.set(doc, h)
@@ -322,7 +343,7 @@ func (w *Warehouse) DropView(doc, name string) error {
 	if _, ok := w.views.get(doc, name); !ok {
 		return fmt.Errorf("warehouse: %w: %q on %q", ErrViewNotFound, name, doc)
 	}
-	return w.install(dl,
+	return w.install(context.Background(), dl,
 		Record{Op: OpViewDrop, Doc: doc, View: name},
 		func(bool) error {
 			w.views.del(doc, name)

@@ -45,6 +45,7 @@
 package warehouse
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -55,6 +56,7 @@ import (
 	"sync"
 
 	"repro/internal/fuzzy"
+	"repro/internal/obs"
 	"repro/internal/tpwj"
 	"repro/internal/update"
 	"repro/internal/view"
@@ -88,6 +90,13 @@ var (
 type Warehouse struct {
 	dir string
 
+	// reg is this warehouse's metrics registry (journal, recovery,
+	// search-index and view-maintenance counters live on it). It is
+	// per-instance — tests open many warehouses in one process — and
+	// the server merges it into /metrics alongside its own registry
+	// and the process-global obs.Default().
+	reg *obs.Registry
+
 	// mu guards closed and the journal pointer. Operations hold it
 	// shared for their duration; Close and Compact hold it exclusively,
 	// so they wait out in-flight operations and nothing starts while
@@ -103,11 +112,11 @@ type Warehouse struct {
 	// replacement Compact performs, so the counters stay monotonic.
 	jc journalCounters
 
-	// Recovery outcome counters, written once during Open (before the
+	// Recovery outcome counters, written during Open (before the
 	// warehouse is shared) and read by JournalStats.
-	recoveryReplays      int64
-	recoveryRollbacks    int64
-	recoveryRollforwards int64
+	recoveryReplays      *obs.Counter
+	recoveryRollbacks    *obs.Counter
+	recoveryRollforwards *obs.Counter
 
 	// cacheMu guards the cache map itself. The trees inside are
 	// immutable once installed: mutations build fresh trees and swap
@@ -158,11 +167,24 @@ func Open(dir string) (*Warehouse, error) {
 	if err := os.MkdirAll(filepath.Join(dir, docsDir), 0o755); err != nil {
 		return nil, fmt.Errorf("warehouse: create layout: %w", err)
 	}
+	reg := obs.NewRegistry()
 	w := &Warehouse{
 		dir:       dir,
+		reg:       reg,
 		cache:     make(map[string]*fuzzy.Tree),
 		journaled: make(map[string]bool),
 	}
+	w.jc = journalCounters{
+		appends: reg.Counter("px_journal_appends_total", "journal records durably appended"),
+		batches: reg.Counter("px_journal_sync_batches_total", "journal fsync calls (group commit: batches <= appends)"),
+	}
+	w.recoveryReplays = reg.Counter("px_recovery_replays_total", "documents replayed from the journal at the last Open")
+	w.recoveryRollbacks = reg.Counter("px_recovery_rollbacks_total", "in-flight mutations rolled back at the last Open")
+	w.recoveryRollforwards = reg.Counter("px_recovery_rollforwards_total", "unmarked mutations kept by on-disk evidence at the last Open")
+	w.search.initMetrics(reg)
+	w.views.initMetrics(reg)
+	reg.GaugeFunc("px_views_registered", "currently registered materialized views",
+		func() float64 { return float64(w.views.count()) })
 	j, records, err := openJournal(filepath.Join(dir, journalFile), &w.jc)
 	if err != nil {
 		return nil, err
@@ -222,6 +244,11 @@ func (w *Warehouse) Close() error {
 
 // Dir returns the warehouse root directory.
 func (w *Warehouse) Dir() string { return w.dir }
+
+// Registry returns the warehouse's metrics registry: journal,
+// recovery, keyword-index and view-maintenance counters. The HTTP
+// server merges it into GET /metrics.
+func (w *Warehouse) Registry() *obs.Registry { return w.reg }
 
 func (w *Warehouse) docPath(name string) string {
 	return filepath.Join(w.dir, docsDir, name+docExt)
@@ -443,10 +470,14 @@ func (w *Warehouse) snapshot(name string) (*fuzzy.Tree, error) {
 // apply receives syncFile: whether a file swap must fsync its data
 // first, true only for a document whose pre-state exists nowhere but
 // in its file (no committed record in the journal yet).
-func (w *Warehouse) install(dl *docLock, rec Record, apply func(syncFile bool) error) error {
+func (w *Warehouse) install(ctx context.Context, dl *docLock, rec Record, apply func(syncFile bool) error) error {
+	ctx, span := obs.StartSpan(ctx, "warehouse.install")
+	defer span.End()
 	dl.state.Lock()
 	defer dl.state.Unlock()
+	_, jspan := obs.StartSpan(ctx, "journal.append")
 	seq, err := w.journal.append(rec)
+	jspan.End()
 	if err != nil {
 		return err
 	}
@@ -458,6 +489,8 @@ func (w *Warehouse) install(dl *docLock, rec Record, apply func(syncFile bool) e
 		w.journal.append(Record{Op: OpAbort, RefSeq: seq}) //nolint:errcheck
 		return err
 	}
+	_, cspan := obs.StartSpan(ctx, "journal.commit")
+	defer cspan.End()
 	if _, err := w.journal.append(Record{Op: OpCommit, RefSeq: seq}); err != nil {
 		// The apply succeeded but the marker's durability is unknown
 		// (a failing disk). The installed state stays visible to the
@@ -478,6 +511,12 @@ func (w *Warehouse) install(dl *docLock, rec Record, apply func(syncFile bool) e
 
 // Create stores a new document under the given name.
 func (w *Warehouse) Create(name string, ft *fuzzy.Tree) error {
+	return w.CreateCtx(context.Background(), name, ft)
+}
+
+// CreateCtx is Create with a context: the journal append and file
+// install record spans when the context carries an obs trace.
+func (w *Warehouse) CreateCtx(ctx context.Context, name string, ft *fuzzy.Tree) error {
 	if err := validName(name); err != nil {
 		return err
 	}
@@ -502,7 +541,7 @@ func (w *Warehouse) Create(name string, ft *fuzzy.Tree) error {
 		return fmt.Errorf("warehouse: %w: %q", ErrExists, name)
 	}
 	clone := ft.Clone()
-	err = w.install(dl,
+	err = w.install(ctx, dl,
 		Record{Op: OpCreate, Doc: name, Content: string(data)},
 		func(syncFile bool) error {
 			if err := w.writeDocFile(name, data, syncFile); err != nil {
@@ -526,7 +565,7 @@ func (w *Warehouse) Create(name string, ft *fuzzy.Tree) error {
 // Get returns a deep copy of the named document. The copy is made
 // outside every lock.
 func (w *Warehouse) Get(name string) (*fuzzy.Tree, error) {
-	ft, err := w.readSnapshot(name)
+	ft, err := w.readSnapshot(context.Background(), name)
 	if err != nil {
 		return nil, err
 	}
@@ -537,10 +576,17 @@ func (w *Warehouse) Get(name string) (*fuzzy.Tree, error) {
 // copies nothing: the snapshot is immutable, so it is serialized in
 // place — the cheap path for read-heavy servers.
 func (w *Warehouse) GetXML(name string) ([]byte, error) {
-	ft, err := w.readSnapshot(name)
+	return w.GetXMLCtx(context.Background(), name)
+}
+
+// GetXMLCtx is GetXML with a context, traced like QueryCtx.
+func (w *Warehouse) GetXMLCtx(ctx context.Context, name string) ([]byte, error) {
+	ft, err := w.readSnapshot(ctx, name)
 	if err != nil {
 		return nil, err
 	}
+	_, span := obs.StartSpan(ctx, "xml.encode")
+	defer span.End()
 	return xmlio.DocXML(ft)
 }
 
@@ -587,7 +633,7 @@ func (w *Warehouse) Drop(name string) error {
 		w.releaseIfGone(name, err)
 		return err
 	}
-	err = w.install(dl,
+	err = w.install(context.Background(), dl,
 		Record{Op: OpDrop, Doc: name},
 		func(bool) error {
 			w.cacheDel(name)
@@ -615,28 +661,46 @@ func (w *Warehouse) Drop(name string) error {
 // parallel with each other and with the computation phase of a
 // concurrent update.
 func (w *Warehouse) Query(name string, q *tpwj.Query) ([]tpwj.ProbAnswer, error) {
-	ft, err := w.readSnapshot(name)
+	return w.QueryCtx(context.Background(), name, q)
+}
+
+// QueryCtx is Query with a context: when the context carries an obs
+// trace, the pipeline stages (snapshot fetch, symbolic match, DNF
+// compile, probability evaluation) record spans into it.
+func (w *Warehouse) QueryCtx(ctx context.Context, name string, q *tpwj.Query) ([]tpwj.ProbAnswer, error) {
+	ctx, span := obs.StartSpan(ctx, "warehouse.query")
+	defer span.End()
+	ft, err := w.readSnapshot(ctx, name)
 	if err != nil {
 		return nil, err
 	}
-	return tpwj.EvalFuzzy(q, ft)
+	return tpwj.EvalFuzzyContext(ctx, q, ft)
 }
 
 // QueryMC is Query with Monte-Carlo probability estimation, for
 // documents whose condition structure makes exact computation too
 // expensive.
 func (w *Warehouse) QueryMC(name string, q *tpwj.Query, samples int, r *rand.Rand) ([]tpwj.ProbAnswer, error) {
-	ft, err := w.readSnapshot(name)
+	return w.QueryMCCtx(context.Background(), name, q, samples, r)
+}
+
+// QueryMCCtx is QueryMC with a context, traced like QueryCtx.
+func (w *Warehouse) QueryMCCtx(ctx context.Context, name string, q *tpwj.Query, samples int, r *rand.Rand) ([]tpwj.ProbAnswer, error) {
+	ctx, span := obs.StartSpan(ctx, "warehouse.query")
+	defer span.End()
+	ft, err := w.readSnapshot(ctx, name)
 	if err != nil {
 		return nil, err
 	}
-	return tpwj.EvalFuzzyMonteCarlo(q, ft, samples, r)
+	return tpwj.EvalFuzzyMonteCarloContext(ctx, q, ft, samples, r)
 }
 
 // readSnapshot validates the name and fetches the document's immutable
 // snapshot, holding the warehouse pin only for the fetch itself so the
 // caller can compute on the snapshot without blocking Close or Compact.
-func (w *Warehouse) readSnapshot(name string) (*fuzzy.Tree, error) {
+func (w *Warehouse) readSnapshot(ctx context.Context, name string) (*fuzzy.Tree, error) {
+	_, span := obs.StartSpan(ctx, "warehouse.snapshot")
+	defer span.End()
 	if err := validName(name); err != nil {
 		return nil, err
 	}
@@ -664,7 +728,7 @@ func (w *Warehouse) readSnapshot(name string) (*fuzzy.Tree, error) {
 // outside every view's own mutex, so concurrent ReadView calls are
 // never blocked: they serve the previous state marked stale until the
 // maintenance pass lands (see maintainViews).
-func (w *Warehouse) mutateDoc(name string, compute func(ft *fuzzy.Tree) (*fuzzy.Tree, string, *view.Delta, error)) error {
+func (w *Warehouse) mutateDoc(ctx context.Context, name string, compute func(ft *fuzzy.Tree) (*fuzzy.Tree, string, *view.Delta, error)) error {
 	if err := validName(name); err != nil {
 		return err
 	}
@@ -678,12 +742,16 @@ func (w *Warehouse) mutateDoc(name string, compute func(ft *fuzzy.Tree) (*fuzzy.
 		return err
 	}
 	defer dl.writers.Unlock()
+	_, sspan := obs.StartSpan(ctx, "warehouse.snapshot")
 	ft, err := w.snapshot(name)
+	sspan.End()
 	if err != nil {
 		w.releaseIfGone(name, err)
 		return err
 	}
+	_, cspan := obs.StartSpan(ctx, "update.compute")
 	next, txNote, delta, err := compute(ft)
+	cspan.End()
 	if err != nil {
 		return err
 	}
@@ -691,7 +759,7 @@ func (w *Warehouse) mutateDoc(name string, compute func(ft *fuzzy.Tree) (*fuzzy.
 	if err != nil {
 		return err
 	}
-	err = w.install(dl,
+	err = w.install(ctx, dl,
 		Record{Op: OpUpdate, Doc: name, Tx: txNote, Content: string(data)},
 		func(syncFile bool) error {
 			if err := w.writeDocFile(name, data, syncFile); err != nil {
@@ -706,19 +774,28 @@ func (w *Warehouse) mutateDoc(name string, compute func(ft *fuzzy.Tree) (*fuzzy.
 	// The old snapshot is superseded; release its keyword index now so
 	// it cannot pin the whole pre-update tree until the next search.
 	w.dropSearchIndex(name)
+	_, vspan := obs.StartSpan(ctx, "view.maintain")
 	w.maintainViews(name, ft, next, delta)
+	vspan.End()
 	return nil
 }
 
 // Update applies a probabilistic transaction to the named document,
 // journaling and persisting the result durably.
 func (w *Warehouse) Update(name string, tx *update.Transaction) (*update.FuzzyStats, error) {
+	return w.UpdateCtx(context.Background(), name, tx)
+}
+
+// UpdateCtx is Update with a context: the compute, install and
+// view-maintenance stages record spans when the context carries an obs
+// trace.
+func (w *Warehouse) UpdateCtx(ctx context.Context, name string, tx *update.Transaction) (*update.FuzzyStats, error) {
 	txXML, err := xupdate.TransactionXML(tx)
 	if err != nil {
 		return nil, err
 	}
 	var stats *update.FuzzyStats
-	err = w.mutateDoc(name, func(ft *fuzzy.Tree) (*fuzzy.Tree, string, *view.Delta, error) {
+	err = w.mutateDoc(ctx, name, func(ft *fuzzy.Tree) (*fuzzy.Tree, string, *view.Delta, error) {
 		next, s, err := tx.ApplyFuzzy(ft)
 		if err != nil {
 			return nil, "", nil, err
@@ -738,11 +815,16 @@ func (w *Warehouse) Update(name string, tx *update.Transaction) (*update.FuzzySt
 // Simplify runs fuzzy-tree simplification on the named document and
 // persists the result.
 func (w *Warehouse) Simplify(name string) (fuzzy.SimplifyStats, error) {
+	return w.SimplifyCtx(context.Background(), name)
+}
+
+// SimplifyCtx is Simplify with a context, traced like UpdateCtx.
+func (w *Warehouse) SimplifyCtx(ctx context.Context, name string) (fuzzy.SimplifyStats, error) {
 	var stats fuzzy.SimplifyStats
 	// The nil footprint makes every view of the document recompute:
 	// simplification rewrites conditions tree-wide, which the overlap
 	// analysis cannot bound.
-	err := w.mutateDoc(name, func(ft *fuzzy.Tree) (*fuzzy.Tree, string, *view.Delta, error) {
+	err := w.mutateDoc(ctx, name, func(ft *fuzzy.Tree) (*fuzzy.Tree, string, *view.Delta, error) {
 		next := ft.Clone()
 		stats = next.Simplify()
 		return next, "<simplify/>", nil, nil
@@ -763,7 +845,7 @@ type Info struct {
 
 // Stat returns summary information about the named document.
 func (w *Warehouse) Stat(name string) (Info, error) {
-	ft, err := w.readSnapshot(name)
+	ft, err := w.readSnapshot(context.Background(), name)
 	if err != nil {
 		return Info{}, err
 	}
