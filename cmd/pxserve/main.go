@@ -13,8 +13,9 @@
 // On SIGINT/SIGTERM the server drains in-flight requests (up to 10s)
 // and logs a final stats summary before exiting. -slow-query logs
 // every request over the threshold with its span breakdown; -pprof
-// serves net/http/pprof on a separate address (keep it off public
-// interfaces). See the package documentation of repro/internal/server
+// serves net/http/pprof and GET /debug/traces on a separate debug
+// address (keep it off public interfaces — neither is reachable
+// through the main listener). See the package documentation of repro/internal/server
 // for the route list, docs/OBSERVABILITY.md for the metrics and
 // tracing guide, and the repository README for curl examples.
 package main
@@ -43,7 +44,7 @@ func main() {
 		cacheSize = flag.Int("cache", 0, "query cache entries (0 = default, negative = disabled)")
 		verbose   = flag.Bool("v", false, "log every request")
 		slowQuery = flag.Duration("slow-query", 0, "log requests at least this slow, with span breakdown (0 = disabled)")
-		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and /debug/traces on this debug address (empty = disabled)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -71,16 +72,18 @@ func main() {
 	}
 
 	if *pprofAddr != "" {
-		// pprof gets its own mux on its own address so profiling
-		// endpoints are never reachable through the public listener.
+		// The debug mux gets its own address so profiling endpoints and
+		// recent request traces (paths, timings, span breakdowns) are
+		// never reachable through the public listener.
 		mux := http.NewServeMux()
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/debug/traces", api.TracesHandler())
 		go func() {
-			log.Printf("pxserve: pprof listening on %s", *pprofAddr)
+			log.Printf("pxserve: debug listener (pprof, traces) on %s", *pprofAddr)
 			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
 				log.Printf("pxserve: pprof: %v", err)
 			}

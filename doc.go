@@ -169,8 +169,10 @@
 // as Prometheus text under /metrics; each request runs under a trace
 // whose span tree (warehouse snapshot fetch, symbolic match, DNF
 // compile, probability evaluation, journal writes, view maintenance)
-// is retained in the /debug/traces ring, echoed by ?trace=1, and fed
-// into per-stage histograms. Requests over ServerOptions.
+// is retained in a bounded ring, echoed by ?trace=1, and fed into
+// per-stage histograms. The ring is served at GET /debug/traces on
+// pxserve's private -pprof debug address (or on the main mux when
+// ServerOptions.ExposeDebugTraces is set). Requests over ServerOptions.
 // SlowQueryThreshold are logged with their span breakdown. See
 // docs/OBSERVABILITY.md for the metric catalog and span names.
 //

@@ -13,28 +13,60 @@ import (
 // `name{label="value"} value` samples, histograms expanded into
 // cumulative `_bucket{le="..."}` series plus `_sum` and `_count`.
 
+// sample is one fully evaluated sample: handle values read (and gauge
+// callbacks called) once, right after the registry snapshot, so the
+// cross-registry merge below works on plain data and can sum
+// collisions instead of juggling live handles.
+type sample struct {
+	labels []Label
+	count  int64   // counter value
+	gauge  float64 // gauge value
+	// histogram data (bucketCumulative form)
+	cum    []int64
+	bounds []float64
+	sum    float64
+	total  int64
+}
+
+// sampleFamily is all samples sharing one name across the merged
+// registries.
+type sampleFamily struct {
+	name, help string
+	kind       Kind
+	order      []string
+	samples    map[string]*sample
+}
+
 // WriteText writes all metrics of the given registries in Prometheus
 // text exposition format. Families with the same name across
 // registries are merged under one header (first registration's help
-// text wins); within a family, samples appear in registration order.
+// text and kind win); within a family, samples appear in registration
+// order, and samples with an identical label set across registries are
+// summed — counters and histograms add, so a name+label collision
+// between the server, warehouse and default registries underreports
+// nothing.
 func WriteText(w io.Writer, regs ...*Registry) error {
-	// Merge families by name, preserving first-seen help/kind.
-	merged := make(map[string]*family)
+	merged := make(map[string]*sampleFamily)
 	var names []string
 	for _, r := range regs {
 		for _, f := range r.snapshotFamilies() {
-			m, ok := merged[f.name]
+			mf, ok := merged[f.name]
 			if !ok {
-				cp := &family{name: f.name, help: f.help, kind: f.kind,
-					metrics: make(map[string]*metric)}
-				merged[f.name] = cp
+				mf = &sampleFamily{name: f.name, help: f.help, kind: f.kind,
+					samples: make(map[string]*sample)}
+				merged[f.name] = mf
 				names = append(names, f.name)
-				m = cp
 			}
 			for _, key := range f.order {
-				if _, dup := m.metrics[key]; !dup {
-					m.metrics[key] = f.metrics[key]
-					m.order = append(m.order, key)
+				sv := evaluate(mf.kind, f.metrics[key])
+				if sv == nil {
+					continue // kind mismatch across registries; slot panics within one
+				}
+				if prev, dup := mf.samples[key]; dup {
+					prev.merge(sv)
+				} else {
+					mf.samples[key] = sv
+					mf.order = append(mf.order, key)
 				}
 			}
 		}
@@ -48,25 +80,68 @@ func WriteText(w io.Writer, regs ...*Registry) error {
 	return nil
 }
 
-func writeFamily(w io.Writer, f *family) error {
+// evaluate reads a metric's current value into a sample. Returns nil
+// when the slot has no handle of the requested kind (a family-name
+// collision across registries with different kinds).
+func evaluate(kind Kind, m *metric) *sample {
+	s := &sample{labels: m.labels}
+	switch kind {
+	case KindHistogram:
+		if m.h == nil {
+			return nil
+		}
+		s.cum, s.sum, s.total = m.h.bucketCumulative()
+		s.bounds = m.h.bounds
+	case KindGauge:
+		switch {
+		case m.gf != nil:
+			s.gauge = m.gf()
+		case m.g != nil:
+			s.gauge = float64(m.g.Value())
+		default:
+			return nil
+		}
+	default:
+		if m.c == nil {
+			return nil
+		}
+		s.count = m.c.Value()
+	}
+	return s
+}
+
+// merge sums another sample of the same family and label set into s —
+// the cross-registry collision case. Counters and gauges add;
+// histograms add bucket-wise when the ladders match (they always do
+// today: every obs histogram uses DefaultBuckets) and keep the first
+// sample's data otherwise.
+func (s *sample) merge(o *sample) {
+	s.count += o.count
+	s.gauge += o.gauge
+	if len(s.cum) == len(o.cum) && len(s.bounds) == len(o.bounds) {
+		for i := range s.cum {
+			s.cum[i] += o.cum[i]
+		}
+		s.sum += o.sum
+		s.total += o.total
+	}
+}
+
+func writeFamily(w io.Writer, f *sampleFamily) error {
 	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
 		f.name, escapeHelp(f.help), f.name, f.kind); err != nil {
 		return err
 	}
 	for _, key := range f.order {
-		m := f.metrics[key]
+		s := f.samples[key]
 		var err error
 		switch f.kind {
 		case KindHistogram:
-			err = writeHistogram(w, f.name, m)
+			err = writeHistogram(w, f.name, s)
 		case KindGauge:
-			v := float64(m.g.Value())
-			if m.gf != nil {
-				v = m.gf()
-			}
-			_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, formatLabels(m.labels, "", ""), formatFloat(v))
+			_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, formatLabels(s.labels, "", ""), formatFloat(s.gauge))
 		default:
-			_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, formatLabels(m.labels, "", ""), m.c.Value())
+			_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, formatLabels(s.labels, "", ""), s.count)
 		}
 		if err != nil {
 			return err
@@ -75,25 +150,24 @@ func writeFamily(w io.Writer, f *family) error {
 	return nil
 }
 
-func writeHistogram(w io.Writer, name string, m *metric) error {
-	cum, sum, total := m.h.bucketCumulative()
-	for i, bound := range m.h.bounds {
+func writeHistogram(w io.Writer, name string, s *sample) error {
+	for i, bound := range s.bounds {
 		le := formatFloat(bound)
 		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
-			name, formatLabels(m.labels, "le", le), cum[i]); err != nil {
+			name, formatLabels(s.labels, "le", le), s.cum[i]); err != nil {
 			return err
 		}
 	}
 	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
-		name, formatLabels(m.labels, "le", "+Inf"), cum[len(cum)-1]); err != nil {
+		name, formatLabels(s.labels, "le", "+Inf"), s.total); err != nil {
 		return err
 	}
 	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n",
-		name, formatLabels(m.labels, "", ""), formatFloat(sum)); err != nil {
+		name, formatLabels(s.labels, "", ""), formatFloat(s.sum)); err != nil {
 		return err
 	}
 	_, err := fmt.Fprintf(w, "%s_count%s %d\n",
-		name, formatLabels(m.labels, "", ""), total)
+		name, formatLabels(s.labels, "", ""), s.total)
 	return err
 }
 

@@ -31,6 +31,7 @@ type Histogram struct {
 	counts []atomic.Int64
 	sum    atomic.Int64 // nanoseconds
 	count  atomic.Int64
+	max    atomic.Int64 // nanoseconds, largest single observation
 }
 
 // NewHistogram returns a histogram over DefaultBuckets.
@@ -57,6 +58,24 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.counts[i].Add(1)
 	h.sum.Add(int64(d))
 	h.count.Add(1)
+	// Raise the observed max (CAS loop; in the common case one load
+	// shows the current max is already larger and no write happens).
+	// The max bounds quantile interpolation in the +Inf bucket and
+	// feeds the per-route max_ms /stats reports.
+	for {
+		cur := h.max.Load()
+		if int64(d) <= cur || h.max.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// Max returns the largest single observation so far.
+func (h *Histogram) Max() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.max.Load())
 }
 
 // HistogramSnapshot is a point-in-time view of a histogram, with
@@ -65,6 +84,7 @@ func (h *Histogram) Observe(d time.Duration) {
 type HistogramSnapshot struct {
 	Count int64   `json:"count"`
 	AvgMS float64 `json:"avg_ms"`
+	MaxMS float64 `json:"max_ms"`
 	P50MS float64 `json:"p50_ms"`
 	P95MS float64 `json:"p95_ms"`
 	P99MS float64 `json:"p99_ms"`
@@ -83,6 +103,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		return s
 	}
 	s.AvgMS = float64(h.sum.Load()) / float64(s.Count) / 1e6
+	s.MaxMS = float64(h.max.Load()) / 1e6
 	s.P50MS = h.Quantile(0.50) * 1e3
 	s.P95MS = h.Quantile(0.95) * 1e3
 	s.P99MS = h.Quantile(0.99) * 1e3
@@ -90,9 +111,10 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 }
 
 // Quantile estimates the q-quantile (0 ≤ q ≤ 1) in seconds by linear
-// interpolation within the bucket holding the target rank. Values in
-// the +Inf bucket are reported as the largest finite bound — an
-// underestimate, as with any bounded-bucket histogram.
+// interpolation within the bucket holding the target rank. A rank
+// landing in the +Inf bucket interpolates between the largest finite
+// bound and the observed maximum, so tail latencies beyond the ladder
+// still move p99 instead of being silently clamped at the last bound.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil {
 		return 0
@@ -118,10 +140,17 @@ func (h *Histogram) Quantile(q float64) float64 {
 			if i > 0 {
 				lo = h.bounds[i-1]
 			}
+			hi := float64(0)
 			if i == len(h.bounds) {
-				return h.bounds[len(h.bounds)-1]
+				hi = float64(h.max.Load()) / 1e9
+				if hi <= lo {
+					// Racy read, or max not yet published: fall back
+					// to the old clamp.
+					return lo
+				}
+			} else {
+				hi = h.bounds[i]
 			}
-			hi := h.bounds[i]
 			frac := (rank - cum) / float64(c)
 			return lo + (hi-lo)*frac
 		}

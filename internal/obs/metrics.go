@@ -198,7 +198,9 @@ func labelKey(labels []Label) string {
 }
 
 // slot returns (creating if needed) the metric slot for name+labels,
-// enforcing one kind per family.
+// enforcing one kind per family. The slot's handle (counter, gauge or
+// histogram) is created here, under the registry mutex, so a slot is
+// never observed half-initialized by a concurrent snapshot.
 func (r *Registry) slot(name, help string, kind Kind, labels []Label) *metric {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -213,6 +215,14 @@ func (r *Registry) slot(name, help string, kind Kind, labels []Label) *metric {
 	m, ok := f.metrics[key]
 	if !ok {
 		m = &metric{labels: append([]Label(nil), labels...)}
+		switch kind {
+		case KindCounter:
+			m.c = &Counter{}
+		case KindGauge:
+			m.g = &Gauge{}
+		case KindHistogram:
+			m.h = NewHistogram()
+		}
 		f.metrics[key] = m
 		f.order = append(f.order, key)
 	}
@@ -225,11 +235,7 @@ func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
 	if r == nil {
 		return nil
 	}
-	m := r.slot(name, help, KindCounter, labels)
-	if m.c == nil {
-		m.c = &Counter{}
-	}
-	return m.c
+	return r.slot(name, help, KindCounter, labels).c
 }
 
 // Gauge returns (creating on first use) the gauge name{labels}.
@@ -237,11 +243,7 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 	if r == nil {
 		return nil
 	}
-	m := r.slot(name, help, KindGauge, labels)
-	if m.g == nil {
-		m.g = &Gauge{}
-	}
-	return m.g
+	return r.slot(name, help, KindGauge, labels).g
 }
 
 // GaugeFunc registers a gauge whose value is computed by f at
@@ -252,7 +254,9 @@ func (r *Registry) GaugeFunc(name, help string, f func() float64, labels ...Labe
 		return
 	}
 	m := r.slot(name, help, KindGauge, labels)
+	r.mu.Lock()
 	m.gf = f
+	r.mu.Unlock()
 }
 
 // Histogram returns (creating on first use) the latency histogram
@@ -261,15 +265,16 @@ func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
 	if r == nil {
 		return nil
 	}
-	m := r.slot(name, help, KindHistogram, labels)
-	if m.h == nil {
-		m.h = NewHistogram()
-	}
-	return m.h
+	return r.slot(name, help, KindHistogram, labels).h
 }
 
-// snapshotFamilies returns the registry's families sorted by name,
-// each with its metrics in registration order. Used by WriteText.
+// snapshotFamilies returns a deep copy of the registry's families
+// sorted by name, each with its metrics in registration order. The
+// order slices, metric maps and metric structs are all copied under
+// the registry mutex, because slot keeps mutating the originals as
+// new series register lazily (per-stage histograms appear the first
+// time a span finishes); only the handle pointers are shared, and
+// those are read with atomics. Used by WriteText.
 func (r *Registry) snapshotFamilies() []*family {
 	if r == nil {
 		return nil
@@ -278,7 +283,18 @@ func (r *Registry) snapshotFamilies() []*family {
 	defer r.mu.Unlock()
 	out := make([]*family, 0, len(r.families))
 	for _, f := range r.families {
-		out = append(out, f)
+		cp := &family{
+			name:    f.name,
+			help:    f.help,
+			kind:    f.kind,
+			order:   append([]string(nil), f.order...),
+			metrics: make(map[string]*metric, len(f.metrics)),
+		}
+		for key, m := range f.metrics {
+			mc := *m
+			cp.metrics[key] = &mc
+		}
+		out = append(out, cp)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
 	return out

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"strings"
 	"sync"
@@ -107,8 +108,19 @@ func TestHistogramOverflowBucket(t *testing.T) {
 	if cum[len(cum)-2] != 0 {
 		t.Fatal("overflow observation counted in a finite bucket")
 	}
-	if q := h.Quantile(0.99); q != DefaultBuckets[len(DefaultBuckets)-1] {
-		t.Fatalf("overflow quantile = %v, want clamped to last bound", q)
+	if got := h.Max(); got != time.Hour {
+		t.Fatalf("max = %v, want 1h", got)
+	}
+	// A rank in the +Inf bucket interpolates between the last finite
+	// bound and the observed max — not clamped at the bound, so tails
+	// beyond the ladder are visible in p99.
+	last := DefaultBuckets[len(DefaultBuckets)-1]
+	maxS := time.Hour.Seconds()
+	if q := h.Quantile(0.99); q <= last || q > maxS {
+		t.Fatalf("overflow quantile = %v, want in (%v, %v]", q, last, maxS)
+	}
+	if q := h.Quantile(1.0); q != maxS {
+		t.Fatalf("q=1 in overflow bucket = %v, want the observed max %v", q, maxS)
 	}
 }
 
@@ -166,6 +178,73 @@ func TestWriteTextMergesRegistries(t *testing.T) {
 			t.Errorf("missing %q in\n%s", want, s)
 		}
 	}
+}
+
+// TestWriteTextSumsCollidingSamples: the same family with an identical
+// label set in two merged registries must sum, not silently drop the
+// later registry's sample.
+func TestWriteTextSumsCollidingSamples(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("px_dup_total", "h", L("src", "x")).Add(2)
+	b.Counter("px_dup_total", "h", L("src", "x")).Add(5)
+	a.Histogram("px_dup_seconds", "h").Observe(2 * time.Millisecond)
+	b.Histogram("px_dup_seconds", "h").Observe(3 * time.Millisecond)
+	var out strings.Builder
+	if err := WriteText(&out, a, b); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, `px_dup_total{src="x"} 7`) {
+		t.Errorf("colliding counter not summed:\n%s", s)
+	}
+	if strings.Count(s, `px_dup_total{src="x"}`) != 1 {
+		t.Errorf("colliding counter emitted more than once:\n%s", s)
+	}
+	for _, want := range []string{
+		"px_dup_seconds_count 2",
+		"px_dup_seconds_sum 0.005",
+		`px_dup_seconds_bucket{le="+Inf"} 2`,
+		`px_dup_seconds_bucket{le="0.0025"} 1`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("colliding histogram not summed, missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestConcurrentRegistration registers new series (the lazy per-stage
+// pattern the server uses) while WriteText scrapes the registry —
+// under -race this pins that snapshots deep-copy the family tables
+// instead of aliasing maps and slices the registry keeps mutating, and
+// that handles are initialized under the registry lock.
+func TestConcurrentRegistration(t *testing.T) {
+	var wg sync.WaitGroup
+	r := NewRegistry()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 3000; i++ {
+				name := fmt.Sprintf("s%d_%d", g, i)
+				r.Counter("px_lazy_total", "", L("stage", name)).Inc()
+				if i%100 == 0 {
+					r.Histogram("px_lazy_seconds", "", L("stage", name)).Observe(time.Microsecond)
+					r.GaugeFunc("px_lazy_gauge", "", func() float64 { return 1 }, L("stage", name))
+				}
+			}
+		}(g)
+	}
+	// Give the writers a head start so the registry holds enough
+	// series that each exposition pass takes long enough for fresh
+	// registrations to land mid-scrape.
+	time.Sleep(10 * time.Millisecond)
+	for i := 0; i < 20; i++ {
+		var b strings.Builder
+		if err := WriteText(&b, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
 }
 
 func TestTraceSpans(t *testing.T) {

@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"log/slog"
 	"net/http"
@@ -13,6 +14,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/warehouse"
 )
 
 // createSampleDoc uploads the running example document as "ex".
@@ -322,7 +325,7 @@ func TestSearchTraceEcho(t *testing.T) {
 // TestDebugTraces exercises the trace ring: after traffic it holds the
 // most recent requests, newest first, with their span trees.
 func TestDebugTraces(t *testing.T) {
-	ts, _ := newTestServer(t, Options{TraceRingSize: 4})
+	ts, _ := newTestServer(t, Options{TraceRingSize: 4, ExposeDebugTraces: true})
 	createSampleDoc(t, ts)
 	for i := 0; i < 6; i++ {
 		query(t, ts, "ex", QueryRequest{Query: "A(B $x)"})
@@ -348,9 +351,40 @@ func TestDebugTraces(t *testing.T) {
 	}
 
 	// A disabled ring serves an empty list, not an error.
-	ts2, _ := newTestServer(t, Options{TraceRingSize: -1})
+	ts2, _ := newTestServer(t, Options{TraceRingSize: -1, ExposeDebugTraces: true})
 	if status := doJSON(t, "GET", ts2.URL+"/debug/traces", nil, &resp); status != 200 || resp.Count != 0 {
 		t.Fatalf("disabled ring: status %d, count %d", status, resp.Count)
+	}
+}
+
+// TestDebugTracesOffByDefault pins the exposure contract: the public
+// mux serves /debug/traces only when ExposeDebugTraces is set —
+// operators mount TracesHandler on a private debug listener instead.
+func TestDebugTracesOffByDefault(t *testing.T) {
+	wh, err := warehouse.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { wh.Close() })
+	srv := New(wh, Options{})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	createSampleDoc(t, ts)
+	if status, _ := do(t, "GET", ts.URL+"/debug/traces", nil); status != http.StatusNotFound {
+		t.Fatalf("GET /debug/traces on default options = %d, want 404", status)
+	}
+	// The ring still fills; TracesHandler serves it for a debug mux.
+	rec := httptest.NewRecorder()
+	srv.TracesHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if rec.Code != 200 {
+		t.Fatalf("TracesHandler = %d", rec.Code)
+	}
+	var resp TracesResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Count == 0 {
+		t.Fatal("trace ring empty after traffic: the ring must fill even when the public route is off")
 	}
 }
 
@@ -409,7 +443,7 @@ func TestStatsUptimeVersion(t *testing.T) {
 // under -race it proves the mutex-free recording and the scrape paths
 // are safe against each other.
 func TestObsConcurrency(t *testing.T) {
-	ts, _ := newTestServer(t, Options{})
+	ts, _ := newTestServer(t, Options{ExposeDebugTraces: true})
 	createSampleDoc(t, ts)
 
 	const workers, iters = 4, 15

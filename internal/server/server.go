@@ -20,7 +20,7 @@
 //	POST   /admin/compact         truncate the journal
 //	GET    /stats                 request, cache, engine, journal, search and view counters
 //	GET    /metrics               Prometheus text exposition of the same counters
-//	GET    /debug/traces          ring buffer of recent request traces
+//	GET    /debug/traces          ring buffer of recent request traces (opt-in, see Options.ExposeDebugTraces)
 //	GET    /healthz               liveness probe
 //
 // Query and search results are served from an LRU cache keyed by
@@ -97,6 +97,12 @@ type Options struct {
 	// for GET /debug/traces. Zero selects DefaultTraceRingSize; a
 	// negative value disables the ring.
 	TraceRingSize int
+	// ExposeDebugTraces registers GET /debug/traces on the main mux.
+	// Off by default: recent request paths and timings are operator
+	// data, so like pprof they belong on a private debug listener —
+	// mount TracesHandler there instead (pxserve serves it on the
+	// -pprof address).
+	ExposeDebugTraces bool
 }
 
 // Server is an http.Handler serving a warehouse. Create one with New.
@@ -174,9 +180,18 @@ func New(wh *warehouse.Warehouse, opts Options) *Server {
 	s.route("POST /admin/compact", s.handleCompact)
 	s.route("GET /stats", s.handleStats)
 	s.route("GET /metrics", s.handleMetrics)
-	s.route("GET /debug/traces", s.handleTraces)
+	if opts.ExposeDebugTraces {
+		s.route("GET /debug/traces", s.handleTraces)
+	}
 	s.route("GET /healthz", s.handleHealthz)
 	return s
+}
+
+// TracesHandler serves the recent-traces ring (the GET /debug/traces
+// payload) regardless of ExposeDebugTraces, for mounting on a private
+// debug listener alongside pprof.
+func (s *Server) TracesHandler() http.Handler {
+	return http.HandlerFunc(s.handleTraces)
 }
 
 // ServeHTTP implements http.Handler.

@@ -18,9 +18,9 @@ var Version = "dev"
 // stats records per-request metrics into the server's obs registry.
 //
 // The recording hot path is mutex-free: every route's handles (request
-// counter, error counter, latency histogram, max-latency gauge) are
-// created up front when the route is registered, so record is four
-// atomic operations on pre-resolved pointers. This replaces the
+// counter, error counter, latency histogram) are created up front when
+// the route is registered, so record is a handful of atomic operations
+// on pre-resolved pointers. This replaces the
 // previous design, where every request took one global sync.Mutex to
 // bump counters in a map — under concurrent load all requests
 // serialized on that lock at the exact moment they were trying to
@@ -44,15 +44,14 @@ type stats struct {
 	stages sync.Map // string -> *obs.Histogram
 }
 
-// routeMetrics are one route's pre-registered handles. max is kept out
-// of the registry: a maximum in nanoseconds is not a meaningful
-// Prometheus series (the histogram covers tail latency there), but
-// /stats has always reported it.
+// routeMetrics are one route's pre-registered handles. The maximum
+// latency /stats reports comes from the histogram, which tracks its
+// largest observation (and uses it to bound overflow-bucket quantile
+// interpolation).
 type routeMetrics struct {
 	count  *obs.Counter
 	errors *obs.Counter
 	lat    *obs.Histogram
-	max    obs.Gauge // nanoseconds, updated via SetMax
 }
 
 func newStats(reg *obs.Registry) *stats {
@@ -95,7 +94,6 @@ func (s *stats) record(route string, status int, d time.Duration) {
 		rm.errors.Inc()
 	}
 	rm.lat.Observe(d)
-	rm.max.SetMax(int64(d))
 }
 
 func (s *stats) hit()        { s.hits.Inc() }
@@ -208,7 +206,7 @@ func (s *stats) snapshot(entries, capacity int, journal warehouse.JournalStats, 
 			Count:  count,
 			Errors: rm.errors.Value(),
 			AvgMS:  hs.AvgMS,
-			MaxMS:  float64(rm.max.Value()) / float64(time.Millisecond),
+			MaxMS:  hs.MaxMS,
 			P50MS:  hs.P50MS,
 			P95MS:  hs.P95MS,
 			P99MS:  hs.P99MS,
