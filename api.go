@@ -134,6 +134,12 @@ var (
 	ErrInvalidDocName = warehouse.ErrInvalidName
 	// ErrWarehouseClosed reports use of a warehouse after Close.
 	ErrWarehouseClosed = warehouse.ErrClosed
+	// ErrWarehouseDegraded reports a write rejected because the
+	// warehouse is in degraded read-only mode after an unrecoverable
+	// storage error; reads keep serving and Warehouse.Reopen recovers.
+	// The server maps it to 503 with a Retry-After header. See
+	// docs/FAULTS.md.
+	ErrWarehouseDegraded = warehouse.ErrDegraded
 	// ErrViewNotFound reports an operation on a missing materialized
 	// view.
 	ErrViewNotFound = warehouse.ErrViewNotFound

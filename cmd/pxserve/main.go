@@ -9,6 +9,7 @@
 //	pxserve -dir ./wh
 //	pxserve -dir ./wh -addr :9090 -cache 1024 -v
 //	pxserve -dir ./wh -slow-query 250ms -pprof localhost:6060
+//	pxserve -dir ./wh -request-timeout 30s -max-inflight 64
 //
 // On SIGINT/SIGTERM the server drains in-flight requests (up to 10s)
 // and logs a final stats summary before exiting. -slow-query logs
@@ -39,12 +40,14 @@ import (
 
 func main() {
 	var (
-		dir       = flag.String("dir", "", "warehouse directory (required)")
-		addr      = flag.String("addr", ":8080", "listen address")
-		cacheSize = flag.Int("cache", 0, "query cache entries (0 = default, negative = disabled)")
-		verbose   = flag.Bool("v", false, "log every request")
-		slowQuery = flag.Duration("slow-query", 0, "log requests at least this slow, with span breakdown (0 = disabled)")
-		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and /debug/traces on this debug address (empty = disabled)")
+		dir         = flag.String("dir", "", "warehouse directory (required)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		cacheSize   = flag.Int("cache", 0, "query cache entries (0 = default, negative = disabled)")
+		verbose     = flag.Bool("v", false, "log every request")
+		slowQuery   = flag.Duration("slow-query", 0, "log requests at least this slow, with span breakdown (0 = disabled)")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and /debug/traces on this debug address (empty = disabled)")
+		reqTimeout  = flag.Duration("request-timeout", 0, "abort request evaluation after this long with 503 (0 = no timeout; /stats, /metrics and probes are exempt)")
+		maxInFlight = flag.Int("max-inflight", 0, "cap on concurrently evaluating requests, excess shed with 429 (0 = unlimited)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -61,6 +64,8 @@ func main() {
 	opts := fuzzyxml.ServerOptions{
 		CacheSize:          *cacheSize,
 		SlowQueryThreshold: *slowQuery,
+		RequestTimeout:     *reqTimeout,
+		MaxInFlight:        *maxInFlight,
 	}
 	if *verbose {
 		opts.Logf = log.Printf

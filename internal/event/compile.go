@@ -32,6 +32,7 @@ var (
 	engineMemoMisses     = obs.Default().Counter("px_engine_memo_misses_total", "Shannon-expansion structural-hash memo misses")
 	engineComponents     = obs.Default().Counter("px_engine_components_total", "independent components produced by the decomposition")
 	engineHashCollisions = obs.Default().Counter("px_engine_hash_collisions_total", "structural hash collisions (checked, recomputed)")
+	engineCancellations  = obs.Default().Counter("px_engine_cancellations_total", "probability evaluations stopped mid-flight by context cancellation or deadline")
 )
 
 // EngineCounters is a snapshot of the probability-engine counters:
@@ -47,6 +48,9 @@ type EngineCounters struct {
 	MemoMisses     int64 `json:"memo_misses"`
 	Components     int64 `json:"components"`
 	HashCollisions int64 `json:"hash_collisions"`
+	// Cancellations counts evaluations (exact or Monte-Carlo) stopped
+	// mid-flight because their context was cancelled or timed out.
+	Cancellations int64 `json:"cancellations"`
 }
 
 // ReadEngineCounters returns the current engine counter values.
@@ -58,6 +62,7 @@ func ReadEngineCounters() EngineCounters {
 		MemoMisses:     engineMemoMisses.Value(),
 		Components:     engineComponents.Value(),
 		HashCollisions: engineHashCollisions.Value(),
+		Cancellations:  engineCancellations.Value(),
 	}
 }
 
@@ -69,6 +74,7 @@ func ResetEngineCounters() {
 	engineMemoMisses.Reset()
 	engineComponents.Reset()
 	engineHashCollisions.Reset()
+	engineCancellations.Reset()
 }
 
 // cclause is one compiled conjunctive clause: sorted local literals,

@@ -1,6 +1,7 @@
 package event
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -150,6 +151,17 @@ func (t *Table) ProbDNF(d DNF) (float64, error) {
 	return c.Prob(), nil
 }
 
+// ProbDNFCtx is ProbDNF honoring context cancellation: the Shannon
+// expansion checks ctx periodically and aborts with the context's error
+// (compilation itself is linear and runs to completion).
+func (t *Table) ProbDNFCtx(ctx context.Context, d DNF) (float64, error) {
+	c, err := t.CompileDNF(d)
+	if err != nil {
+		return 0, err
+	}
+	return c.ProbCtx(ctx)
+}
+
 // ProbDNFBrute computes P(d) by enumerating all assignments over the
 // events of d. Exponential; used as a testing oracle for ProbDNF.
 func (t *Table) ProbDNFBrute(d DNF) (float64, error) {
@@ -186,4 +198,22 @@ func (t *Table) EstimateDNF(d DNF, samples int, r *rand.Rand) (float64, error) {
 		return 0, err
 	}
 	return c.Estimate(samples, r), nil
+}
+
+// EstimateDNFCtx is EstimateDNF honoring context cancellation between
+// sample batches.
+func (t *Table) EstimateDNFCtx(ctx context.Context, d DNF, samples int, r *rand.Rand) (float64, error) {
+	if samples <= 0 {
+		return 0, fmt.Errorf("event: non-positive sample count %d", samples)
+	}
+	for _, e := range d.Events() {
+		if !t.Has(e) {
+			return 0, fmt.Errorf("event: unknown event %q in DNF %q", e, d)
+		}
+	}
+	c, err := t.CompileDNF(d)
+	if err != nil {
+		return 0, err
+	}
+	return c.EstimateCtx(ctx, samples, r)
 }

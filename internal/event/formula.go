@@ -1,7 +1,9 @@
 package event
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"strings"
@@ -228,10 +230,65 @@ func (t *Table) ProbFormula(f Formula) (float64, error) {
 		}
 	}
 	memo := make(map[string]float64)
-	return t.probFormula(f, memo), nil
+	return t.probFormula(f, memo, nil), nil
 }
 
-func (t *Table) probFormula(f Formula, memo map[string]float64) float64 {
+// ProbFormulaCtx is ProbFormula honoring context cancellation: the
+// Shannon expansion checks ctx every cancelCheckInterval recursion steps
+// and aborts with the context's error. A context that can never be
+// cancelled takes the same zero-check path as ProbFormula.
+func (t *Table) ProbFormulaCtx(ctx context.Context, f Formula) (p float64, err error) {
+	for _, e := range f.Events() {
+		if !t.Has(e) {
+			return 0, fmt.Errorf("event: unknown event %q in formula %q", e, f)
+		}
+	}
+	var cc *cancelCheck
+	if ctx != nil && ctx.Done() != nil {
+		// Small formulas finish before the first periodic tick, so an
+		// already-expired context must abort before any expansion.
+		if err := ctx.Err(); err != nil {
+			engineCancellations.Add(1)
+			return math.NaN(), err
+		}
+		cc = &cancelCheck{ctx: ctx}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			ec, ok := r.(evalCanceled)
+			if !ok {
+				panic(r)
+			}
+			engineCancellations.Add(1)
+			p, err = math.NaN(), ec.err
+		}
+	}()
+	memo := make(map[string]float64)
+	return t.probFormula(f, memo, cc), nil
+}
+
+// cancelCheck amortizes context polling across a hot recursion: tick
+// consults ctx.Err once per cancelCheckInterval calls and unwinds via
+// an evalCanceled panic (recovered by the Ctx entry points). A nil
+// *cancelCheck is the uncancellable fast path.
+type cancelCheck struct {
+	ctx   context.Context
+	steps int
+}
+
+func (cc *cancelCheck) tick() {
+	if cc == nil {
+		return
+	}
+	if cc.steps++; cc.steps&(cancelCheckInterval-1) == 0 {
+		if err := cc.ctx.Err(); err != nil {
+			panic(evalCanceled{err})
+		}
+	}
+}
+
+func (t *Table) probFormula(f Formula, memo map[string]float64, cc *cancelCheck) float64 {
+	cc.tick()
 	switch f {
 	case FTrue:
 		return 1
@@ -253,8 +310,8 @@ func (t *Table) probFormula(f Formula, memo map[string]float64) float64 {
 	}
 	e := events[0]
 	pe := t.probs[e]
-	p := pe*t.probFormula(f.Restrict(e, true), memo) +
-		(1-pe)*t.probFormula(f.Restrict(e, false), memo)
+	p := pe*t.probFormula(f.Restrict(e, true), memo, cc) +
+		(1-pe)*t.probFormula(f.Restrict(e, false), memo, cc)
 	memo[key] = p
 	return p
 }
@@ -273,6 +330,42 @@ func (t *Table) EstimateFormula(f Formula, samples int, r *rand.Rand) (float64, 
 	}
 	hits := 0
 	for i := 0; i < samples; i++ {
+		if f.Eval(t.SampleAssignment(events, r)) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(samples), nil
+}
+
+// EstimateFormulaCtx is EstimateFormula honoring context cancellation
+// between sample batches.
+func (t *Table) EstimateFormulaCtx(ctx context.Context, f Formula, samples int, r *rand.Rand) (float64, error) {
+	if samples <= 0 {
+		return 0, fmt.Errorf("event: non-positive sample count %d", samples)
+	}
+	events := f.Events()
+	for _, e := range events {
+		if !t.Has(e) {
+			return 0, fmt.Errorf("event: unknown event %q in formula %q", e, f)
+		}
+	}
+	if ctx != nil && ctx.Done() == nil {
+		ctx = nil
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			engineCancellations.Add(1)
+			return math.NaN(), err
+		}
+	}
+	hits := 0
+	for i := 0; i < samples; i++ {
+		if ctx != nil && i&(cancelCheckInterval-1) == cancelCheckInterval-1 {
+			if err := ctx.Err(); err != nil {
+				engineCancellations.Add(1)
+				return math.NaN(), err
+			}
+		}
 		if f.Eval(t.SampleAssignment(events, r)) {
 			hits++
 		}

@@ -1,10 +1,25 @@
 package event
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"slices"
 )
+
+// cancelCheckInterval is how many Shannon-expansion nodes (or
+// Monte-Carlo samples) are processed between context checks: a power
+// of two so the check is a mask test, frequent enough that abandoning
+// a pathological DNF takes microseconds, rare enough that the check is
+// unmeasurable on ordinary evaluations (see the fault/overhead bench
+// probe).
+const cancelCheckInterval = 1024
+
+// evalCanceled carries a context error out of the recursion by panic:
+// threading an error return through the hot prob recursion would tax
+// every call for the rare cancelled one. It never escapes the package
+// — ProbCtx recovers it.
+type evalCanceled struct{ err error }
 
 // This file is the evaluation back end of the exact probability engine:
 // memoized Shannon expansion over the compiled clause form, with
@@ -28,6 +43,13 @@ type engine struct {
 	c    *Compiled
 	memo map[uint64]memoEntry
 
+	// ctx, when non-nil, is polled every cancelCheckInterval expansion
+	// nodes; a cancellation aborts the recursion via evalCanceled. nil
+	// (context-free Prob, or a context that can never be cancelled)
+	// costs nothing on the hot path beyond one pointer test.
+	ctx   context.Context
+	steps int
+
 	cnt   []int32 // per-slot literal counts (most-frequent-event scratch)
 	owner []int32 // per-slot first-clause index (component scratch)
 
@@ -39,24 +61,62 @@ type engine struct {
 
 // Prob computes the exact probability of the compiled DNF.
 func (c *Compiled) Prob() float64 {
+	p, _ := c.probCtx(nil)
+	return p
+}
+
+// ProbCtx is Prob with cooperative cancellation: the Shannon expansion
+// polls ctx every cancelCheckInterval nodes and aborts with ctx's
+// error when it fires, so a request deadline or a disconnected client
+// stops a pathological DNF mid-flight instead of pinning a core.
+func (c *Compiled) ProbCtx(ctx context.Context) (float64, error) {
+	if ctx == nil || ctx.Done() == nil {
+		// The context can never be cancelled (Background, TODO):
+		// evaluate on the check-free path.
+		ctx = nil
+	}
+	return c.probCtx(ctx)
+}
+
+func (c *Compiled) probCtx(ctx context.Context) (p float64, err error) {
+	if ctx != nil {
+		// Evaluations shorter than cancelCheckInterval never reach a
+		// periodic poll, so an already-expired context must abort here.
+		if err := ctx.Err(); err != nil {
+			engineCancellations.Inc()
+			return math.NaN(), err
+		}
+	}
 	if c.isTrue {
-		return 1
+		return 1, nil
 	}
 	if len(c.clauses) == 0 {
-		return 0
+		return 0, nil
 	}
 	e := &engine{
 		c:     c,
+		ctx:   ctx,
 		memo:  make(map[uint64]memoEntry),
 		cnt:   make([]int32, len(c.probs)),
 		owner: make([]int32, len(c.probs)),
 	}
-	p := e.prob(c.clauses)
-	engineMemoHits.Add(e.hits)
-	engineMemoMisses.Add(e.misses)
-	engineComponents.Add(e.components)
-	engineHashCollisions.Add(e.collisions)
-	return p
+	defer func() {
+		// Counter deltas flush even on abort, so /stats stays truthful
+		// about work done by cancelled evaluations.
+		engineMemoHits.Add(e.hits)
+		engineMemoMisses.Add(e.misses)
+		engineComponents.Add(e.components)
+		engineHashCollisions.Add(e.collisions)
+		if r := recover(); r != nil {
+			ec, ok := r.(evalCanceled)
+			if !ok {
+				panic(r)
+			}
+			engineCancellations.Inc()
+			p, err = math.NaN(), ec.err
+		}
+	}()
+	return e.prob(c.clauses), nil
 }
 
 // allocInts hands out n int32s of arena memory. Blocks are never
@@ -158,6 +218,13 @@ func (e *engine) clauseProb(c cclause) float64 {
 // prob computes P(∨ cls) for a canonical clause list by memoized
 // Shannon expansion with component decomposition.
 func (e *engine) prob(cls []cclause) float64 {
+	if e.ctx != nil {
+		if e.steps++; e.steps&(cancelCheckInterval-1) == 0 {
+			if err := e.ctx.Err(); err != nil {
+				panic(evalCanceled{err})
+			}
+		}
+	}
 	switch len(cls) {
 	case 0:
 		return 0
@@ -355,18 +422,45 @@ func (e *engine) cofactor(cls []cclause, slot int32, v bool) ([]cclause, bool) {
 // uint64 and clause evaluation is two word operations. A non-positive
 // sample count returns NaN (EstimateDNF reports it as an error).
 func (c *Compiled) Estimate(samples int, r *rand.Rand) float64 {
+	p, _ := c.estimateCtx(nil, samples, r)
+	return p
+}
+
+// EstimateCtx is Estimate with cooperative cancellation: the sampling
+// loop polls ctx every cancelCheckInterval samples and returns its
+// error (with a NaN estimate) when it fires.
+func (c *Compiled) EstimateCtx(ctx context.Context, samples int, r *rand.Rand) (float64, error) {
+	if ctx == nil || ctx.Done() == nil {
+		ctx = nil
+	}
+	return c.estimateCtx(ctx, samples, r)
+}
+
+func (c *Compiled) estimateCtx(ctx context.Context, samples int, r *rand.Rand) (float64, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			engineCancellations.Inc()
+			return math.NaN(), err
+		}
+	}
 	if samples <= 0 {
-		return math.NaN()
+		return math.NaN(), nil
 	}
 	if c.isTrue {
-		return 1
+		return 1, nil
 	}
 	if len(c.clauses) == 0 {
-		return 0
+		return 0, nil
 	}
 	hits := 0
 	if c.small {
 		for i := 0; i < samples; i++ {
+			if ctx != nil && i&(cancelCheckInterval-1) == cancelCheckInterval-1 {
+				if err := ctx.Err(); err != nil {
+					engineCancellations.Inc()
+					return math.NaN(), err
+				}
+			}
 			var w uint64
 			for s, p := range c.probs {
 				if r.Float64() < p {
@@ -383,6 +477,12 @@ func (c *Compiled) Estimate(samples int, r *rand.Rand) float64 {
 	} else {
 		world := make([]bool, len(c.probs))
 		for i := 0; i < samples; i++ {
+			if ctx != nil && i&(cancelCheckInterval-1) == cancelCheckInterval-1 {
+				if err := ctx.Err(); err != nil {
+					engineCancellations.Inc()
+					return math.NaN(), err
+				}
+			}
 			for s, p := range c.probs {
 				world[s] = r.Float64() < p
 			}
@@ -401,5 +501,5 @@ func (c *Compiled) Estimate(samples int, r *rand.Rand) float64 {
 			}
 		}
 	}
-	return float64(hits) / float64(samples)
+	return float64(hits) / float64(samples), nil
 }

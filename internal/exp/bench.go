@@ -178,6 +178,26 @@ func Probes() []Probe {
 				}
 			}
 		}},
+		{"fault/overhead/off/events=14", func(b *testing.B) {
+			tab, d := AblationDNF(14)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := tab.ProbDNF(d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"fault/overhead/on/events=14", func(b *testing.B) {
+			tab, d := AblationDNF(14)
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := tab.ProbDNFCtx(ctx, d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 		{"expand/worlds/events=12", func(b *testing.B) {
 			ft := SectionDoc(12)
 			b.ReportAllocs()

@@ -1,6 +1,7 @@
 package keyword
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -115,6 +116,19 @@ const tolerance = 1e-9
 // Search runs one keyword search against the index. It is safe for
 // concurrent use (the index is immutable).
 func Search(ix *Index, req Request) (*Result, error) {
+	return SearchContext(context.Background(), ix, req)
+}
+
+// SearchContext is Search honoring context cancellation: the candidate
+// bound/probability loops check ctx between candidates (and the
+// per-candidate Shannon expansions check it internally), and Monte-Carlo
+// world sampling checks it between samples. On cancellation the partial
+// result is discarded and the context's error returned. A context that
+// can never be cancelled costs nothing over Search.
+func SearchContext(ctx context.Context, ix *Index, req Request) (*Result, error) {
+	if ctx != nil && ctx.Done() == nil {
+		ctx = nil
+	}
 	tokens, err := RequiredTokens(req.Keywords)
 	if err != nil {
 		return nil, err
@@ -151,7 +165,12 @@ func Search(ix *Index, req Request) (*Result, error) {
 	if req.MinProb > 0 {
 		kept = kept[:0]
 		for _, v := range cands {
-			b, err := ev.upperBound(v)
+			if ctx != nil {
+				if cerr := ctx.Err(); cerr != nil {
+					return nil, cerr
+				}
+			}
+			b, err := ev.upperBound(ctx, v)
 			if err != nil {
 				return nil, err
 			}
@@ -167,7 +186,7 @@ func Search(ix *Index, req Request) (*Result, error) {
 
 	probs := make(map[int32]float64, len(kept))
 	if req.MC {
-		if err := estimateWorlds(ix, tokens, req, kept, probs); err != nil {
+		if err := estimateWorlds(ctx, ix, tokens, req, kept, probs); err != nil {
 			return nil, err
 		}
 		// An estimate can exceed the candidate's provable upper bound
@@ -181,11 +200,16 @@ func Search(ix *Index, req Request) (*Result, error) {
 		}
 	} else {
 		for _, v := range kept {
+			if ctx != nil {
+				if cerr := ctx.Err(); cerr != nil {
+					return nil, cerr
+				}
+			}
 			f, err := ev.answerFormula(v, req.Mode)
 			if err != nil {
 				return nil, err
 			}
-			p, err := ix.tree.Table.ProbFormula(f)
+			p, err := ix.tree.Table.ProbFormulaCtx(ctx, f)
 			if err != nil {
 				return nil, fmt.Errorf("keyword: %w", err)
 			}
@@ -383,10 +407,10 @@ func (e *evaluator) containF(v int32) event.Formula {
 // upperBound computes min over keywords of P(some witness exists under
 // v): each factor of the containment formula alone, so it dominates
 // P(contain v) and hence the answer probability in either mode.
-func (e *evaluator) upperBound(v int32) (float64, error) {
+func (e *evaluator) upperBound(ctx context.Context, v int32) (float64, error) {
 	bound := 1.0
 	for k := range e.tokens {
-		p, err := e.ix.tree.Table.ProbDNF(e.witnessDNF(k, v))
+		p, err := e.ix.tree.Table.ProbDNFCtx(ctx, e.witnessDNF(k, v))
 		if err != nil {
 			return 0, fmt.Errorf("keyword: %w", err)
 		}
@@ -464,7 +488,7 @@ func (e *evaluator) answerFormula(v int32, mode Mode) (event.Formula, error) {
 // evaluates the SLCA/ELCA sets of that world with the linear mask
 // recurrence. All candidates are estimated from the same worlds, so the
 // estimates are independent of which candidates pruning kept.
-func estimateWorlds(ix *Index, tokens []string, req Request, kept []int32, probs map[int32]float64) error {
+func estimateWorlds(ctx context.Context, ix *Index, tokens []string, req Request, kept []int32, probs map[int32]float64) error {
 	if len(kept) == 0 {
 		return nil // everything pruned; don't pay for the sampling loop
 	}
@@ -501,6 +525,12 @@ func estimateWorlds(ix *Index, tokens []string, req Request, kept []int32, probs
 	excl := make([]uint64, len(ix.nodes)) // ELCA: union of non-full child masks
 	hits := make(map[int32]int, len(kept))
 	for s := 0; s < samples; s++ {
+		// One sample is O(nodes); a per-sample poll is noise next to it.
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		a := ix.tree.Table.SampleAssignment(events, r)
 		for i := range ix.nodes {
 			n := &ix.nodes[i]

@@ -130,6 +130,21 @@ func (c *lruCache) invalidateDoc(doc string) {
 	}
 }
 
+// invalidateAll empties the cache and starts a new epoch, so fills
+// computed against pre-reopen snapshots can never land. Called after a
+// warehouse Reopen replaces every document snapshot.
+func (c *lruCache) invalidateAll() {
+	if !c.enabled() {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gens = make(map[string]uint64)
+	c.epoch++
+	c.ll.Init()
+	c.items = make(map[queryKey]*list.Element)
+}
+
 func (c *lruCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -18,10 +18,12 @@
 //	GET    /docs/{name}/views/{view}      read a view's maintained answers
 //	DELETE /docs/{name}/views/{view}      drop a view
 //	POST   /admin/compact         truncate the journal
+//	POST   /admin/reopen          re-run recovery, clearing degraded mode
 //	GET    /stats                 request, cache, engine, journal, search and view counters
 //	GET    /metrics               Prometheus text exposition of the same counters
 //	GET    /debug/traces          ring buffer of recent request traces (opt-in, see Options.ExposeDebugTraces)
 //	GET    /healthz               liveness probe
+//	GET    /readyz                readiness probe (503 while degraded)
 //
 // Query and search results are served from an LRU cache keyed by
 // (document, canonical query or keyword set, mode); any mutation of a
@@ -43,6 +45,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -103,6 +106,33 @@ type Options struct {
 	// mount TracesHandler there instead (pxserve serves it on the
 	// -pprof address).
 	ExposeDebugTraces bool
+	// RequestTimeout, when positive, bounds each request's evaluation:
+	// the request context is cancelled after this long, the evaluation
+	// pipeline aborts at its next cancellation check, and the client
+	// gets 503 with a typed timeout error (distinct from a client
+	// disconnect, which is counted separately and never produces a
+	// visible response). Observability routes (/stats, /metrics,
+	// /healthz, /readyz, /debug/traces) are exempt.
+	RequestTimeout time.Duration
+	// MaxInFlight, when positive, caps the number of requests evaluating
+	// concurrently; excess requests are shed immediately with 429
+	// instead of queueing unboundedly. Observability routes are exempt,
+	// so scrapes and probes keep answering while the workers are
+	// saturated.
+	MaxInFlight int
+}
+
+// exemptRoutes never get a request timeout or count against the
+// in-flight cap: they are the routes an operator uses to observe an
+// overloaded or degraded server, and they do cheap in-memory reads
+// only — letting the workload starve them would blind exactly the
+// tooling that diagnoses the overload.
+var exemptRoutes = map[string]bool{
+	"GET /stats":        true,
+	"GET /metrics":      true,
+	"GET /healthz":      true,
+	"GET /readyz":       true,
+	"GET /debug/traces": true,
 }
 
 // Server is an http.Handler serving a warehouse. Create one with New.
@@ -118,6 +148,14 @@ type Server struct {
 
 	slowThreshold time.Duration
 	slowLog       *slog.Logger
+
+	timeout  time.Duration
+	inflight chan struct{} // nil: no cap; else buffered semaphore
+
+	cancelTimeout    *obs.Counter
+	cancelDisconnect *obs.Counter
+	loadShed         *obs.Counter
+	degradedRejects  *obs.Counter
 }
 
 // New builds a Server over an open warehouse. The caller remains
@@ -151,7 +189,20 @@ func New(wh *warehouse.Warehouse, opts Options) *Server {
 
 		slowThreshold: opts.SlowQueryThreshold,
 		slowLog:       slowLog,
+
+		timeout: opts.RequestTimeout,
 	}
+	if opts.MaxInFlight > 0 {
+		s.inflight = make(chan struct{}, opts.MaxInFlight)
+	}
+	s.cancelTimeout = reg.Counter("px_cancellations_total",
+		"request evaluations cancelled mid-flight, by reason", obs.L("reason", "timeout"))
+	s.cancelDisconnect = reg.Counter("px_cancellations_total",
+		"request evaluations cancelled mid-flight, by reason", obs.L("reason", "disconnect"))
+	s.loadShed = reg.Counter("px_load_shed_total",
+		"requests shed with 429 because the in-flight cap was reached")
+	s.degradedRejects = reg.Counter("px_degraded_rejections_total",
+		"writes rejected with 503 while the warehouse was degraded")
 	if ringSize > 0 {
 		s.traces = obs.NewTraceRing(ringSize)
 	}
@@ -180,10 +231,12 @@ func New(wh *warehouse.Warehouse, opts Options) *Server {
 	s.route("POST /admin/compact", s.handleCompact)
 	s.route("GET /stats", s.handleStats)
 	s.route("GET /metrics", s.handleMetrics)
+	s.route("POST /admin/reopen", s.handleReopen)
 	if opts.ExposeDebugTraces {
 		s.route("GET /debug/traces", s.handleTraces)
 	}
 	s.route("GET /healthz", s.handleHealthz)
+	s.route("GET /readyz", s.handleReadyz)
 	return s
 }
 
@@ -209,8 +262,30 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // once, so the per-request recording is lock-free.
 func (s *Server) route(pattern string, h http.HandlerFunc) {
 	s.stats.register(pattern)
+	exempt := exemptRoutes[pattern]
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		if !exempt && s.inflight != nil {
+			select {
+			case s.inflight <- struct{}{}:
+				defer func() { <-s.inflight }()
+			default:
+				// Shed instead of queueing: a saturated server answering
+				// 429 immediately is retryable; one queueing unboundedly
+				// is not answering at all.
+				s.loadShed.Inc()
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusTooManyRequests,
+					errors.New("server at capacity, retry later"))
+				s.stats.record(pattern, http.StatusTooManyRequests, time.Since(start))
+				return
+			}
+		}
+		if !exempt && s.timeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
 		trace, root := obs.NewTrace(pattern, s.stats.observeStage)
 		r = r.WithContext(obs.ContextWithSpan(r.Context(), root))
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
@@ -259,6 +334,12 @@ func (r *statusRecorder) WriteHeader(status int) {
 	r.ResponseWriter.WriteHeader(status)
 }
 
+// StatusClientClosedRequest is the non-standard 499 status (nginx
+// convention) recorded when a client disconnects mid-evaluation. The
+// response itself is never seen; the status exists to keep the metrics
+// and logs honest about why the evaluation stopped.
+const StatusClientClosedRequest = 499
+
 // errStatus maps warehouse and parse failures to HTTP status codes.
 func errStatus(err error) int {
 	switch {
@@ -268,8 +349,12 @@ func errStatus(err error) int {
 		return http.StatusConflict
 	case errors.Is(err, warehouse.ErrInvalidName), errors.Is(err, warehouse.ErrInvalidView):
 		return http.StatusBadRequest
-	case errors.Is(err, warehouse.ErrClosed):
+	case errors.Is(err, warehouse.ErrClosed), errors.Is(err, warehouse.ErrDegraded):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled):
+		return StatusClientClosedRequest
 	default:
 		return http.StatusInternalServerError
 	}
@@ -277,6 +362,31 @@ func errStatus(err error) int {
 
 func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// writeErr reports an evaluation failure, distinguishing the
+// fault-tolerance outcomes: a degraded warehouse answers 503 with
+// Retry-After (the operator runbook in docs/FAULTS.md clears it), a
+// request timeout answers 503 with a typed message and counts as a
+// timeout cancellation, and a client disconnect is recorded as 499
+// (the response goes nowhere). Everything else falls through to the
+// conventional errStatus mapping.
+func (s *Server) writeErr(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, warehouse.ErrDegraded):
+		s.degradedRejects.Inc()
+		w.Header().Set("Retry-After", "30")
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.cancelTimeout.Inc()
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("request timed out after %v: %w", s.timeout, err))
+	case errors.Is(err, context.Canceled):
+		s.cancelDisconnect.Inc()
+		writeError(w, StatusClientClosedRequest, err)
+	default:
+		writeError(w, errStatus(err), err)
+	}
 }
 
 // bodyStatus distinguishes an oversized body (the MaxBytesReader
@@ -294,7 +404,7 @@ func bodyStatus(err error) int {
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	names, err := s.wh.List()
 	if err != nil {
-		writeError(w, errStatus(err), err)
+		s.writeErr(w, r, err)
 		return
 	}
 	if names == nil {
@@ -320,7 +430,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.wh.CreateCtx(r.Context(), name, doc); err != nil {
-		writeError(w, errStatus(err), err)
+		s.writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, DocInfo{
@@ -334,7 +444,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	data, err := s.wh.GetXMLCtx(r.Context(), r.PathValue("name"))
 	if err != nil {
-		writeError(w, errStatus(err), err)
+		s.writeErr(w, r, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/xml")
@@ -344,7 +454,7 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if err := s.wh.Drop(name); err != nil {
-		writeError(w, errStatus(err), err)
+		s.writeErr(w, r, err)
 		return
 	}
 	s.cache.invalidateDoc(name)
@@ -354,7 +464,7 @@ func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStat(w http.ResponseWriter, r *http.Request) {
 	info, err := s.wh.Stat(r.PathValue("name"))
 	if err != nil {
-		writeError(w, errStatus(err), err)
+		s.writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, DocInfo{
@@ -446,7 +556,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		raw, err = s.wh.QueryMCCtx(r.Context(), name, q, samples, rand.New(rand.NewSource(seed)))
 	}
 	if err != nil {
-		writeError(w, errStatus(err), err)
+		s.writeErr(w, r, err)
 		return
 	}
 	answers := encodeAnswers(raw)
@@ -553,7 +663,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 
 	res, err := s.wh.SearchCtx(r.Context(), name, kreq)
 	if err != nil {
-		writeError(w, errStatus(err), err)
+		s.writeErr(w, r, err)
 		return
 	}
 	resp := SearchResponse{
@@ -587,7 +697,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	}
 	stats, err := s.wh.UpdateCtx(r.Context(), name, tx)
 	if err != nil {
-		writeError(w, errStatus(err), err)
+		s.writeErr(w, r, err)
 		return
 	}
 	s.cache.invalidateDoc(name)
@@ -604,7 +714,7 @@ func (s *Server) handleSimplify(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	stats, err := s.wh.SimplifyCtx(r.Context(), name)
 	if err != nil {
-		writeError(w, errStatus(err), err)
+		s.writeErr(w, r, err)
 		return
 	}
 	s.cache.invalidateDoc(name)
@@ -638,7 +748,7 @@ func (s *Server) handleViewRegister(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.wh.RegisterViewCtx(r.Context(), doc, name, req.Query, req.Syntax)
 	if err != nil {
-		writeError(w, errStatus(err), err)
+		s.writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, encodeView(res))
@@ -651,7 +761,7 @@ func (s *Server) handleViewRegister(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleViewRead(w http.ResponseWriter, r *http.Request) {
 	res, err := s.wh.ReadView(r.PathValue("name"), r.PathValue("view"))
 	if err != nil {
-		writeError(w, errStatus(err), err)
+		s.writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, encodeView(res))
@@ -660,7 +770,7 @@ func (s *Server) handleViewRead(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleViewDrop(w http.ResponseWriter, r *http.Request) {
 	doc, name := r.PathValue("name"), r.PathValue("view")
 	if err := s.wh.DropView(doc, name); err != nil {
-		writeError(w, errStatus(err), err)
+		s.writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"dropped": name})
@@ -669,7 +779,7 @@ func (s *Server) handleViewDrop(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleViewList(w http.ResponseWriter, r *http.Request) {
 	defs, err := s.wh.ListViews(r.PathValue("name"))
 	if err != nil {
-		writeError(w, errStatus(err), err)
+		s.writeErr(w, r, err)
 		return
 	}
 	resp := ViewListResponse{Views: make([]ViewInfo, len(defs))}
@@ -683,7 +793,7 @@ func (s *Server) handleViewList(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	if err := s.wh.Compact(); err != nil {
-		writeError(w, errStatus(err), err)
+		s.writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]bool{"compacted": true})
@@ -701,7 +811,9 @@ func (s *Server) Snapshot() StatsSnapshot {
 	if capacity < 0 {
 		capacity = 0
 	}
-	return s.stats.snapshot(s.cache.len(), capacity, s.wh.JournalStats(), s.wh.SearchStats(), s.wh.ViewStats())
+	snap := s.stats.snapshot(s.cache.len(), capacity, s.wh.JournalStats(), s.wh.SearchStats(), s.wh.ViewStats())
+	snap.Degraded, snap.DegradedReason = s.wh.Degraded()
+	return snap
 }
 
 // handleMetrics serves the Prometheus text exposition, merging the
@@ -724,4 +836,32 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is the readiness probe: 200 while the warehouse accepts
+// writes, 503 with the degradation cause while it is read-only (see
+// docs/FAULTS.md). Liveness (/healthz) stays green in either state —
+// a degraded server is alive and serving reads; restarting it without
+// recovery would not help.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if degraded, reason := s.wh.Degraded(); degraded {
+		writeJSON(w, http.StatusServiceUnavailable,
+			map[string]string{"status": "degraded", "reason": reason})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReopen re-runs recovery on the warehouse directory and clears
+// degraded mode on success — the in-process equivalent of restarting
+// the server after `pxwarehouse recover`. Waits for in-flight
+// operations like Compact does.
+func (s *Server) handleReopen(w http.ResponseWriter, r *http.Request) {
+	if err := s.wh.Reopen(); err != nil {
+		s.writeErr(w, r, err)
+		return
+	}
+	// Every cache entry refers to pre-reopen snapshots; drop them all.
+	s.cache.invalidateAll()
+	writeJSON(w, http.StatusOK, map[string]bool{"reopened": true})
 }

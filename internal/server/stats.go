@@ -156,6 +156,12 @@ type SearchSnapshot struct {
 type StatsSnapshot struct {
 	// Version is the build identifier (see Version).
 	Version string `json:"version"`
+	// Degraded reports whether the warehouse is in degraded read-only
+	// mode (writes rejected after an unrecoverable storage error);
+	// DegradedReason carries the failing operation and error. See
+	// docs/FAULTS.md for the recovery runbook.
+	Degraded       bool   `json:"degraded"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
 	// UptimeSeconds is the time since the server was constructed.
 	UptimeSeconds float64                  `json:"uptime_seconds"`
 	Requests      map[string]RouteSnapshot `json:"requests"`

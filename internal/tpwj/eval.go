@@ -114,9 +114,9 @@ func EvalFuzzyContext(ctx context.Context, q *Query, ft *fuzzy.Tree) ([]ProbAnsw
 		var p float64
 		var perr error
 		if answers[i].Cond != nil {
-			p, perr = ft.Table.ProbDNF(answers[i].Cond)
+			p, perr = ft.Table.ProbDNFCtx(ctx, answers[i].Cond)
 		} else {
-			p, perr = ft.Table.ProbFormula(answers[i].Formula)
+			p, perr = ft.Table.ProbFormulaCtx(ctx, answers[i].Formula)
 		}
 		if perr != nil {
 			return nil, fmt.Errorf("tpwj: %w", perr)
@@ -161,9 +161,9 @@ func EvalFuzzyMonteCarloContext(ctx context.Context, q *Query, ft *fuzzy.Tree, s
 		var p float64
 		var perr error
 		if answers[i].Cond != nil {
-			p, perr = ft.Table.EstimateDNF(answers[i].Cond, samples, r)
+			p, perr = ft.Table.EstimateDNFCtx(ctx, answers[i].Cond, samples, r)
 		} else {
-			p, perr = ft.Table.EstimateFormula(answers[i].Formula, samples, r)
+			p, perr = ft.Table.EstimateFormulaCtx(ctx, answers[i].Formula, samples, r)
 		}
 		if perr != nil {
 			return nil, perr
@@ -197,6 +197,13 @@ func EvalFuzzySymbolic(q *Query, ft *fuzzy.Tree) ([]ProbAnswer, error) {
 	return evalFuzzySymbolic(context.Background(), q, ft)
 }
 
+// EvalFuzzySymbolicContext is EvalFuzzySymbolic honoring context
+// cancellation (polled every few hundred matches) and recording spans
+// when ctx carries an obs trace.
+func EvalFuzzySymbolicContext(ctx context.Context, q *Query, ft *fuzzy.Tree) ([]ProbAnswer, error) {
+	return evalFuzzySymbolic(ctx, q, ft)
+}
+
 // evalFuzzySymbolic computes answers and their conditions (DNF for
 // positive queries, general formulas when the pattern uses negation)
 // without probabilities. The match enumeration records a "tpwj.match"
@@ -209,7 +216,7 @@ func evalFuzzySymbolic(ctx context.Context, q *Query, ft *fuzzy.Tree) ([]ProbAns
 	if q.HasNegation() {
 		_, span := obs.StartSpan(ctx, "tpwj.match")
 		defer span.End()
-		return evalFuzzyNegSymbolic(q, ft)
+		return evalFuzzyNegSymbolic(ctx, q, ft)
 	}
 	_, mspan := obs.StartSpan(ctx, "tpwj.match")
 	doc, toFuzzy := underlyingWithMap(ft)
@@ -219,7 +226,11 @@ func evalFuzzySymbolic(ctx context.Context, q *Query, ft *fuzzy.Tree) ([]ProbAns
 		dnf  event.DNF
 	}
 	byCanon := make(map[string]*acc)
+	stop := newMatchCancel(ctx)
 	err := ForEachMatch(q, ix, func(m Match) bool {
+		if stop.hit() {
+			return false
+		}
 		var clause event.Condition
 		for _, n := range answerNodes(ix, m) {
 			clause = append(clause, toFuzzy[n].Cond...)
@@ -239,6 +250,9 @@ func evalFuzzySymbolic(ctx context.Context, q *Query, ft *fuzzy.Tree) ([]ProbAns
 		return true
 	})
 	mspan.End()
+	if err == nil {
+		err = stop.err
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -258,6 +272,39 @@ func evalFuzzySymbolic(ctx context.Context, q *Query, ft *fuzzy.Tree) ([]ProbAns
 	return out, nil
 }
 
+// matchCancel polls a context once every 256 match-callback calls, the
+// cooperative cancellation point of the symbolic pass (a single callback
+// is cheap; enumerations are long because matches are many). A context
+// that can never be cancelled costs one nil check per match.
+type matchCancel struct {
+	ctx context.Context
+	n   int
+	err error
+}
+
+func newMatchCancel(ctx context.Context) *matchCancel {
+	if ctx == nil || ctx.Done() == nil {
+		return &matchCancel{}
+	}
+	return &matchCancel{ctx: ctx}
+}
+
+// hit reports whether enumeration must stop; it records the context
+// error for the caller to return after the enumerator unwinds.
+func (mc *matchCancel) hit() bool {
+	if mc.ctx == nil {
+		return false
+	}
+	if mc.n++; mc.n&255 != 0 {
+		return false
+	}
+	if err := mc.ctx.Err(); err != nil {
+		mc.err = err
+		return true
+	}
+	return false
+}
+
 // evalFuzzyNegSymbolic handles queries with forbidden sub-patterns
 // (negation extension): a valuation's condition becomes
 //
@@ -266,7 +313,7 @@ func evalFuzzySymbolic(ctx context.Context, q *Query, ft *fuzzy.Tree) ([]ProbAns
 // — a general Boolean formula, since a forbidden node may exist in some
 // worlds only. Matches are therefore enumerated without the plain-tree
 // not-exists filter; the filter is expressed probabilistically instead.
-func evalFuzzyNegSymbolic(q *Query, ft *fuzzy.Tree) ([]ProbAnswer, error) {
+func evalFuzzyNegSymbolic(ctx context.Context, q *Query, ft *fuzzy.Tree) ([]ProbAnswer, error) {
 	doc, toFuzzy := underlyingWithMap(ft)
 	ix := tree.NewIndex(doc)
 	type acc struct {
@@ -274,7 +321,11 @@ func evalFuzzyNegSymbolic(q *Query, ft *fuzzy.Tree) ([]ProbAnswer, error) {
 		formulas []event.Formula
 	}
 	byCanon := make(map[string]*acc)
+	stop := newMatchCancel(ctx)
 	err := forEachMatch(q, ix, false, func(m Match) bool {
+		if stop.hit() {
+			return false
+		}
 		var clause event.Condition
 		for _, n := range answerNodes(ix, m) {
 			clause = append(clause, toFuzzy[n].Cond...)
@@ -327,6 +378,9 @@ func evalFuzzyNegSymbolic(q *Query, ft *fuzzy.Tree) ([]ProbAnswer, error) {
 		entry.formulas = append(entry.formulas, phi)
 		return true
 	})
+	if err == nil {
+		err = stop.err
+	}
 	if err != nil {
 		return nil, err
 	}

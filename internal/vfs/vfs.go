@@ -1,0 +1,85 @@
+// Package vfs is the filesystem seam of the warehouse: a small
+// interface covering exactly the operations the storage layer performs
+// (open/read/readdir/stat/rename/remove/truncate/mkdir plus per-file
+// write/sync/close), a default implementation backed by package os, and
+// a programmable fault injector for tests.
+//
+// Every call names an area — "journal", "doc", "views", "layout" — and
+// the operation is implied by the method, giving each call site a named
+// fault point of the form "<area>.<op>" ("journal.sync", "doc.rename",
+// "views.write", ...). The injector matches faults by point, so a test
+// can fail the third journal fsync, tear a snapshot write, or add
+// latency to every doc rename without the storage code knowing it is
+// under test. docs/FAULTS.md catalogs the points the warehouse emits.
+//
+// The OS implementation ignores the area tags and forwards to package
+// os unchanged, so callers keep receiving the raw os errors they
+// already classify (fs.ErrNotExist and friends). This interface is
+// also the seam the planned Store refactor (ROADMAP) will slot into.
+package vfs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// File is the warehouse's view of an open file: sequential reads or
+// writes followed by an explicit Sync and Close. (*os.File satisfies
+// it directly.)
+type File interface {
+	io.Reader
+	io.Writer
+	Sync() error
+	Close() error
+	Name() string
+}
+
+// FS is the filesystem interface all warehouse I/O goes through. The
+// area argument tags the subsystem making the call ("journal", "doc",
+// "views", "layout") and, combined with the operation name, forms the
+// fault point an injector matches on.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics. Point: <area>.open.
+	// The returned File's Read/Write/Sync/Close hit <area>.read, .write,
+	// .sync and .close.
+	OpenFile(area, name string, flag int, perm os.FileMode) (File, error)
+	// ReadFile reads the whole file. Point: <area>.readfile.
+	ReadFile(area, name string) ([]byte, error)
+	// ReadDir lists a directory. Point: <area>.readdir.
+	ReadDir(area, name string) ([]fs.DirEntry, error)
+	// Stat stats a path. Point: <area>.stat.
+	Stat(area, name string) (fs.FileInfo, error)
+	// Rename atomically replaces newpath with oldpath. Point: <area>.rename.
+	Rename(area, oldpath, newpath string) error
+	// Remove deletes a file. Point: <area>.remove.
+	Remove(area, name string) error
+	// Truncate truncates a file to size. Point: <area>.truncate.
+	Truncate(area, name string, size int64) error
+	// MkdirAll creates a directory tree. Point: <area>.mkdir.
+	MkdirAll(area, name string, perm os.FileMode) error
+}
+
+// OS is the default FS: package os, area tags ignored, errors passed
+// through untouched.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(_, name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) ReadFile(_, name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) ReadDir(_, name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+
+func (osFS) Stat(_, name string) (fs.FileInfo, error) { return os.Stat(name) }
+
+func (osFS) Rename(_, oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(_, name string) error { return os.Remove(name) }
+
+func (osFS) Truncate(_, name string, size int64) error { return os.Truncate(name, size) }
+
+func (osFS) MkdirAll(_, name string, perm os.FileMode) error { return os.MkdirAll(name, perm) }

@@ -1,0 +1,185 @@
+package vfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	name := filepath.Join(dir, "a.txt")
+	f, err := OS.OpenFile("doc", name, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := OS.ReadFile("doc", name)
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", data, err)
+	}
+	if _, err := OS.Stat("doc", name); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := OS.ReadDir("doc", dir)
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("ReadDir = %v, %v", ents, err)
+	}
+	if err := OS.Rename("doc", name, filepath.Join(dir, "b.txt")); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.Truncate("doc", filepath.Join(dir, "b.txt"), 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.Remove("doc", filepath.Join(dir, "b.txt")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OS.Stat("doc", name); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("Stat after remove: %v", err)
+	}
+}
+
+func TestInjectorFailOnNth(t *testing.T) {
+	inj := NewInjector()
+	inj.Set("journal.sync", Fault{AfterN: 2})
+	for i := 0; i < 2; i++ {
+		if err := inj.fire("journal.sync"); err != nil {
+			t.Fatalf("call %d tripped early: %v", i, err)
+		}
+	}
+	if err := inj.fire("journal.sync"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("third call = %v, want ErrInjected", err)
+	}
+	if inj.Trips("journal.sync") != 1 || inj.Calls("journal.sync") != 3 {
+		t.Fatalf("trips=%d calls=%d", inj.Trips("journal.sync"), inj.Calls("journal.sync"))
+	}
+}
+
+func TestInjectorFailOnceThenHeal(t *testing.T) {
+	inj := NewInjector()
+	inj.Set("doc.rename", Fault{Count: 1, Err: syscall.ENOSPC})
+	if err := inj.fire("doc.rename"); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("first = %v", err)
+	}
+	if err := inj.fire("doc.rename"); err != nil {
+		t.Fatalf("healed call = %v", err)
+	}
+}
+
+func TestInjectorLatencyOnly(t *testing.T) {
+	inj := NewInjector()
+	inj.Set("doc.write", Fault{Delay: 5 * time.Millisecond})
+	start := time.Now()
+	if err := inj.fire("doc.write"); err != nil {
+		t.Fatalf("latency fault errored: %v", err)
+	}
+	if d := time.Since(start); d < 5*time.Millisecond {
+		t.Fatalf("no delay injected (took %v)", d)
+	}
+}
+
+func TestFaultFSTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector()
+	ffs := NewFaultFS(OS, inj)
+	inj.Set("journal.write", Fault{Short: true, Count: 1})
+
+	name := filepath.Join(dir, "journal")
+	f, err := ffs.OpenFile("journal", name, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write err = %v", err)
+	}
+	if n != 5 {
+		t.Fatalf("torn write landed %d bytes, want 5", n)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(name)
+	if err != nil || string(data) != "01234" {
+		t.Fatalf("on disk %q, %v", data, err)
+	}
+
+	// Healed: the next write goes through whole.
+	f, err = ffs.OpenFile("journal", name, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("56789")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultFSSyncAndObserved(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector()
+	ffs := NewFaultFS(OS, inj)
+	inj.Set("views.sync", Fault{})
+
+	f, err := ffs.OpenFile("views", filepath.Join(dir, "views.json"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync = %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := inj.Observed()
+	want := map[string]bool{"views.open": true, "views.sync": true, "views.close": true}
+	if len(got) != len(want) {
+		t.Fatalf("Observed = %v", got)
+	}
+	for _, p := range got {
+		if !want[p] {
+			t.Fatalf("unexpected point %q in %v", p, got)
+		}
+	}
+}
+
+func TestFaultFSCloseReleasesDescriptor(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector()
+	ffs := NewFaultFS(OS, inj)
+	inj.Set("doc.close", Fault{Count: 1})
+
+	name := filepath.Join(dir, "d.pxml")
+	f, err := ffs.OpenFile("doc", name, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("close = %v", err)
+	}
+	// The descriptor was released despite the injected error: removing
+	// and recreating the file must work and not hit EMFILE even when
+	// repeated many times.
+	for i := 0; i < 64; i++ {
+		g, err := ffs.OpenFile("doc", name, os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -45,6 +45,7 @@
 package view
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -209,7 +210,15 @@ func newKeyed(a tpwj.ProbAnswer) keyed {
 // form of def (see Definition.Compile); passing it in lets callers
 // compile once at registration and reuse across maintenance passes.
 func Materialize(def Definition, q *tpwj.Query, ft *fuzzy.Tree) (*View, error) {
-	answers, err := tpwj.EvalFuzzy(q, ft)
+	return MaterializeCtx(context.Background(), def, q, ft)
+}
+
+// MaterializeCtx is Materialize honoring context cancellation: the
+// tree-pattern match and the per-answer probability evaluations poll
+// ctx and abort with its error, so a request deadline stops a full
+// recompute mid-flight.
+func MaterializeCtx(ctx context.Context, def Definition, q *tpwj.Query, ft *fuzzy.Tree) (*View, error) {
+	answers, err := tpwj.EvalFuzzyContext(ctx, q, ft)
 	if err != nil {
 		return nil, err
 	}
@@ -225,17 +234,25 @@ func Materialize(def Definition, q *tpwj.Query, ft *fuzzy.Tree) (*View, error) {
 // the successor state (possibly the receiver itself, on the Skip tier)
 // and what it did; the receiver is never mutated.
 func (v *View) Maintain(ft *fuzzy.Tree, d *Delta) (*View, Result, error) {
+	return v.MaintainCtx(context.Background(), ft, d)
+}
+
+// MaintainCtx is Maintain honoring context cancellation. The Skip tier
+// never consults the context (it does no evaluation); the other tiers
+// abort with the context's error, leaving the receiver — still the
+// current state — untouched.
+func (v *View) MaintainCtx(ctx context.Context, ft *fuzzy.Tree, d *Delta) (*View, Result, error) {
 	if d != nil && v.conclusive && !v.affected(d) {
 		return v, Result{Outcome: Skipped}, nil
 	}
 	if d == nil || !v.conclusive {
-		nv, err := Materialize(v.def, v.q, ft)
+		nv, err := MaterializeCtx(ctx, v.def, v.q, ft)
 		if err != nil {
 			return nil, Result{}, err
 		}
 		return nv, Result{Outcome: Full, Recomputed: len(nv.answers)}, nil
 	}
-	return v.maintainIncremental(ft)
+	return v.maintainIncremental(ctx, ft)
 }
 
 // maintainIncremental re-runs the symbolic pass and pays for the
@@ -244,8 +261,8 @@ func (v *View) Maintain(ft *fuzzy.Tree, d *Delta) (*View, Result, error) {
 // event probabilities are immutable once minted: an identical
 // canonical DNF over the (possibly grown) event table denotes the same
 // probability.
-func (v *View) maintainIncremental(ft *fuzzy.Tree) (*View, Result, error) {
-	sym, err := tpwj.EvalFuzzySymbolic(v.q, ft)
+func (v *View) maintainIncremental(ctx context.Context, ft *fuzzy.Tree) (*View, Result, error) {
+	sym, err := tpwj.EvalFuzzySymbolicContext(ctx, v.q, ft)
 	if err != nil {
 		return nil, Result{}, err
 	}
@@ -257,7 +274,7 @@ func (v *View) maintainIncremental(ft *fuzzy.Tree) (*View, Result, error) {
 			k.a.P = v.answers[j].P
 			res.Reused++
 		} else {
-			p, err := answerProb(ft, &k.a)
+			p, err := answerProb(ctx, ft, &k.a)
 			if err != nil {
 				return nil, Result{}, err
 			}
@@ -342,11 +359,11 @@ func condString(a *tpwj.ProbAnswer) string {
 }
 
 // answerProb computes one answer's exact probability.
-func answerProb(ft *fuzzy.Tree, a *tpwj.ProbAnswer) (float64, error) {
+func answerProb(ctx context.Context, ft *fuzzy.Tree, a *tpwj.ProbAnswer) (float64, error) {
 	if a.Cond != nil {
-		return ft.Table.ProbDNF(a.Cond)
+		return ft.Table.ProbDNFCtx(ctx, a.Cond)
 	}
-	return ft.Table.ProbFormula(a.Formula)
+	return ft.Table.ProbFormulaCtx(ctx, a.Formula)
 }
 
 // addWitnessPaths adds the rooted label path of every node of the

@@ -4,12 +4,15 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
 	"sync"
 
 	"repro/internal/obs"
+	"repro/internal/vfs"
 )
 
 // Op enumerates the journal record kinds: three document mutations and
@@ -105,12 +108,19 @@ type journalCounters struct {
 // group-committed: whichever appender reaches the disk first syncs the
 // whole buffered batch, and the others observe their record already
 // covered and return without their own fsync.
+//
+// A failed buffered write, flush or fsync is fatal to the instance:
+// the first such error is latched in failed, every later append
+// returns it without touching the file again (a failed fsync may have
+// dropped the dirty pages — retrying it could "succeed" without the
+// data being durable), and the degrade callback tells the warehouse to
+// go read-only.
 type journal struct {
 	// mu guards the buffered writer, the sequence counter, and the
 	// count of buffered records. It is held only for the in-memory
 	// marshal-and-buffer step, never across an fsync.
 	mu      sync.Mutex
-	f       *os.File
+	f       vfs.File
 	w       *bufio.Writer
 	seq     int64
 	written int64 // records buffered so far
@@ -121,11 +131,21 @@ type journal struct {
 	syncMu sync.Mutex
 	synced int64
 
+	// failMu is a leaf lock guarding failed, the latched first
+	// write-path error. It has its own mutex because append reaches it
+	// under mu and syncTo under syncMu.
+	failMu sync.Mutex
+	failed error
+
 	counters *journalCounters
+	// degrade is the warehouse's notification hook for write-path
+	// failures. It only flips flags — it must not call back into the
+	// journal (it runs with journal locks held).
+	degrade func(op string, err error)
 }
 
-func openJournal(path string, counters *journalCounters) (*journal, []Record, error) {
-	records, clean, torn, err := readJournal(path)
+func openJournal(fsys vfs.FS, path string, counters *journalCounters, degrade func(op string, err error)) (*journal, []Record, error) {
+	records, clean, torn, err := readJournal(fsys, path)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -134,11 +154,11 @@ func openJournal(path string, counters *journalCounters) (*journal, []Record, er
 		// after a partial line would glue onto it, turning the torn
 		// write into mid-file corruption that costs every later record
 		// on the next open.
-		if err := os.Truncate(path, clean); err != nil {
+		if err := fsys.Truncate("journal", path, clean); err != nil {
 			return nil, nil, fmt.Errorf("warehouse: truncate torn journal tail: %w", err)
 		}
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := fsys.OpenFile("journal", path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("warehouse: open journal: %w", err)
 	}
@@ -148,7 +168,8 @@ func openJournal(path string, counters *journalCounters) (*journal, []Record, er
 			seq = r.Seq
 		}
 	}
-	return &journal{f: f, w: bufio.NewWriterSize(f, 1<<16), seq: seq, counters: counters}, records, nil
+	j := &journal{f: f, w: bufio.NewWriterSize(f, 1<<16), seq: seq, counters: counters, degrade: degrade}
+	return j, records, nil
 }
 
 // readJournal loads all well-formed records and reports the byte
@@ -159,15 +180,15 @@ func openJournal(path string, counters *journalCounters) (*journal, []Record, er
 // malformed tail can only belong to a mutation nobody was told
 // succeeded. It is reported (and not counted in clean) rather than
 // treated as an error.
-func readJournal(path string) (records []Record, clean int64, torn bool, err error) {
-	f, err := os.Open(path)
-	if os.IsNotExist(err) {
+func readJournal(fsys vfs.FS, path string) (records []Record, clean int64, torn bool, err error) {
+	f, err := fsys.OpenFile("journal", path, os.O_RDONLY, 0)
+	if errors.Is(err, fs.ErrNotExist) {
 		return nil, 0, false, nil
 	}
 	if err != nil {
 		return nil, 0, false, fmt.Errorf("warehouse: read journal: %w", err)
 	}
-	defer f.Close()
+	defer f.Close() //nolint:errcheck // read-only descriptor; nothing buffered to lose
 	br := bufio.NewReaderSize(f, 1<<20)
 	var line []byte
 	for {
@@ -207,10 +228,37 @@ func readJournal(path string) (records []Record, clean int64, torn bool, err err
 	}
 }
 
+// fail latches err as the journal's terminal state and notifies the
+// warehouse; the first error wins. failMu is a leaf lock, so fail may
+// be called with mu or syncMu held.
+func (j *journal) fail(op string, err error) {
+	j.failMu.Lock()
+	first := j.failed == nil
+	if first {
+		j.failed = err
+	}
+	j.failMu.Unlock()
+	if first && j.degrade != nil {
+		j.degrade(op, err)
+	}
+}
+
+// failure returns the latched write-path error, if any.
+func (j *journal) failure() error {
+	j.failMu.Lock()
+	defer j.failMu.Unlock()
+	return j.failed
+}
+
 // append durably writes a record and returns its sequence number. The
 // record is buffered under the journal mutex and then made durable by
-// syncTo, so concurrent appends batch their fsyncs.
+// syncTo, so concurrent appends batch their fsyncs. Marshal and
+// oversize errors reject the record without touching the file — they
+// are the caller's problem, not a durability failure.
 func (j *journal) append(r Record) (int64, error) {
+	if err := j.failure(); err != nil {
+		return 0, fmt.Errorf("warehouse: journal failed: %w", err)
+	}
 	j.mu.Lock()
 	seq := j.seq + 1
 	r.Seq = seq
@@ -225,6 +273,9 @@ func (j *journal) append(r Record) (int64, error) {
 	}
 	data = append(data, '\n')
 	if _, err := j.w.Write(data); err != nil {
+		// The buffered writer now holds a partial record it would glue
+		// onto any later append; no further writes may touch the file.
+		j.fail("journal.append", err)
 		j.mu.Unlock()
 		return 0, fmt.Errorf("warehouse: append journal: %w", err)
 	}
@@ -242,10 +293,16 @@ func (j *journal) append(r Record) (int64, error) {
 // syncTo blocks until the idx-th buffered record is durable. The first
 // appender through syncMu flushes and fsyncs everything buffered so
 // far — one batch — and appenders queued behind it find their record
-// already covered.
+// already covered. After a flush or fsync failure the journal is dead:
+// the kernel may have discarded the dirty pages, so retrying the fsync
+// could report success for data that never reached the disk. The
+// latched error is returned to every later caller instead.
 func (j *journal) syncTo(idx int64) error {
 	j.syncMu.Lock()
 	defer j.syncMu.Unlock()
+	if err := j.failure(); err != nil {
+		return fmt.Errorf("warehouse: journal failed: %w", err)
+	}
 	if j.synced >= idx {
 		return nil
 	}
@@ -254,9 +311,11 @@ func (j *journal) syncTo(idx int64) error {
 	err := j.w.Flush()
 	j.mu.Unlock()
 	if err != nil {
+		j.fail("journal.flush", err)
 		return fmt.Errorf("warehouse: flush journal: %w", err)
 	}
 	if err := j.f.Sync(); err != nil {
+		j.fail("journal.sync", err)
 		return fmt.Errorf("warehouse: sync journal: %w", err)
 	}
 	j.synced = target

@@ -1,10 +1,12 @@
 package warehouse
 
 import (
+	"errors"
 	"fmt"
-	"os"
+	"io/fs"
 	"path/filepath"
 
+	"repro/internal/vfs"
 	"repro/internal/view"
 )
 
@@ -173,13 +175,13 @@ func (w *Warehouse) recover(records []Record) error {
 				// under the writers lock), so rollback is always
 				// possible: remove whatever the in-flight create may
 				// have installed.
-				if err := os.Remove(w.docPath(p.Doc)); err != nil && !os.IsNotExist(err) {
+				if err := w.fs.Remove("doc", w.docPath(p.Doc)); err != nil && !errors.Is(err, fs.ErrNotExist) {
 					return fmt.Errorf("warehouse: recovery rollback of create %q: %w", p.Doc, err)
 				}
 				w.recoveryRollbacks.Inc()
 			case OpUpdate:
-				cur, err := os.ReadFile(w.docPath(p.Doc))
-				if err != nil && !os.IsNotExist(err) {
+				cur, err := w.fs.ReadFile("doc", w.docPath(p.Doc))
+				if err != nil && !errors.Is(err, fs.ErrNotExist) {
 					return fmt.Errorf("warehouse: recovery of %q: %w", p.Doc, err)
 				}
 				if err == nil && string(cur) == p.Content {
@@ -189,7 +191,7 @@ func (w *Warehouse) recover(records []Record) error {
 					w.recoveryRollbacks.Inc()
 				}
 			case OpDrop:
-				if _, err := os.Stat(w.docPath(p.Doc)); os.IsNotExist(err) {
+				if _, err := w.fs.Stat("doc", w.docPath(p.Doc)); errors.Is(err, fs.ErrNotExist) {
 					resolve = OpCommit
 					w.recoveryRollforwards.Inc()
 				} else if err != nil {
@@ -241,11 +243,11 @@ func (w *Warehouse) recover(records []Record) error {
 func (w *Warehouse) replayCommitted(rec *Record) (changed bool, err error) {
 	switch rec.Op {
 	case OpCreate, OpUpdate:
-		cur, err := os.ReadFile(w.docPath(rec.Doc))
+		cur, err := w.fs.ReadFile("doc", w.docPath(rec.Doc))
 		if err == nil && string(cur) == rec.Content {
 			return false, nil
 		}
-		if err != nil && !os.IsNotExist(err) {
+		if err != nil && !errors.Is(err, fs.ErrNotExist) {
 			return false, fmt.Errorf("warehouse: recovery of %q: %w", rec.Doc, err)
 		}
 		// No fsync: the journal keeps the committed record, so a crash
@@ -255,8 +257,8 @@ func (w *Warehouse) replayCommitted(rec *Record) (changed bool, err error) {
 		}
 		return true, nil
 	case OpDrop:
-		err := os.Remove(w.docPath(rec.Doc))
-		if os.IsNotExist(err) {
+		err := w.fs.Remove("doc", w.docPath(rec.Doc))
+		if errors.Is(err, fs.ErrNotExist) {
 			return false, nil
 		}
 		if err != nil {
@@ -306,7 +308,7 @@ type JournalSummary struct {
 // it shows what recovery will find before anything opens the
 // warehouse.
 func InspectJournal(dir string) (JournalSummary, error) {
-	records, _, torn, err := readJournal(filepath.Join(dir, journalFile))
+	records, _, torn, err := readJournal(vfs.OS, filepath.Join(dir, journalFile))
 	if err != nil {
 		return JournalSummary{}, err
 	}

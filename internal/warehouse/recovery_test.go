@@ -14,6 +14,7 @@ import (
 	"repro/internal/tpwj"
 	"repro/internal/tree"
 	"repro/internal/update"
+	"repro/internal/vfs"
 	"repro/internal/xmlio"
 )
 
@@ -61,7 +62,7 @@ func forgeJournal(t *testing.T, dir string, records []Record) []int64 {
 	if err := os.MkdirAll(filepath.Join(dir, docsDir), 0o755); err != nil {
 		t.Fatal(err)
 	}
-	j, _, err := openJournal(filepath.Join(dir, journalFile), &journalCounters{})
+	j, _, err := openJournal(vfs.OS, filepath.Join(dir, journalFile), &journalCounters{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -103,6 +103,14 @@ func (w *Warehouse) searchIndex(ctx context.Context, name string, ft *fuzzy.Tree
 	return ix
 }
 
+// reset discards every cached index (Reopen rebuilds state from disk;
+// the counters stay, registered once and monotonic).
+func (s *searchIndexes) reset() {
+	s.mu.Lock()
+	s.idx = nil
+	s.mu.Unlock()
+}
+
 // dropSearchIndex discards the document's cached index, counting the
 // invalidation when there was one. Called eagerly by every mutation
 // install and by Drop, so a superseded index never outlives the
@@ -139,5 +147,5 @@ func (w *Warehouse) SearchCtx(ctx context.Context, name string, req keyword.Requ
 	ix := w.searchIndex(ctx, name, ft)
 	_, span := obs.StartSpan(ctx, "keyword.search")
 	defer span.End()
-	return keyword.Search(ix, req)
+	return keyword.SearchContext(ctx, ix, req)
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
@@ -213,6 +214,15 @@ func (r *viewRegistry) count() int {
 	return n
 }
 
+// reset drops every handle but keeps the counter handles (they are
+// registered once on the warehouse's registry and must stay monotonic
+// across Reopen).
+func (r *viewRegistry) reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.byDoc = nil
+}
+
 // pruneMissing drops every document's views unless exists(doc).
 func (r *viewRegistry) pruneMissing(exists func(doc string) bool) {
 	r.mu.Lock()
@@ -281,7 +291,7 @@ func (w *Warehouse) RegisterViewCtx(ctx context.Context, doc, name, query, synta
 	if err != nil {
 		return nil, fmt.Errorf("warehouse: %w: %v", ErrInvalidView, err)
 	}
-	release, err := w.startOp()
+	release, err := w.startMutation()
 	if err != nil {
 		return nil, err
 	}
@@ -303,7 +313,7 @@ func (w *Warehouse) RegisterViewCtx(ctx context.Context, doc, name, query, synta
 	// serializes this against mutations of the document, and readers
 	// must not wait on query evaluation.
 	_, mspan := obs.StartSpan(ctx, "view.materialize")
-	v, err := view.Materialize(def, q, ft)
+	v, err := view.MaterializeCtx(ctx, def, q, ft)
 	mspan.End()
 	if err != nil {
 		return nil, err
@@ -330,7 +340,7 @@ func (w *Warehouse) DropView(doc, name string) error {
 	if err := validName(name); err != nil {
 		return err
 	}
-	release, err := w.startOp()
+	release, err := w.startMutation()
 	if err != nil {
 		return err
 	}
@@ -380,6 +390,13 @@ func (w *Warehouse) ListViews(doc string) ([]view.Definition, error) {
 // document. A view with no materialized state at all (first read after
 // recovery) is materialized here, against the current snapshot.
 func (w *Warehouse) ReadView(doc, name string) (*ViewResult, error) {
+	return w.ReadViewCtx(context.Background(), doc, name)
+}
+
+// ReadViewCtx is ReadView with a context: serving a materialized state
+// never consults it (pointer work only), but the lazy materialization
+// of a never-materialized view honors cancellation.
+func (w *Warehouse) ReadViewCtx(ctx context.Context, doc, name string) (*ViewResult, error) {
 	if err := validName(doc); err != nil {
 		return nil, err
 	}
@@ -425,7 +442,7 @@ func (w *Warehouse) ReadView(doc, name string) (*ViewResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		v, err := view.Materialize(h.def, q, cur)
+		v, err := view.MaterializeCtx(ctx, h.def, q, cur)
 		if err != nil {
 			return nil, err
 		}
@@ -460,8 +477,11 @@ func (w *Warehouse) ReadView(doc, name string) (*ViewResult, error) {
 // successive updates never interleave) but outside every handle mutex
 // (so concurrent ReadView calls serve the previous state marked stale
 // instead of blocking). delta is the update's structural footprint;
-// nil forces affected views to recompute from scratch.
-func (w *Warehouse) maintainViews(doc string, pre, next *fuzzy.Tree, delta *view.Delta) {
+// nil forces affected views to recompute from scratch. A cancelled
+// context aborts the remaining passes: the document mutation is already
+// durable at this point, so the affected views are simply left
+// unmaterialized and the next ReadView rebuilds them lazily.
+func (w *Warehouse) maintainViews(ctx context.Context, doc string, pre, next *fuzzy.Tree, delta *view.Delta) {
 	for _, h := range w.views.forDoc(doc) {
 		h.mu.Lock()
 		old, oldTree := h.v, h.tree
@@ -473,14 +493,14 @@ func (w *Warehouse) maintainViews(doc string, pre, next *fuzzy.Tree, delta *view
 		if err == nil {
 			if old != nil && oldTree == pre {
 				var res view.Result
-				nv, res, err = old.Maintain(next, delta)
+				nv, res, err = old.MaintainCtx(ctx, next, delta)
 				if err == nil {
 					w.views.record(res)
 				}
 			} else {
 				// The state does not correspond to the pre-update
 				// snapshot (first use after recovery): start over.
-				nv, err = view.Materialize(h.def, q, next)
+				nv, err = view.MaterializeCtx(ctx, h.def, q, next)
 				if err == nil {
 					w.views.full.Add(1)
 				}
@@ -519,32 +539,39 @@ func (w *Warehouse) writeViewSnapshot() error {
 	}
 	path := filepath.Join(w.dir, viewSnapshotFile)
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := w.fs.OpenFile("views", tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
-	if _, err := f.Write(data); err == nil {
+	// Plain assignment, not :=, so a write or sync failure survives into
+	// the error accounting below — a shadowed err here once let a torn
+	// snapshot get renamed over views.json.
+	_, err = f.Write(data)
+	if err == nil {
 		err = f.Sync()
 	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
 	if err != nil {
-		os.Remove(tmp)
+		// Best-effort cleanup: the tmp file is invisible to loads and
+		// overwritten by the next snapshot; the write/sync/close error
+		// is what the caller must hear.
+		w.fs.Remove("views", tmp) //nolint:errcheck
 		return fmt.Errorf("warehouse: write view snapshot: %w", err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := w.fs.Rename("views", tmp, path); err != nil {
 		return err
 	}
-	return syncDir(w.dir)
+	return syncDir(w.fs, "views", w.dir)
 }
 
 // loadViewSnapshot seeds the registry from views.json, if present.
 // Called by Open before journal recovery, whose committed view records
 // (and document drops) are replayed on top in journal order.
 func (w *Warehouse) loadViewSnapshot() error {
-	data, err := os.ReadFile(filepath.Join(w.dir, viewSnapshotFile))
-	if os.IsNotExist(err) {
+	data, err := w.fs.ReadFile("views", filepath.Join(w.dir, viewSnapshotFile))
+	if errors.Is(err, fs.ErrNotExist) {
 		return nil
 	}
 	if err != nil {

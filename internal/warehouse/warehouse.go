@@ -42,23 +42,45 @@
 // the journal, a mutation interrupted before its first fsync leaves no
 // trace, so recovery resolves such orphans by on-disk evidence instead
 // (see Warehouse.recover).
+//
+// # Fault tolerance
+//
+// All I/O goes through an injectable filesystem (vfs.FS; OpenFS
+// accepts any implementation, Open uses vfs.OS), so every storage
+// failure is testable: the fault sweep in fault_test.go arms a
+// fail-once fault at every named I/O point — including torn writes —
+// and asserts that acknowledged operations survive recovery and
+// failed ones vanish. Failures the warehouse can cleanly abort
+// (staging-file writes, view-snapshot writes) just return errors;
+// failures that break the durability promise itself (the journal
+// cannot be appended to or fsynced, compaction failed past its point
+// of no return) switch the warehouse into degraded read-only mode:
+// every mutation returns ErrDegraded, reads keep serving the
+// committed in-memory state, and the mode is sticky until Reopen
+// re-runs recovery successfully. Degraded makes the px_degraded gauge
+// 1 and is reported by Warehouse.Degraded with a reason. See
+// docs/FAULTS.md for the fault-point catalog and the operator
+// runbook.
 package warehouse
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"io/fs"
 	"math/rand"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/fuzzy"
 	"repro/internal/obs"
 	"repro/internal/tpwj"
 	"repro/internal/update"
+	"repro/internal/vfs"
 	"repro/internal/view"
 	"repro/internal/xmlio"
 	"repro/internal/xupdate"
@@ -83,12 +105,32 @@ var (
 	ErrInvalidName = errors.New("invalid document name")
 	// ErrClosed reports use of a closed warehouse.
 	ErrClosed = errors.New("warehouse: closed")
+	// ErrDegraded reports a write rejected because the warehouse is in
+	// degraded read-only mode after an unrecoverable storage error
+	// (typically a journal fsync failure). Reads keep serving from
+	// in-memory snapshots; Reopen re-runs recovery and clears the
+	// state. See docs/FAULTS.md.
+	ErrDegraded = errors.New("warehouse: degraded (read-only)")
 )
 
 // Warehouse is a collection of named fuzzy documents persisted under one
 // directory. All methods are safe for concurrent use.
 type Warehouse struct {
 	dir string
+
+	// fs is the filesystem seam every byte of warehouse I/O goes
+	// through: vfs.OS in production, a vfs.FaultFS in fault-injection
+	// tests (see OpenFS). No other code in this package may call
+	// package os file functions.
+	fs vfs.FS
+
+	// degraded latches read-only mode after an unrecoverable
+	// write-path error (see setDegraded). It is an atomic so the write
+	// paths can check it without a lock; degradedMu guards the reason
+	// string only.
+	degraded       atomic.Bool
+	degradedMu     sync.Mutex
+	degradedReason string
 
 	// reg is this warehouse's metrics registry (journal, recovery,
 	// search-index and view-maintenance counters live on it). It is
@@ -164,12 +206,17 @@ func (w *Warehouse) markJournaled(name string) {
 // last committed journaled state and every in-flight (unmarked)
 // mutation is rolled back. See recover in recovery.go.
 func Open(dir string) (*Warehouse, error) {
-	if err := os.MkdirAll(filepath.Join(dir, docsDir), 0o755); err != nil {
-		return nil, fmt.Errorf("warehouse: create layout: %w", err)
-	}
+	return OpenFS(dir, vfs.OS)
+}
+
+// OpenFS is Open with an explicit filesystem. Production callers use
+// Open (vfs.OS); fault-injection tests pass a vfs.FaultFS to fail
+// chosen I/O calls by named fault point.
+func OpenFS(dir string, fsys vfs.FS) (*Warehouse, error) {
 	reg := obs.NewRegistry()
 	w := &Warehouse{
 		dir:       dir,
+		fs:        fsys,
 		reg:       reg,
 		cache:     make(map[string]*fuzzy.Tree),
 		journaled: make(map[string]bool),
@@ -185,49 +232,73 @@ func Open(dir string) (*Warehouse, error) {
 	w.views.initMetrics(reg)
 	reg.GaugeFunc("px_views_registered", "currently registered materialized views",
 		func() float64 { return float64(w.views.count()) })
-	j, records, err := openJournal(filepath.Join(dir, journalFile), &w.jc)
-	if err != nil {
+	reg.GaugeFunc("px_degraded", "1 while the warehouse is in degraded read-only mode, else 0",
+		func() float64 {
+			if w.degraded.Load() {
+				return 1
+			}
+			return 0
+		})
+	if err := w.loadFromDisk(); err != nil {
 		return nil, err
+	}
+	return w, nil
+}
+
+// loadFromDisk runs the open sequence against the filesystem: create
+// the layout, open the journal (truncating any torn tail), load the
+// view snapshot, replay recovery, prune orphaned views. Shared by
+// OpenFS and Reopen; the caller must hold the warehouse exclusively
+// (Reopen) or privately (OpenFS, before the value is shared).
+func (w *Warehouse) loadFromDisk() error {
+	if err := w.fs.MkdirAll("layout", filepath.Join(w.dir, docsDir), 0o755); err != nil {
+		return fmt.Errorf("warehouse: create layout: %w", err)
+	}
+	j, records, err := openJournal(w.fs, filepath.Join(w.dir, journalFile), &w.jc, w.setDegraded)
+	if err != nil {
+		return err
 	}
 	// Make the layout's directory entries durable: fsync of journal.log
 	// alone does not persist its entry in a freshly created warehouse
 	// directory, and the journal is the sole durable copy of
 	// acknowledged mutations until Compact.
-	if err := syncDir(filepath.Join(dir, docsDir)); err == nil {
-		err = syncDir(dir)
+	if err := syncDir(w.fs, "layout", filepath.Join(w.dir, docsDir)); err == nil {
+		err = syncDir(w.fs, "layout", w.dir)
 	}
 	if err != nil {
-		j.close()
-		return nil, fmt.Errorf("warehouse: sync layout: %w", err)
+		j.close() //nolint:errcheck // already failing; the open error wins
+		return fmt.Errorf("warehouse: sync layout: %w", err)
 	}
 	w.journal = j
 	// Seed the view registry from the compaction snapshot (if any);
 	// recovery then replays the journal's view records on top.
 	if err := w.loadViewSnapshot(); err != nil {
-		j.close()
-		return nil, err
+		j.close() //nolint:errcheck // already failing; the open error wins
+		return err
 	}
 	if err := w.recover(records); err != nil {
-		j.close()
-		return nil, err
+		j.close() //nolint:errcheck // already failing; the open error wins
+		return err
 	}
 	// Drop view definitions whose document no longer exists (defensive:
 	// a hand-edited snapshot or journal could leave orphans behind).
 	w.views.pruneMissing(func(doc string) bool {
-		_, err := os.Stat(w.docPath(doc))
+		_, err := w.fs.Stat("doc", w.docPath(doc))
 		return err == nil
 	})
-	return w, nil
+	return nil
 }
 
 // syncDir fsyncs a directory, making the entries it holds durable.
-func syncDir(path string) error {
-	d, err := os.Open(path)
+func syncDir(fsys vfs.FS, area, path string) error {
+	d, err := fsys.OpenFile(area, path, os.O_RDONLY, 0)
 	if err != nil {
 		return err
 	}
 	err = d.Sync()
-	d.Close()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
 	return err
 }
 
@@ -240,6 +311,93 @@ func (w *Warehouse) Close() error {
 	}
 	w.closed = true
 	return w.journal.close()
+}
+
+// setDegraded flips the warehouse into degraded read-only mode. Called
+// on unrecoverable write-path errors — notably a journal flush/fsync
+// failure, where the page cache may have dropped the very bytes the
+// fsync claimed to persist, so retrying is not an option. It only sets
+// flags (it runs from under journal locks); the first cause wins.
+func (w *Warehouse) setDegraded(op string, err error) {
+	w.degradedMu.Lock()
+	if !w.degraded.Load() {
+		w.degradedReason = fmt.Sprintf("%s: %v", op, err)
+		w.degraded.Store(true)
+	}
+	w.degradedMu.Unlock()
+}
+
+// Degraded reports whether the warehouse is in degraded read-only mode
+// and, if so, the storage failure that caused it.
+func (w *Warehouse) Degraded() (bool, string) {
+	if !w.degraded.Load() {
+		return false, ""
+	}
+	w.degradedMu.Lock()
+	defer w.degradedMu.Unlock()
+	return true, w.degradedReason
+}
+
+// checkWritable rejects mutations while degraded, wrapping ErrDegraded
+// with the original storage failure.
+func (w *Warehouse) checkWritable() error {
+	if !w.degraded.Load() {
+		return nil
+	}
+	_, reason := w.Degraded()
+	return fmt.Errorf("%w: %s", ErrDegraded, reason)
+}
+
+// startMutation is startOp plus the degraded-mode write rejection. All
+// mutating entry points (Create, Update, Simplify, Drop, RegisterView,
+// DropView, Compact) go through it; read paths use startOp and keep
+// serving while degraded.
+func (w *Warehouse) startMutation() (release func(), err error) {
+	release, err = w.startOp()
+	if err != nil {
+		return nil, err
+	}
+	if err := w.checkWritable(); err != nil {
+		release()
+		return nil, err
+	}
+	return release, nil
+}
+
+// Reopen recovers a degraded warehouse in place: it waits out in-flight
+// operations, discards all in-memory state (caches, search indexes,
+// view materializations, the failed journal instance), re-runs the full
+// open sequence — torn-tail truncation, journal replay, rollback of the
+// aborted mutation — and clears degraded mode. The acknowledged history
+// is exactly what recovery reconstructs from disk; callers resume as
+// after a fresh Open. It is also safe on a healthy warehouse (an
+// expensive no-op that drops caches).
+func (w *Warehouse) Reopen() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	// The old journal instance is dead (or about to be replaced); its
+	// close error carries no information recovery doesn't re-derive
+	// from disk.
+	w.journal.close() //nolint:errcheck
+	w.cacheMu.Lock()
+	w.cache = make(map[string]*fuzzy.Tree)
+	w.cacheMu.Unlock()
+	w.journaledMu.Lock()
+	w.journaled = make(map[string]bool)
+	w.journaledMu.Unlock()
+	w.search.reset()
+	w.views.reset()
+	if err := w.loadFromDisk(); err != nil {
+		return err
+	}
+	w.degradedMu.Lock()
+	w.degradedReason = ""
+	w.degraded.Store(false)
+	w.degradedMu.Unlock()
+	return nil
 }
 
 // Dir returns the warehouse root directory.
@@ -315,27 +473,37 @@ func (w *Warehouse) cacheDel(name string) {
 func (w *Warehouse) writeDocFile(name string, data []byte, sync bool) error {
 	path := w.docPath(name)
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := w.fs.OpenFile("doc", tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
 	if _, err := f.Write(data); err != nil {
-		f.Close()
-		os.Remove(tmp)
+		// Cleanup of a tmp file the rename will never see is
+		// best-effort: a leftover .tmp is overwritten by the next swap
+		// and invisible to readers, while the write error is what the
+		// caller must hear.
+		f.Close()         //nolint:errcheck // failing path; the write error wins
+		w.removeTemp(tmp) //nolint:errcheck
 		return err
 	}
 	if sync {
 		if err := f.Sync(); err != nil {
-			f.Close()
-			os.Remove(tmp)
+			f.Close()         //nolint:errcheck // failing path; the sync error wins
+			w.removeTemp(tmp) //nolint:errcheck
 			return err
 		}
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		w.removeTemp(tmp) //nolint:errcheck
 		return err
 	}
-	return os.Rename(tmp, path)
+	return w.fs.Rename("doc", tmp, path)
+}
+
+// removeTemp discards a tmp file after a failed swap. Best-effort by
+// design (see writeDocFile); factored out so the intent is stated once.
+func (w *Warehouse) removeTemp(tmp string) error {
+	return w.fs.Remove("doc", tmp)
 }
 
 // statGuard rejects names that exist neither in the cache nor on disk
@@ -347,8 +515,8 @@ func (w *Warehouse) statGuard(name string) error {
 	if _, ok := w.cacheGet(name); ok {
 		return nil
 	}
-	if _, err := os.Stat(w.docPath(name)); err != nil {
-		if os.IsNotExist(err) {
+	if _, err := w.fs.Stat("doc", w.docPath(name)); err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
 			return fmt.Errorf("warehouse: %w: %q", ErrNotFound, name)
 		}
 		return err
@@ -393,8 +561,8 @@ func (w *Warehouse) lockWriter(name string, mustExist bool) (*docLock, error) {
 
 // readDocFile parses the document file from disk.
 func (w *Warehouse) readDocFile(name string) (*fuzzy.Tree, error) {
-	data, err := os.ReadFile(w.docPath(name))
-	if os.IsNotExist(err) {
+	data, err := w.fs.ReadFile("doc", w.docPath(name))
+	if errors.Is(err, fs.ErrNotExist) {
 		return nil, fmt.Errorf("warehouse: %w: %q", ErrNotFound, name)
 	}
 	if err != nil {
@@ -527,7 +695,7 @@ func (w *Warehouse) CreateCtx(ctx context.Context, name string, ft *fuzzy.Tree) 
 	if err != nil {
 		return err
 	}
-	release, err := w.startOp()
+	release, err := w.startMutation()
 	if err != nil {
 		return err
 	}
@@ -537,7 +705,7 @@ func (w *Warehouse) CreateCtx(ctx context.Context, name string, ft *fuzzy.Tree) 
 		return err
 	}
 	defer dl.writers.Unlock()
-	if _, err := os.Stat(w.docPath(name)); err == nil {
+	if _, err := w.fs.Stat("doc", w.docPath(name)); err == nil {
 		return fmt.Errorf("warehouse: %w: %q", ErrExists, name)
 	}
 	clone := ft.Clone()
@@ -554,7 +722,7 @@ func (w *Warehouse) CreateCtx(ctx context.Context, name string, ft *fuzzy.Tree) 
 		// The document never came to exist (journal or file-write
 		// failure), so the entry allocated for it must not outlive
 		// this call — nothing else would ever delete it.
-		if _, statErr := os.Stat(w.docPath(name)); os.IsNotExist(statErr) {
+		if _, statErr := w.fs.Stat("doc", w.docPath(name)); errors.Is(statErr, fs.ErrNotExist) {
 			w.locks.del(name)
 		}
 		return err
@@ -597,7 +765,7 @@ func (w *Warehouse) List() ([]string, error) {
 		return nil, err
 	}
 	defer release()
-	entries, err := os.ReadDir(filepath.Join(w.dir, docsDir))
+	entries, err := w.fs.ReadDir("doc", filepath.Join(w.dir, docsDir))
 	if err != nil {
 		return nil, err
 	}
@@ -616,7 +784,7 @@ func (w *Warehouse) Drop(name string) error {
 	if err := validName(name); err != nil {
 		return err
 	}
-	release, err := w.startOp()
+	release, err := w.startMutation()
 	if err != nil {
 		return err
 	}
@@ -637,7 +805,7 @@ func (w *Warehouse) Drop(name string) error {
 		Record{Op: OpDrop, Doc: name},
 		func(bool) error {
 			w.cacheDel(name)
-			return os.Remove(w.docPath(name))
+			return w.fs.Remove("doc", w.docPath(name))
 		})
 	if err != nil {
 		return err
@@ -732,7 +900,7 @@ func (w *Warehouse) mutateDoc(ctx context.Context, name string, compute func(ft 
 	if err := validName(name); err != nil {
 		return err
 	}
-	release, err := w.startOp()
+	release, err := w.startMutation()
 	if err != nil {
 		return err
 	}
@@ -775,7 +943,7 @@ func (w *Warehouse) mutateDoc(ctx context.Context, name string, compute func(ft 
 	// it cannot pin the whole pre-update tree until the next search.
 	w.dropSearchIndex(name)
 	_, vspan := obs.StartSpan(ctx, "view.maintain")
-	w.maintainViews(name, ft, next, delta)
+	w.maintainViews(ctx, name, ft, next, delta)
 	vspan.End()
 	return nil
 }
@@ -870,7 +1038,7 @@ func (w *Warehouse) Journal() ([]Record, error) {
 		return nil, err
 	}
 	defer release()
-	records, _, _, err := readJournal(filepath.Join(w.dir, journalFile))
+	records, _, _, err := readJournal(w.fs, filepath.Join(w.dir, journalFile))
 	return records, err
 }
 
@@ -889,6 +1057,12 @@ func (w *Warehouse) Compact() error {
 	if w.closed {
 		return ErrClosed
 	}
+	if err := w.checkWritable(); err != nil {
+		return err
+	}
+	// Failures up to and including the journal close leave the journal
+	// file intact on disk — the warehouse stays fully consistent and
+	// writable, so these paths return a plain error.
 	if err := w.syncDocs(); err != nil {
 		return err
 	}
@@ -899,14 +1073,22 @@ func (w *Warehouse) Compact() error {
 		return err
 	}
 	if err := w.journal.close(); err != nil {
+		// The instance is now closed; any later append fails and
+		// degrades via the journal's latch. Reopen recovers.
+		w.setDegraded("compact.close", err)
 		return err
 	}
 	path := filepath.Join(w.dir, journalFile)
-	if err := os.Truncate(path, 0); err != nil {
+	if err := w.fs.Truncate("journal", path, 0); err != nil {
+		// Between close and a successful reopen there is no live
+		// journal instance: no mutation can be made durable, so the
+		// warehouse must stop accepting writes until Reopen.
+		w.setDegraded("compact.truncate", err)
 		return err
 	}
-	j, _, err := openJournal(path, &w.jc)
+	j, _, err := openJournal(w.fs, path, &w.jc, w.setDegraded)
 	if err != nil {
+		w.setDegraded("compact.reopen", err)
 		return err
 	}
 	w.journal = j
@@ -922,7 +1104,7 @@ func (w *Warehouse) Compact() error {
 // dropped.
 func (w *Warehouse) syncDocs() error {
 	dir := filepath.Join(w.dir, docsDir)
-	entries, err := os.ReadDir(dir)
+	entries, err := w.fs.ReadDir("doc", dir)
 	if err != nil {
 		return err
 	}
@@ -930,15 +1112,17 @@ func (w *Warehouse) syncDocs() error {
 		if !strings.HasSuffix(e.Name(), docExt) || e.IsDir() {
 			continue
 		}
-		f, err := os.Open(filepath.Join(dir, e.Name()))
+		f, err := w.fs.OpenFile("doc", filepath.Join(dir, e.Name()), os.O_RDONLY, 0)
 		if err != nil {
 			return err
 		}
 		err = f.Sync()
-		f.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			return err
 		}
 	}
-	return syncDir(dir)
+	return syncDir(w.fs, "doc", dir)
 }

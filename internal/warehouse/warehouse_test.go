@@ -13,6 +13,7 @@ import (
 	"repro/internal/tpwj"
 	"repro/internal/tree"
 	"repro/internal/update"
+	"repro/internal/vfs"
 	"repro/internal/xmlio"
 )
 
@@ -255,7 +256,7 @@ func TestRecoveryRollsBackUnmarkedUpdate(t *testing.T) {
 	// file already swapped to the new content (the worst case — the
 	// apply ran, only the commit marker is missing).
 	newDoc := fuzzy.MustParseTree("A(UNCOMMITTED)", nil)
-	j, _, err := openJournal(filepath.Join(dir, journalFile), &journalCounters{})
+	j, _, err := openJournal(vfs.OS, filepath.Join(dir, journalFile), &journalCounters{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -339,7 +340,7 @@ func TestRecoveryDropRollsBack(t *testing.T) {
 	}
 	w.Close()
 
-	j, _, err := openJournal(filepath.Join(dir, journalFile), &journalCounters{})
+	j, _, err := openJournal(vfs.OS, filepath.Join(dir, journalFile), &journalCounters{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
