@@ -387,3 +387,110 @@ func TestCLIPxsearch(t *testing.T) {
 		t.Errorf("pxsearch without keywords succeeded:\n%s", cmdOut)
 	}
 }
+
+// TestCLIPxsim drives the simulator end-to-end the way CI's sim smoke
+// step does: boot pxserve on an ephemeral port, run a small seeded
+// workload with the audit on, and require a clean exit with a BENCH
+// json carrying zero discrepancies. Also pins the exit-code contract:
+// 2 for usage errors, 1 for runtime failures.
+func TestCLIPxsim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	bins := buildTools(t, "pxserve", "pxsim")
+	work := t.TempDir()
+
+	// Boot pxserve on :0 and read the actual bound address off stdout.
+	srv := exec.Command(bins["pxserve"], "-dir", filepath.Join(work, "wh"), "-addr", "127.0.0.1:0")
+	stdout, err := srv.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Stderr = os.Stderr
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		srv.Process.Kill() //nolint:errcheck
+		srv.Wait()         //nolint:errcheck
+	}()
+	line := make([]byte, 256)
+	n, err := stdout.Read(line)
+	if err != nil {
+		t.Fatalf("reading pxserve banner: %v", err)
+	}
+	banner := string(line[:n])
+	i := strings.LastIndex(banner, "listening on ")
+	if i < 0 {
+		t.Fatalf("pxserve banner %q has no listen address", banner)
+	}
+	addr := strings.TrimSpace(banner[i+len("listening on "):])
+	endpoint := "http://" + addr
+
+	// A clean seeded run: exit 0, audit summary, BENCH json with the
+	// sim section and a zero discrepancy count.
+	benchPath := filepath.Join(work, "BENCH_sim.json")
+	logPath := filepath.Join(work, "workload.log")
+	out := run(t, bins["pxsim"],
+		"-endpoint", endpoint, "-tenants", "3", "-docs", "1", "-ops", "150",
+		"-seed", "42", "-workers", "3", "-check-every", "5",
+		"-json-out", benchPath, "-log", logPath)
+	if !strings.Contains(out, "audit clean") {
+		t.Errorf("pxsim output:\n%s", out)
+	}
+	data, err := os.ReadFile(benchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bench struct {
+		Sim *struct {
+			Ops   int64 `json:"ops"`
+			Audit struct {
+				DiscrepancyCount int64 `json:"discrepancy_count"`
+				Checks           int64 `json:"checks"`
+			} `json:"audit"`
+			Routes []struct {
+				Route string `json:"route"`
+			} `json:"routes"`
+		} `json:"sim"`
+	}
+	if err := json.Unmarshal(data, &bench); err != nil {
+		t.Fatalf("BENCH json does not parse: %v", err)
+	}
+	if bench.Sim == nil {
+		t.Fatal("BENCH json has no sim section")
+	}
+	if bench.Sim.Audit.DiscrepancyCount != 0 {
+		t.Errorf("BENCH json reports %d discrepancies", bench.Sim.Audit.DiscrepancyCount)
+	}
+	if bench.Sim.Ops != 150 || len(bench.Sim.Routes) == 0 {
+		t.Errorf("BENCH sim section: ops=%d routes=%d", bench.Sim.Ops, len(bench.Sim.Routes))
+	}
+	if logData, err := os.ReadFile(logPath); err != nil || len(logData) == 0 {
+		t.Errorf("workload log missing or empty (err=%v)", err)
+	}
+
+	// Usage error: missing -endpoint exits 2.
+	cmd := exec.Command(bins["pxsim"])
+	if err := cmd.Run(); err == nil {
+		t.Error("pxsim without -endpoint succeeded")
+	} else if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+		t.Errorf("pxsim without -endpoint: %v, want exit 2", err)
+	}
+
+	// Bad mix exits 2.
+	cmd = exec.Command(bins["pxsim"], "-endpoint", endpoint, "-mix", "bogus=1")
+	if err := cmd.Run(); err == nil {
+		t.Error("pxsim with bad mix succeeded")
+	} else if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+		t.Errorf("pxsim with bad mix: %v, want exit 2", err)
+	}
+
+	// Runtime failure (unreachable endpoint) exits 1.
+	cmd = exec.Command(bins["pxsim"], "-endpoint", "http://127.0.0.1:1", "-ops", "5")
+	if err := cmd.Run(); err == nil {
+		t.Error("pxsim against dead endpoint succeeded")
+	} else if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+		t.Errorf("pxsim against dead endpoint: %v, want exit 1", err)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -113,8 +114,15 @@ func main() {
 		}
 	}()
 
-	fmt.Printf("pxserve: warehouse %s listening on %s\n", wh.Dir(), *addr)
-	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	// Listen before announcing so the printed address is the one
+	// actually bound — with "-addr :0" (tests, parallel CI jobs) the
+	// kernel-assigned port is what clients need to see.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("pxserve: %v", err)
+	}
+	fmt.Printf("pxserve: warehouse %s listening on %s\n", wh.Dir(), ln.Addr())
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("pxserve: %v", err)
 	}
 	<-done

@@ -35,8 +35,12 @@ var (
 	binaryRE = regexp.MustCompile(`(^|[^.<A-Za-z0-9_])(px[a-z]+)\b`)
 	// urlRE matches example-server URLs and captures the path.
 	urlRE = regexp.MustCompile(`localhost(?::[0-9]+)?(/[A-Za-z0-9_{}./-]*)`)
-	// routeRE extracts the route patterns registered by the server.
-	routeRE = regexp.MustCompile(`s\.route\("([A-Z]+) ([^"]+)"`)
+	// routeRE extracts the route patterns the server declares. The
+	// patterns live in server.go's exported Route* constant block
+	// ("GET /docs", "POST /docs/{name}/query", ...); the registrations
+	// themselves use the constants, so this scans for any
+	// method-plus-path string literal.
+	routeRE = regexp.MustCompile(`"(GET|PUT|POST|DELETE) (/[^"]*)"`)
 	// muxRouteRE extracts the plain-path registrations of pxserve's
 	// auxiliary pprof mux, so docs may reference /debug/pprof URLs.
 	muxRouteRE = regexp.MustCompile(`mux\.HandleFunc\("(/[^"]+)"`)

@@ -14,6 +14,7 @@ import (
 	"repro/internal/fuzzy"
 	"repro/internal/keyword"
 	"repro/internal/obs"
+	"repro/internal/sim"
 	"repro/internal/tpwj"
 	"repro/internal/tree"
 	"repro/internal/update"
@@ -337,6 +338,19 @@ type BenchReport struct {
 	Engine      event.EngineCounters `json:"engine_counters"`
 	Benchmarks  []BenchResult        `json:"benchmarks"`
 	Experiments []ExperimentResult   `json:"experiments,omitempty"`
+	// Sim is a pxsim run result (workload throughput, per-route
+	// latency percentiles on the shared obs bucket ladder, and the
+	// self-verification audit), present when the report came from
+	// pxsim rather than pxbench.
+	Sim *sim.Report `json:"sim,omitempty"`
+}
+
+// SimBenchReport wraps a simulator run in the BENCH_<date>.json
+// envelope without running the micro-benchmark probes: pxsim measures
+// a live server, so the in-process probe timings would only add
+// minutes of noise next to it.
+func SimBenchReport(date string, sr *sim.Report) BenchReport {
+	return BenchReport{Date: date, GoVersion: runtime.Version(), Sim: sr}
 }
 
 // RunProbes measures every probe with testing.Benchmark and returns the

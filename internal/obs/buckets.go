@@ -1,0 +1,39 @@
+package obs
+
+// DefaultBuckets is the fixed latency bucket ladder every histogram in
+// the system shares: upper bounds in seconds on a 1-2.5-5 progression
+// from 1µs to 10s, with the +Inf bucket implicit. Queries on cached
+// snapshots land in the microsecond decades; cold loads, Monte-Carlo
+// runs and journal fsyncs in the millisecond ones.
+//
+// The ladder is deliberately a single exported constant rather than a
+// per-histogram option: the server's px_http_request_seconds and
+// px_stage_seconds families and pxsim's client-side per-route
+// histograms must use identical bounds, or their p50/p95/p99 estimates
+// would not be comparable (each quantile is interpolated inside its
+// owning bucket, so different ladders bias differently).
+// TestDefaultBucketLadderPinned pins the values; internal/sim pins its
+// client ladder against this one.
+//
+// Treat the ladder as append-only at the ends: inserting or moving
+// interior bounds silently re-buckets every dashboard and every
+// committed BENCH_*.json percentile that predates the change.
+var DefaultBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6,
+	1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2,
+	1e-1, 2.5e-1, 5e-1,
+	1, 2.5, 5, 10,
+}
+
+// Bounds returns the histogram's bucket upper bounds in seconds (the
+// +Inf bucket is implicit). The returned slice is shared — callers
+// must not modify it.
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return h.bounds
+}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDefaultBucketLadderPinned pins the shared latency bucket ladder
+// value by value. The ladder is load-bearing beyond this package:
+// pxsim's client-side per-route histograms must use bounds identical
+// to the server's px_stage_seconds / px_http_request_seconds families
+// for client and server percentiles to be comparable, and committed
+// BENCH_*.json percentiles assume stable interior bounds. Changing a
+// value here must be a deliberate, documented decision.
+func TestDefaultBucketLadderPinned(t *testing.T) {
+	want := []float64{
+		1e-6, 2.5e-6, 5e-6,
+		1e-5, 2.5e-5, 5e-5,
+		1e-4, 2.5e-4, 5e-4,
+		1e-3, 2.5e-3, 5e-3,
+		1e-2, 2.5e-2, 5e-2,
+		1e-1, 2.5e-1, 5e-1,
+		1, 2.5, 5, 10,
+	}
+	if len(DefaultBuckets) != len(want) {
+		t.Fatalf("DefaultBuckets has %d bounds, want %d", len(DefaultBuckets), len(want))
+	}
+	for i, b := range want {
+		if DefaultBuckets[i] != b {
+			t.Errorf("DefaultBuckets[%d] = %g, want %g", i, DefaultBuckets[i], b)
+		}
+	}
+	for i := 1; i < len(DefaultBuckets); i++ {
+		if DefaultBuckets[i] <= DefaultBuckets[i-1] {
+			t.Errorf("ladder not ascending at %d: %g <= %g", i, DefaultBuckets[i], DefaultBuckets[i-1])
+		}
+	}
+}
+
+// TestHistogramsShareTheLadder pins that every construction path — the
+// bare constructor and registry-created series like px_stage_seconds —
+// yields the same bounds as DefaultBuckets, so any two histograms in
+// the process are bucket-compatible.
+func TestHistogramsShareTheLadder(t *testing.T) {
+	reg := NewRegistry()
+	hists := map[string]*Histogram{
+		"NewHistogram":     NewHistogram(),
+		"px_stage_seconds": reg.Histogram("px_stage_seconds", "stage latency", L("stage", "x")),
+		"px_http":          reg.Histogram("px_http_request_seconds", "route latency", L("route", "GET /docs")),
+	}
+	for name, h := range hists {
+		got := h.Bounds()
+		if len(got) != len(DefaultBuckets) {
+			t.Fatalf("%s: %d bounds, want %d", name, len(got), len(DefaultBuckets))
+		}
+		for i := range got {
+			if got[i] != DefaultBuckets[i] {
+				t.Errorf("%s: bound[%d] = %g, want %g", name, i, got[i], DefaultBuckets[i])
+			}
+		}
+	}
+	var nilH *Histogram
+	if nilH.Bounds() != nil {
+		t.Error("nil histogram Bounds() != nil")
+	}
+	// Bounds must describe the buckets Observe actually fills.
+	h := NewHistogram()
+	h.Observe(3 * time.Microsecond)
+	if h.Snapshot().Count != 1 {
+		t.Error("observation lost")
+	}
+}

@@ -5,21 +5,8 @@ import (
 	"time"
 )
 
-// DefaultBuckets are the latency bucket upper bounds in seconds: a
-// 1-2.5-5 ladder from 1µs to 10s. Queries on cached snapshots land in
-// the microsecond decades; cold loads, Monte-Carlo runs and journal
-// fsyncs in the millisecond ones. The +Inf bucket is implicit.
-var DefaultBuckets = []float64{
-	1e-6, 2.5e-6, 5e-6,
-	1e-5, 2.5e-5, 5e-5,
-	1e-4, 2.5e-4, 5e-4,
-	1e-3, 2.5e-3, 5e-3,
-	1e-2, 2.5e-2, 5e-2,
-	1e-1, 2.5e-1, 5e-1,
-	1, 2.5, 5, 10,
-}
-
-// Histogram is a fixed-bucket latency histogram. Observe is lock-free:
+// Histogram is a fixed-bucket latency histogram over DefaultBuckets
+// (see buckets.go for why the ladder is shared and pinned). Observe is lock-free:
 // one atomic add into the bucket, one into the sum, one into the
 // count. Quantiles (p50/p95/p99) are derived at snapshot time by
 // linear interpolation within the owning bucket — the usual Prometheus

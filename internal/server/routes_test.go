@@ -1,0 +1,56 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestRouteConstantsRegistered pins that every exported Route*
+// constant names a pattern the server actually registers: a request
+// shaped to the pattern must resolve to it on the mux. pxsim keys its
+// client-side metrics and audit expectations by these strings, so a
+// constant drifting from the registration would silently break the
+// simulator's reconciliation against /stats and /metrics.
+func TestRouteConstantsRegistered(t *testing.T) {
+	ts, _ := newTestServer(t, Options{ExposeDebugTraces: true})
+	defer ts.Close()
+	srv := ts.Config.Handler.(*Server)
+
+	all := []string{
+		RouteList, RouteCreate, RouteGet, RouteDrop, RouteStat,
+		RouteQuery, RouteSearch, RouteUpdate, RouteSimplify,
+		RouteViewList, RouteViewPut, RouteViewGet, RouteViewDelete,
+		RouteCompact, RouteReopen, RouteStats, RouteMetrics,
+		RouteTraces, RouteHealthz, RouteReadyz,
+	}
+	seen := make(map[string]bool)
+	for _, pattern := range all {
+		if seen[pattern] {
+			t.Errorf("duplicate route constant %q", pattern)
+		}
+		seen[pattern] = true
+		method, path, ok := strings.Cut(pattern, " ")
+		if !ok {
+			t.Fatalf("constant %q is not \"METHOD /path\"", pattern)
+		}
+		// Substitute wildcards with concrete segments so the request
+		// parses; the mux reports which pattern it resolved to.
+		path = strings.NewReplacer("{name}", "d", "{view}", "v").Replace(path)
+		r, err := http.NewRequest(method, "http://example"+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, got := srv.mux.Handler(r)
+		if got != pattern {
+			t.Errorf("request %s %s resolves to pattern %q, want %q", method, path, got, pattern)
+		}
+	}
+	// Exemption set must stay inside the declared constants, or a
+	// renamed route would silently lose its timeout/cap exemption.
+	for pattern := range exemptRoutes {
+		if !seen[pattern] {
+			t.Errorf("exempt route %q is not a declared Route* constant", pattern)
+		}
+	}
+}

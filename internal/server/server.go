@@ -122,17 +122,45 @@ type Options struct {
 	MaxInFlight int
 }
 
+// Route patterns, exported so out-of-process clients key per-route
+// metrics with the exact strings the server's /stats and /metrics
+// report them under. pxsim's workload driver and end-of-run audit
+// (internal/sim) depend on these matching the registered mux patterns;
+// TestRouteConstantsRegistered pins that.
+const (
+	RouteList       = "GET /docs"
+	RouteCreate     = "PUT /docs/{name}"
+	RouteGet        = "GET /docs/{name}"
+	RouteDrop       = "DELETE /docs/{name}"
+	RouteStat       = "GET /docs/{name}/stat"
+	RouteQuery      = "POST /docs/{name}/query"
+	RouteSearch     = "POST /docs/{name}/search"
+	RouteUpdate     = "POST /docs/{name}/update"
+	RouteSimplify   = "POST /docs/{name}/simplify"
+	RouteViewList   = "GET /docs/{name}/views"
+	RouteViewPut    = "PUT /docs/{name}/views/{view}"
+	RouteViewGet    = "GET /docs/{name}/views/{view}"
+	RouteViewDelete = "DELETE /docs/{name}/views/{view}"
+	RouteCompact    = "POST /admin/compact"
+	RouteReopen     = "POST /admin/reopen"
+	RouteStats      = "GET /stats"
+	RouteMetrics    = "GET /metrics"
+	RouteTraces     = "GET /debug/traces"
+	RouteHealthz    = "GET /healthz"
+	RouteReadyz     = "GET /readyz"
+)
+
 // exemptRoutes never get a request timeout or count against the
 // in-flight cap: they are the routes an operator uses to observe an
 // overloaded or degraded server, and they do cheap in-memory reads
 // only — letting the workload starve them would blind exactly the
 // tooling that diagnoses the overload.
 var exemptRoutes = map[string]bool{
-	"GET /stats":        true,
-	"GET /metrics":      true,
-	"GET /healthz":      true,
-	"GET /readyz":       true,
-	"GET /debug/traces": true,
+	RouteStats:   true,
+	RouteMetrics: true,
+	RouteHealthz: true,
+	RouteReadyz:  true,
+	RouteTraces:  true,
 }
 
 // Server is an http.Handler serving a warehouse. Create one with New.
@@ -215,28 +243,28 @@ func New(wh *warehouse.Warehouse, opts Options) *Server {
 	reg.GaugeFunc("px_cache_entries",
 		"entries currently in the query/search result cache",
 		func() float64 { return float64(s.cache.len()) })
-	s.route("GET /docs", s.handleList)
-	s.route("PUT /docs/{name}", s.handleCreate)
-	s.route("GET /docs/{name}", s.handleGet)
-	s.route("DELETE /docs/{name}", s.handleDrop)
-	s.route("GET /docs/{name}/stat", s.handleStat)
-	s.route("POST /docs/{name}/query", s.handleQuery)
-	s.route("POST /docs/{name}/search", s.handleSearch)
-	s.route("POST /docs/{name}/update", s.handleUpdate)
-	s.route("POST /docs/{name}/simplify", s.handleSimplify)
-	s.route("GET /docs/{name}/views", s.handleViewList)
-	s.route("PUT /docs/{name}/views/{view}", s.handleViewRegister)
-	s.route("GET /docs/{name}/views/{view}", s.handleViewRead)
-	s.route("DELETE /docs/{name}/views/{view}", s.handleViewDrop)
-	s.route("POST /admin/compact", s.handleCompact)
-	s.route("GET /stats", s.handleStats)
-	s.route("GET /metrics", s.handleMetrics)
-	s.route("POST /admin/reopen", s.handleReopen)
+	s.route(RouteList, s.handleList)
+	s.route(RouteCreate, s.handleCreate)
+	s.route(RouteGet, s.handleGet)
+	s.route(RouteDrop, s.handleDrop)
+	s.route(RouteStat, s.handleStat)
+	s.route(RouteQuery, s.handleQuery)
+	s.route(RouteSearch, s.handleSearch)
+	s.route(RouteUpdate, s.handleUpdate)
+	s.route(RouteSimplify, s.handleSimplify)
+	s.route(RouteViewList, s.handleViewList)
+	s.route(RouteViewPut, s.handleViewRegister)
+	s.route(RouteViewGet, s.handleViewRead)
+	s.route(RouteViewDelete, s.handleViewDrop)
+	s.route(RouteCompact, s.handleCompact)
+	s.route(RouteStats, s.handleStats)
+	s.route(RouteMetrics, s.handleMetrics)
+	s.route(RouteReopen, s.handleReopen)
 	if opts.ExposeDebugTraces {
-		s.route("GET /debug/traces", s.handleTraces)
+		s.route(RouteTraces, s.handleTraces)
 	}
-	s.route("GET /healthz", s.handleHealthz)
-	s.route("GET /readyz", s.handleReadyz)
+	s.route(RouteHealthz, s.handleHealthz)
+	s.route(RouteReadyz, s.handleReadyz)
 	return s
 }
 

@@ -1,0 +1,218 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// tokenBucket is the rate controller: Take blocks until a token is
+// available, refilling at rate tokens/second up to burst. A nil bucket
+// never blocks (unthrottled).
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate float64, burst int) *tokenBucket {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &tokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst), last: time.Now()}
+}
+
+// take blocks until one token is available.
+func (b *tokenBucket) take() {
+	if b == nil {
+		return
+	}
+	for {
+		b.mu.Lock()
+		now := time.Now()
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		b.last = now
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		if b.tokens >= 1 {
+			b.tokens--
+			b.mu.Unlock()
+			return
+		}
+		wait := time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+		b.mu.Unlock()
+		time.Sleep(wait)
+	}
+}
+
+// routeStats is the client-side ledger for one server route: request
+// and error counts (what /stats and /metrics must agree with) and a
+// latency histogram on the same bucket ladder as the server's
+// px_http_request_seconds family, so client and server percentiles
+// are directly comparable.
+type routeStats struct {
+	route string
+	sent  atomic.Int64
+	errs  atomic.Int64
+	hist  *obs.Histogram
+}
+
+// workloadRoutes are the routes the simulator drives during the
+// workload phase, keyed by the server's own route constants. The audit
+// reconciles exactly these against /stats.
+var workloadRoutes = []string{
+	server.RouteCreate,
+	server.RouteGet,
+	server.RouteQuery,
+	server.RouteSearch,
+	server.RouteUpdate,
+	server.RouteViewPut,
+	server.RouteViewGet,
+}
+
+// client executes operations against a pxserve endpoint. Counted
+// requests go through do(); the audit phase uses raw() so its probing
+// does not disturb the ledgers it is reconciling.
+type client struct {
+	base   string
+	hc     *http.Client
+	bucket *tokenBucket
+	routes map[string]*routeStats
+}
+
+func newClient(base string, hc *http.Client, bucket *tokenBucket) *client {
+	if hc == nil {
+		hc = &http.Client{Timeout: 60 * time.Second}
+	}
+	c := &client{
+		base:   strings.TrimRight(base, "/"),
+		hc:     hc,
+		bucket: bucket,
+		routes: make(map[string]*routeStats, len(workloadRoutes)),
+	}
+	for _, r := range workloadRoutes {
+		c.routes[r] = &routeStats{route: r, hist: obs.NewHistogram()}
+	}
+	return c
+}
+
+// errorBody extracts the server's error message from a non-2xx
+// response body ({"error": "..."}), falling back to the raw body.
+func errorBody(body []byte) string {
+	var er server.ErrorResponse
+	if json.Unmarshal(body, &er) == nil && er.Error != "" {
+		return er.Error
+	}
+	return strings.TrimSpace(string(body))
+}
+
+// isUpfrontRejection reports whether a failed write was refused before
+// any mutation work: the warehouse's degraded read-only rejection. For
+// these the shadow state is unambiguous (nothing was applied). All
+// other 5xx write failures are treated as ambiguous (see
+// docModel.noteWriteFailure).
+func isUpfrontRejection(status int, body []byte) bool {
+	return status == http.StatusServiceUnavailable &&
+		strings.Contains(errorBody(body), "degraded")
+}
+
+// do executes one counted request: takes a rate token, observes
+// latency into the route's histogram, and counts errors (any non-2xx
+// status or transport failure). The transport error, if any, is
+// returned; HTTP-level failures are returned as (status, body, nil).
+func (c *client) do(route, method, path string, reqBody any) (int, []byte, error) {
+	c.bucket.take()
+	rs := c.routes[route]
+	if rs == nil {
+		return 0, nil, fmt.Errorf("sim: request on unregistered route %q", route)
+	}
+	var rdr io.Reader
+	switch b := reqBody.(type) {
+	case nil:
+	case []byte:
+		rdr = bytes.NewReader(b)
+	default:
+		data, err := json.Marshal(b)
+		if err != nil {
+			return 0, nil, err
+		}
+		rdr = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, c.base+path, rdr)
+	if err != nil {
+		return 0, nil, err
+	}
+	if rdr != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	rs.sent.Add(1)
+	start := time.Now()
+	resp, err := c.hc.Do(req)
+	rs.hist.Observe(time.Since(start))
+	if err != nil {
+		rs.errs.Add(1)
+		return 0, nil, err
+	}
+	body, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close() //nolint:errcheck
+	if rerr != nil {
+		rs.errs.Add(1)
+		return resp.StatusCode, nil, rerr
+	}
+	if resp.StatusCode >= 400 {
+		rs.errs.Add(1)
+	}
+	return resp.StatusCode, body, nil
+}
+
+// raw executes an uncounted request for the audit phase: no rate
+// token, no ledger entry, no histogram sample. The audit relies on the
+// server-side counters staying still while it reads them, so its own
+// traffic must not flow through the counted path.
+func (c *client) raw(method, path string, reqBody any) (int, []byte, error) {
+	var rdr io.Reader
+	if reqBody != nil {
+		data, err := json.Marshal(reqBody)
+		if err != nil {
+			return 0, nil, err
+		}
+		rdr = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, c.base+path, rdr)
+	if err != nil {
+		return 0, nil, err
+	}
+	if rdr != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	body, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close() //nolint:errcheck
+	if rerr != nil {
+		return resp.StatusCode, nil, rerr
+	}
+	return resp.StatusCode, body, nil
+}
+
+// decode unmarshals a JSON response body into v.
+func decode(body []byte, v any) error {
+	return json.Unmarshal(body, v)
+}

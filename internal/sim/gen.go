@@ -1,0 +1,394 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// OpKind names one workload operation type. The set mirrors the
+// server's client-facing routes; the mix weights (Mix) select between
+// them.
+type OpKind string
+
+const (
+	// OpQuery evaluates a TPWJ query (POST /docs/{name}/query).
+	OpQuery OpKind = "query"
+	// OpSearch runs a probabilistic keyword search (POST /docs/{name}/search).
+	OpSearch OpKind = "search"
+	// OpUpdate applies a probabilistic transaction (POST /docs/{name}/update).
+	OpUpdate OpKind = "update"
+	// OpViewRead reads a maintained view (GET /docs/{name}/views/{view}).
+	OpViewRead OpKind = "view-read"
+	// OpRegisterView registers a new view (PUT /docs/{name}/views/{view}).
+	OpRegisterView OpKind = "register-view"
+	// OpRead fetches the document XML (GET /docs/{name}).
+	OpRead OpKind = "read"
+)
+
+// opKindOrder fixes the iteration order everywhere weights or counts
+// are consumed, so generation and reporting are deterministic.
+var opKindOrder = []OpKind{OpQuery, OpSearch, OpUpdate, OpViewRead, OpRegisterView, OpRead}
+
+// Mix assigns relative weights to operation kinds. Weights are
+// relative, not percentages: {query: 2, update: 1} is two queries per
+// update.
+type Mix map[OpKind]float64
+
+// DefaultMix is a read-heavy multi-tenant blend: mostly queries and
+// searches, a steady update stream, view reads with occasional
+// registrations, and some raw document fetches.
+func DefaultMix() Mix {
+	return Mix{
+		OpQuery:        40,
+		OpSearch:       15,
+		OpUpdate:       20,
+		OpViewRead:     15,
+		OpRegisterView: 2,
+		OpRead:         8,
+	}
+}
+
+// ParseMix parses "query=40,search=15,update=20" into a Mix. Kinds
+// omitted get weight 0; at least one weight must be positive.
+func ParseMix(s string) (Mix, error) {
+	m := Mix{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("sim: mix entry %q is not kind=weight", part)
+		}
+		kind := OpKind(strings.TrimSpace(k))
+		valid := false
+		for _, known := range opKindOrder {
+			if kind == known {
+				valid = true
+				break
+			}
+		}
+		if !valid {
+			return nil, fmt.Errorf("sim: unknown op kind %q (want one of %v)", kind, opKindOrder)
+		}
+		var w float64
+		if _, err := fmt.Sscanf(strings.TrimSpace(v), "%g", &w); err != nil || w < 0 {
+			return nil, fmt.Errorf("sim: bad weight %q for %q", v, kind)
+		}
+		m[kind] = w
+	}
+	total := 0.0
+	for _, w := range m {
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("sim: mix %q has no positive weight", s)
+	}
+	return m, nil
+}
+
+// String renders the mix canonically (fixed kind order, zero weights
+// dropped), the form the workload log header uses.
+func (m Mix) String() string {
+	var parts []string
+	for _, k := range opKindOrder {
+		if w := m[k]; w > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%g", k, w))
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// UpdateSpec is one generated update: the target query, the op
+// (insert when Insert != "", delete otherwise) on variable Var, and
+// the transaction confidence.
+type UpdateSpec struct {
+	Query      string
+	Var        string
+	Confidence float64
+	Insert     string // subtree in compact text form, "" for delete
+}
+
+// Op is one generated workload operation. Everything the executor
+// needs is carried here, so execution never consults the RNG — the
+// op stream is a pure function of (seed, config).
+type Op struct {
+	Seq  int64
+	Doc  string
+	Kind OpKind
+
+	Query      string   // query / view-read / register-view query text
+	Keywords   []string // search
+	SearchMode string   // "slca" or "elca"
+	ViewName   string   // view-read / register-view
+	Update     *UpdateSpec
+}
+
+// logLine renders the op for the workload log: one line, fully
+// describing the operation, with no timing or execution data — so two
+// equal-seed runs produce byte-identical logs.
+func (op *Op) logLine() string {
+	switch op.Kind {
+	case OpQuery:
+		return fmt.Sprintf("%d %s query %s", op.Seq, op.Doc, op.Query)
+	case OpSearch:
+		return fmt.Sprintf("%d %s search %s %s", op.Seq, op.Doc, op.SearchMode, strings.Join(op.Keywords, " "))
+	case OpUpdate:
+		u := op.Update
+		if u.Insert != "" {
+			return fmt.Sprintf("%d %s update insert %s into $%s where %s conf=%g",
+				op.Seq, op.Doc, u.Insert, u.Var, u.Query, u.Confidence)
+		}
+		return fmt.Sprintf("%d %s update delete $%s where %s conf=%g",
+			op.Seq, op.Doc, u.Var, u.Query, u.Confidence)
+	case OpViewRead:
+		return fmt.Sprintf("%d %s view-read %s", op.Seq, op.Doc, op.ViewName)
+	case OpRegisterView:
+		return fmt.Sprintf("%d %s register-view %s %s", op.Seq, op.Doc, op.ViewName, op.Query)
+	case OpRead:
+		return fmt.Sprintf("%d %s read", op.Seq, op.Doc)
+	}
+	return fmt.Sprintf("%d %s %s", op.Seq, op.Doc, op.Kind)
+}
+
+// vocabulary is the word pool document text and search keywords draw
+// from. Lowercase alphanumeric so every word is exactly one index
+// token.
+var vocabulary = []string{
+	"alpha", "bravo", "charlie", "delta", "echo", "fox", "golf", "hotel",
+	"india", "juliet", "kilo", "lima", "mike", "nov", "oscar", "papa",
+	"quebec", "romeo", "sierra", "tango", "uniform", "victor", "whiskey", "zulu",
+}
+
+// queryPool are the document-independent query templates. Every
+// template matches the generated document shape: root A, S sections
+// marked by a K leaf, initial T text leaves, inserted G(L) groups.
+var queryPool = []string{
+	"A(S(K $k))",
+	"A(//L $x)",
+	"A(S(G(L $x)))",
+	"A(//T $t)",
+}
+
+// viewQueryPool are the queries views are registered over.
+var viewQueryPool = []string{
+	"A(S(G(L $x)))",
+	"A(//T $t)",
+	"A(S(K $k))",
+}
+
+// maxViewsPerDoc caps registrations per document; once reached,
+// register-view ops degrade to view reads.
+const maxViewsPerDoc = 3
+
+// viewDef is a generated view registration.
+type viewDef struct{ name, query string }
+
+// genDocState is the generator's bookkeeping for one document:
+// enough state to produce ops that usually hit (deletes that target
+// inserted values, view reads of registered views). It is
+// generation-time state — execution failures do not feed back, which
+// keeps the op stream deterministic.
+type genDocState struct {
+	views    []viewDef
+	nextView int
+	inserted []string // L values inserted and not yet targeted by a delete
+}
+
+// generator produces the deterministic op stream.
+type generator struct {
+	rng      *rand.Rand
+	zipf     *rand.Zipf
+	mix      Mix
+	mixTotal float64
+	sections int
+	docs     []string
+	state    []genDocState
+	seq      int64
+}
+
+func newGenerator(seed int64, docs []string, mix Mix, zipfS float64, sections int) *generator {
+	rng := rand.New(rand.NewSource(seed))
+	total := 0.0
+	for _, w := range mix {
+		total += w
+	}
+	g := &generator{
+		rng:      rng,
+		mix:      mix,
+		mixTotal: total,
+		sections: sections,
+		docs:     docs,
+		state:    make([]genDocState, len(docs)),
+	}
+	if len(docs) > 1 {
+		g.zipf = rand.NewZipf(rng, zipfS, 1, uint64(len(docs)-1))
+	}
+	return g
+}
+
+// pickKind draws an op kind by mix weight, in the fixed kind order.
+func (g *generator) pickKind() OpKind {
+	r := g.rng.Float64() * g.mixTotal
+	for _, k := range opKindOrder {
+		r -= g.mix[k]
+		if r < 0 {
+			return k
+		}
+	}
+	return OpQuery
+}
+
+// next produces the next op of the stream.
+func (g *generator) next() Op {
+	seq := g.seq
+	g.seq++
+	di := 0
+	if g.zipf != nil {
+		di = int(g.zipf.Uint64())
+	}
+	st := &g.state[di]
+	kind := g.pickKind()
+	// Fallbacks keep the stream total-function: a view read with no
+	// registered view reads the document instead, a registration past
+	// the cap becomes a view read.
+	if kind == OpRegisterView && st.nextView >= maxViewsPerDoc {
+		kind = OpViewRead
+	}
+	if kind == OpViewRead && len(st.views) == 0 {
+		kind = OpRead
+	}
+	op := Op{Seq: seq, Doc: g.docs[di], Kind: kind}
+	switch kind {
+	case OpQuery:
+		i := g.rng.Intn(len(queryPool) + 1)
+		if i == len(queryPool) {
+			// Whole-section subtree query: content-sensitive, so it
+			// doubles as a deep oracle over inserted/deleted groups.
+			op.Query = fmt.Sprintf("A(S $s(K=s%d))", g.rng.Intn(g.sections))
+		} else {
+			op.Query = queryPool[i]
+		}
+	case OpSearch:
+		op.SearchMode = "slca"
+		if g.rng.Float64() < 0.2 {
+			op.SearchMode = "elca"
+		}
+		n := 1 + g.rng.Intn(2)
+		for i := 0; i < n; i++ {
+			if len(st.inserted) > 0 && g.rng.Float64() < 0.25 {
+				op.Keywords = append(op.Keywords, st.inserted[g.rng.Intn(len(st.inserted))])
+			} else {
+				op.Keywords = append(op.Keywords, vocabulary[g.rng.Intn(len(vocabulary))])
+			}
+		}
+	case OpUpdate:
+		op.Update = g.pickUpdate(st, seq)
+	case OpViewRead:
+		v := st.views[g.rng.Intn(len(st.views))]
+		op.ViewName, op.Query = v.name, v.query
+	case OpRegisterView:
+		v := viewDef{
+			name:  fmt.Sprintf("v%d", st.nextView),
+			query: viewQueryPool[g.rng.Intn(len(viewQueryPool))],
+		}
+		st.nextView++
+		st.views = append(st.views, v)
+		op.ViewName, op.Query = v.name, v.query
+	case OpRead:
+	}
+	return op
+}
+
+// confidencePool are the transaction confidences updates draw from:
+// certain updates (no fresh event) and two probabilistic tiers.
+var confidencePool = []float64{1, 0.9, 0.8}
+
+func (g *generator) pickUpdate(st *genDocState, seq int64) *UpdateSpec {
+	conf := confidencePool[g.rng.Intn(len(confidencePool))]
+	if len(st.inserted) > 0 && g.rng.Float64() < 0.35 {
+		i := g.rng.Intn(len(st.inserted))
+		w := st.inserted[i]
+		st.inserted = append(st.inserted[:i], st.inserted[i+1:]...)
+		return &UpdateSpec{
+			Query:      fmt.Sprintf("A(S(G $g(L=%s)))", w),
+			Var:        "g",
+			Confidence: conf,
+		}
+	}
+	// Fresh value per insert: deletes can later target it
+	// unambiguously, and the value doubles as a searchable token.
+	w := fmt.Sprintf("w%d", seq)
+	st.inserted = append(st.inserted, w)
+	return &UpdateSpec{
+		Query:      fmt.Sprintf("A(S $s(K=s%d))", g.rng.Intn(g.sections)),
+		Var:        "s",
+		Confidence: conf,
+		Insert:     fmt.Sprintf("G(L:%s)", w),
+	}
+}
+
+// initialDocXML builds the deterministic initial <pxml> document for
+// one doc: a root A with `sections` S sections, each carrying a
+// certain K marker leaf (the update targeting anchor) and two T text
+// leaves, one conditioned on a random event. The per-doc RNG is
+// derived from (seed, doc index) so document content is independent
+// of the op stream.
+func initialDocXML(seed int64, docIndex, sections, events int) string {
+	rng := rand.New(rand.NewSource(seed*1_000_003 + int64(docIndex)))
+	var b strings.Builder
+	b.WriteString("<pxml>\n  <events>\n")
+	for e := 1; e <= events; e++ {
+		fmt.Fprintf(&b, "    <event name=\"e%d\" prob=\"%.3f\"/>\n", e, 0.3+0.6*rng.Float64())
+	}
+	b.WriteString("  </events>\n  <root>\n    <A>\n")
+	for s := 0; s < sections; s++ {
+		fmt.Fprintf(&b, "      <S><K>s%d</K>", s)
+		w1 := vocabulary[rng.Intn(len(vocabulary))]
+		w2 := vocabulary[rng.Intn(len(vocabulary))]
+		fmt.Fprintf(&b, "<T cond=\"e%d\">%s</T><T>%s</T></S>\n", 1+rng.Intn(events), w1, w2)
+	}
+	b.WriteString("    </A>\n  </root>\n</pxml>\n")
+	return b.String()
+}
+
+// docNames returns the full document set for a tenant/doc grid, in
+// the deterministic order the generator indexes by. Tenant t's docs
+// are contiguous, so Zipf popularity concentrates on the low-index
+// tenants — the realistic "a few hot accounts" shape.
+func docNames(tenants, docsPerTenant int) []string {
+	out := make([]string, 0, tenants*docsPerTenant)
+	for t := 0; t < tenants; t++ {
+		for d := 0; d < docsPerTenant; d++ {
+			out = append(out, fmt.Sprintf("t%d-d%d", t, d))
+		}
+	}
+	return out
+}
+
+// sortedKinds returns the op kinds with nonzero counts in fixed order
+// followed by any unknown kinds sorted — used by fingerprinting.
+func sortedKinds(counts map[OpKind]int64) []OpKind {
+	var out []OpKind
+	seen := make(map[OpKind]bool)
+	for _, k := range opKindOrder {
+		if counts[k] != 0 {
+			out = append(out, k)
+			seen[k] = true
+		}
+	}
+	var rest []string
+	for k := range counts {
+		if !seen[k] && counts[k] != 0 {
+			rest = append(rest, string(k))
+		}
+	}
+	sort.Strings(rest)
+	for _, k := range rest {
+		out = append(out, OpKind(k))
+	}
+	return out
+}
