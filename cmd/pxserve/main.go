@@ -9,6 +9,7 @@
 //	pxserve -dir ./wh
 //	pxserve -dir ./wh -addr :9090 -cache 1024 -v
 //	pxserve -dir ./wh -slow-query 250ms -pprof localhost:6060
+//	pxserve -dir ./wh -pprof localhost:6060 -mutexprofile 5 -blockprofile 1000000
 //	pxserve -dir ./wh -request-timeout 30s -max-inflight 64
 //
 // On SIGINT/SIGTERM the server drains in-flight requests (up to 10s)
@@ -33,6 +34,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -49,6 +51,8 @@ func main() {
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and /debug/traces on this debug address (empty = disabled)")
 		reqTimeout  = flag.Duration("request-timeout", 0, "abort request evaluation after this long with 503 (0 = no timeout; /stats, /metrics and probes are exempt)")
 		maxInFlight = flag.Int("max-inflight", 0, "cap on concurrently evaluating requests, excess shed with 429 (0 = unlimited)")
+		mutexFrac   = flag.Int("mutexprofile", 0, "sample 1/n of mutex contention events for /debug/pprof/mutex (0 = off; needs -pprof)")
+		blockRate   = flag.Int("blockprofile", 0, "sample blocking events of at least n ns for /debug/pprof/block (0 = off; needs -pprof)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -75,6 +79,17 @@ func main() {
 	srv := &http.Server{
 		Addr:    *addr,
 		Handler: api,
+	}
+
+	// Contention profiling is opt-in: both profiles are free when their
+	// rate is zero but add bookkeeping to every mutex unlock / blocking
+	// event once enabled, so the flags default to off. The profiles are
+	// served by the pprof index on the debug mux below.
+	if *mutexFrac > 0 {
+		runtime.SetMutexProfileFraction(*mutexFrac)
+	}
+	if *blockRate > 0 {
+		runtime.SetBlockProfileRate(*blockRate)
 	}
 
 	if *pprofAddr != "" {

@@ -156,6 +156,10 @@ func render(rep *sim.Report) {
 	fmt.Printf("audit: checks=%d discrepancies=%d degraded=%v stale_view_reads=%d failed_writes=%d ambiguous(applied=%d aborted=%d)\n",
 		a.Checks, a.DiscrepancyCount, a.Degraded, a.StaleViewReads, a.FailedWrites,
 		a.AmbiguousApplied, a.AmbiguousAborted)
+	e := rep.Engine
+	fmt.Printf("engine: compiles=%d (bitset %d) memo=%d/%d components=%d expansion_nodes=%d mc_samples=%d cancellations=%d\n",
+		e.Compiles, e.BitsetCompiles, e.MemoHits, e.MemoMisses, e.Components,
+		e.ExpansionNodes, e.MCSamples, e.Cancellations)
 }
 
 // writeReport writes the benchmark report to path.

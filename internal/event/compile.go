@@ -1,6 +1,7 @@
 package event
 
 import (
+	"context"
 	"fmt"
 	"slices"
 
@@ -33,6 +34,8 @@ var (
 	engineComponents     = obs.Default().Counter("px_engine_components_total", "independent components produced by the decomposition")
 	engineHashCollisions = obs.Default().Counter("px_engine_hash_collisions_total", "structural hash collisions (checked, recomputed)")
 	engineCancellations  = obs.Default().Counter("px_engine_cancellations_total", "probability evaluations stopped mid-flight by context cancellation or deadline")
+	engineExpansionNodes = obs.Default().Counter("px_engine_expansion_nodes_total", "Shannon-expansion nodes visited (DNF engine recursion steps and formula evaluator steps)")
+	engineMCSamples      = obs.Default().Counter("px_engine_mc_samples_total", "Monte-Carlo world samples drawn")
 )
 
 // EngineCounters is a snapshot of the probability-engine counters:
@@ -51,6 +54,11 @@ type EngineCounters struct {
 	// Cancellations counts evaluations (exact or Monte-Carlo) stopped
 	// mid-flight because their context was cancelled or timed out.
 	Cancellations int64 `json:"cancellations"`
+	// ExpansionNodes counts Shannon-expansion nodes visited (DNF engine
+	// recursion steps plus formula-evaluator steps); MCSamples counts
+	// Monte-Carlo world samples drawn.
+	ExpansionNodes int64 `json:"expansion_nodes"`
+	MCSamples      int64 `json:"mc_samples"`
 }
 
 // ReadEngineCounters returns the current engine counter values.
@@ -63,6 +71,8 @@ func ReadEngineCounters() EngineCounters {
 		Components:     engineComponents.Value(),
 		HashCollisions: engineHashCollisions.Value(),
 		Cancellations:  engineCancellations.Value(),
+		ExpansionNodes: engineExpansionNodes.Value(),
+		MCSamples:      engineMCSamples.Value(),
 	}
 }
 
@@ -75,6 +85,8 @@ func ResetEngineCounters() {
 	engineComponents.Reset()
 	engineHashCollisions.Reset()
 	engineCancellations.Reset()
+	engineExpansionNodes.Reset()
+	engineMCSamples.Reset()
 }
 
 // cclause is one compiled conjunctive clause: sorted local literals,
@@ -163,13 +175,36 @@ func clauseMasks(lits []int32) (pos, neg uint64) {
 	return pos, neg
 }
 
+// CompileDNFCtx is CompileDNF charging the context's cost accumulator
+// (when one is attached) alongside the global compile counters, so a
+// request's ?explain=1 breakdown mirrors the px_engine_* families
+// exactly. Compilation itself never consults the context.
+func (t *Table) CompileDNFCtx(ctx context.Context, d DNF) (*Compiled, error) {
+	return t.compileDNF(obs.CostFromContext(ctx), d)
+}
+
+// ChargeMCSamples charges n Monte-Carlo samples drawn outside the
+// compiled engine (keyword search's world sampler, formula estimation)
+// to the same px_engine_mc_samples_total family and cost category the
+// engine itself uses, keeping the sample accounting unified.
+func ChargeMCSamples(cost *obs.Cost, n int64) {
+	obs.Charge(cost, obs.CostEngineMCSamples, engineMCSamples, n)
+}
+
 // CompileDNF compiles d against the table. Events are interned through
 // the table's dense index; events unknown to the table are an error
 // only if they survive normalization (an unknown event confined to an
 // unsatisfiable or absorbed clause is never consulted, matching the
 // possible-worlds semantics and the historical ProbDNF behavior).
 func (t *Table) CompileDNF(d DNF) (*Compiled, error) {
-	engineCompiles.Add(1)
+	return t.compileDNF(nil, d)
+}
+
+// compileDNF is the shared implementation: every counter increment goes
+// through obs.Charge, so the global families and the per-request cost
+// stay two sums over the same stream.
+func (t *Table) compileDNF(cost *obs.Cost, d DNF) (*Compiled, error) {
+	obs.Charge(cost, obs.CostEngineCompiles, engineCompiles, 1)
 	c := &Compiled{}
 	if len(d) == 0 {
 		return c, nil // constant false
@@ -217,7 +252,7 @@ func (t *Table) CompileDNF(d DNF) (*Compiled, error) {
 	globals = slices.Compact(globals)
 	c.small = len(globals) <= 64
 	if c.small {
-		engineBitsetCompiles.Add(1)
+		obs.Charge(cost, obs.CostEngineBitsetCompiles, engineBitsetCompiles, 1)
 	}
 
 	// Pass 2: build normalized clauses over local slots.

@@ -3,6 +3,7 @@ package event
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"strings"
@@ -153,9 +154,11 @@ func (t *Table) ProbDNF(d DNF) (float64, error) {
 
 // ProbDNFCtx is ProbDNF honoring context cancellation: the Shannon
 // expansion checks ctx periodically and aborts with the context's error
-// (compilation itself is linear and runs to completion).
+// (compilation itself is linear and runs to completion). When the
+// context carries an obs cost accumulator, compile and expansion work
+// is charged to it.
 func (t *Table) ProbDNFCtx(ctx context.Context, d DNF) (float64, error) {
-	c, err := t.CompileDNF(d)
+	c, err := t.CompileDNFCtx(ctx, d)
 	if err != nil {
 		return 0, err
 	}
@@ -165,8 +168,28 @@ func (t *Table) ProbDNFCtx(ctx context.Context, d DNF) (float64, error) {
 // ProbDNFBrute computes P(d) by enumerating all assignments over the
 // events of d. Exponential; used as a testing oracle for ProbDNF.
 func (t *Table) ProbDNFBrute(d DNF) (float64, error) {
+	return t.ProbDNFBruteCtx(context.Background(), d)
+}
+
+// ProbDNFBruteCtx is ProbDNFBrute honoring context cancellation: the
+// assignment enumeration polls ctx every cancelCheckInterval
+// assignments — the same cadence as the compiled engine — so the
+// brute-force differential path can be stopped mid-flight too.
+func (t *Table) ProbDNFBruteCtx(ctx context.Context, d DNF) (float64, error) {
+	if ctx != nil && ctx.Done() == nil {
+		ctx = nil
+	}
 	total := 0.0
+	var steps int
+	var cerr error
 	err := t.ForEachAssignment(d.Events(), func(a Assignment, p float64) bool {
+		if ctx != nil {
+			if steps++; steps&(cancelCheckInterval-1) == 0 {
+				if cerr = ctx.Err(); cerr != nil {
+					return false
+				}
+			}
+		}
 		if d.Eval(a) {
 			total += p
 		}
@@ -174,6 +197,10 @@ func (t *Table) ProbDNFBrute(d DNF) (float64, error) {
 	})
 	if err != nil {
 		return 0, err
+	}
+	if cerr != nil {
+		engineCancellations.Inc()
+		return math.NaN(), cerr
 	}
 	return total, nil
 }
@@ -211,7 +238,7 @@ func (t *Table) EstimateDNFCtx(ctx context.Context, d DNF, samples int, r *rand.
 			return 0, fmt.Errorf("event: unknown event %q in DNF %q", e, d)
 		}
 	}
-	c, err := t.CompileDNF(d)
+	c, err := t.CompileDNFCtx(ctx, d)
 	if err != nil {
 		return 0, err
 	}

@@ -7,6 +7,8 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // Formula is an arbitrary Boolean formula over probabilistic events. It
@@ -229,8 +231,10 @@ func (t *Table) ProbFormula(f Formula) (float64, error) {
 			return 0, fmt.Errorf("event: unknown event %q in formula %q", e, f)
 		}
 	}
+	cc := &cancelCheck{}
+	defer cc.charge(nil)
 	memo := make(map[string]float64)
-	return t.probFormula(f, memo, nil), nil
+	return t.probFormula(f, memo, cc), nil
 }
 
 // ProbFormulaCtx is ProbFormula honoring context cancellation: the
@@ -243,7 +247,10 @@ func (t *Table) ProbFormulaCtx(ctx context.Context, f Formula) (p float64, err e
 			return 0, fmt.Errorf("event: unknown event %q in formula %q", e, f)
 		}
 	}
-	var cc *cancelCheck
+	// Grab the cost accumulator before deciding whether the context is
+	// worth polling: an uncancellable context can still carry a cost.
+	cost := obs.CostFromContext(ctx)
+	cc := &cancelCheck{}
 	if ctx != nil && ctx.Done() != nil {
 		// Small formulas finish before the first periodic tick, so an
 		// already-expired context must abort before any expansion.
@@ -251,8 +258,9 @@ func (t *Table) ProbFormulaCtx(ctx context.Context, f Formula) (p float64, err e
 			engineCancellations.Add(1)
 			return math.NaN(), err
 		}
-		cc = &cancelCheck{ctx: ctx}
+		cc.ctx = ctx
 	}
+	defer cc.charge(cost)
 	defer func() {
 		if r := recover(); r != nil {
 			ec, ok := r.(evalCanceled)
@@ -268,23 +276,30 @@ func (t *Table) ProbFormulaCtx(ctx context.Context, f Formula) (p float64, err e
 }
 
 // cancelCheck amortizes context polling across a hot recursion: tick
-// consults ctx.Err once per cancelCheckInterval calls and unwinds via
-// an evalCanceled panic (recovered by the Ctx entry points). A nil
-// *cancelCheck is the uncancellable fast path.
+// counts every recursion step and, when a cancellable context is
+// attached, consults ctx.Err once per cancelCheckInterval calls and
+// unwinds via an evalCanceled panic (recovered by the Ctx entry
+// points). The step count doubles as the expansion-node tally charged
+// by charge on the way out, so the formula evaluator feeds the same
+// px_engine_expansion_nodes_total family as the compiled DNF engine.
 type cancelCheck struct {
 	ctx   context.Context
-	steps int
+	steps int64
 }
 
 func (cc *cancelCheck) tick() {
-	if cc == nil {
-		return
-	}
-	if cc.steps++; cc.steps&(cancelCheckInterval-1) == 0 {
+	if cc.steps++; cc.ctx != nil && cc.steps&(cancelCheckInterval-1) == 0 {
 		if err := cc.ctx.Err(); err != nil {
 			panic(evalCanceled{err})
 		}
 	}
+}
+
+// charge flushes the accumulated step count to the expansion-node
+// counter (and the request cost, when present). Deferred by the entry
+// points so cancelled evaluations still account for the work done.
+func (cc *cancelCheck) charge(cost *obs.Cost) {
+	obs.Charge(cost, obs.CostEngineExpansionNodes, engineExpansionNodes, cc.steps)
 }
 
 func (t *Table) probFormula(f Formula, memo map[string]float64, cc *cancelCheck) float64 {
@@ -334,11 +349,14 @@ func (t *Table) EstimateFormula(f Formula, samples int, r *rand.Rand) (float64, 
 			hits++
 		}
 	}
+	ChargeMCSamples(nil, int64(samples))
 	return float64(hits) / float64(samples), nil
 }
 
 // EstimateFormulaCtx is EstimateFormula honoring context cancellation
-// between sample batches.
+// between sample batches. Samples actually drawn (including before a
+// cancellation) are charged to the context's cost accumulator and the
+// global MC-sample counter.
 func (t *Table) EstimateFormulaCtx(ctx context.Context, f Formula, samples int, r *rand.Rand) (float64, error) {
 	if samples <= 0 {
 		return 0, fmt.Errorf("event: non-positive sample count %d", samples)
@@ -349,6 +367,7 @@ func (t *Table) EstimateFormulaCtx(ctx context.Context, f Formula, samples int, 
 			return 0, fmt.Errorf("event: unknown event %q in formula %q", e, f)
 		}
 	}
+	cost := obs.CostFromContext(ctx)
 	if ctx != nil && ctx.Done() == nil {
 		ctx = nil
 	}
@@ -358,7 +377,8 @@ func (t *Table) EstimateFormulaCtx(ctx context.Context, f Formula, samples int, 
 			return math.NaN(), err
 		}
 	}
-	hits := 0
+	hits, done := 0, 0
+	defer func() { ChargeMCSamples(cost, int64(done)) }()
 	for i := 0; i < samples; i++ {
 		if ctx != nil && i&(cancelCheckInterval-1) == cancelCheckInterval-1 {
 			if err := ctx.Err(); err != nil {
@@ -369,6 +389,7 @@ func (t *Table) EstimateFormulaCtx(ctx context.Context, f Formula, samples int, 
 		if f.Eval(t.SampleAssignment(events, r)) {
 			hits++
 		}
+		done++
 	}
 	return float64(hits) / float64(samples), nil
 }
@@ -376,8 +397,28 @@ func (t *Table) EstimateFormulaCtx(ctx context.Context, f Formula, samples int, 
 // ProbFormulaBrute computes P(f) by enumerating all assignments over the
 // formula's events; the testing oracle for ProbFormula.
 func (t *Table) ProbFormulaBrute(f Formula) (float64, error) {
+	return t.ProbFormulaBruteCtx(context.Background(), f)
+}
+
+// ProbFormulaBruteCtx is ProbFormulaBrute honoring context cancellation:
+// the assignment enumeration polls ctx every cancelCheckInterval
+// assignments, the same cadence as the memoized evaluator, so the
+// brute-force differential path can be stopped mid-flight too.
+func (t *Table) ProbFormulaBruteCtx(ctx context.Context, f Formula) (float64, error) {
+	if ctx != nil && ctx.Done() == nil {
+		ctx = nil
+	}
 	total := 0.0
+	var steps int
+	var cerr error
 	err := t.ForEachAssignment(f.Events(), func(a Assignment, p float64) bool {
+		if ctx != nil {
+			if steps++; steps&(cancelCheckInterval-1) == 0 {
+				if cerr = ctx.Err(); cerr != nil {
+					return false
+				}
+			}
+		}
 		if f.Eval(a) {
 			total += p
 		}
@@ -385,6 +426,10 @@ func (t *Table) ProbFormulaBrute(f Formula) (float64, error) {
 	})
 	if err != nil {
 		return 0, err
+	}
+	if cerr != nil {
+		engineCancellations.Inc()
+		return math.NaN(), cerr
 	}
 	return total, nil
 }

@@ -5,6 +5,8 @@ import (
 	"math"
 	"math/rand"
 	"slices"
+
+	"repro/internal/obs"
 )
 
 // cancelCheckInterval is how many Shannon-expansion nodes (or
@@ -47,8 +49,11 @@ type engine struct {
 	// nodes; a cancellation aborts the recursion via evalCanceled. nil
 	// (context-free Prob, or a context that can never be cancelled)
 	// costs nothing on the hot path beyond one pointer test.
-	ctx   context.Context
-	steps int
+	ctx context.Context
+
+	// cost, when non-nil, receives the per-request charges flushed
+	// alongside the global counters (see probCtx's defer).
+	cost *obs.Cost
 
 	cnt   []int32 // per-slot literal counts (most-frequent-event scratch)
 	owner []int32 // per-slot first-clause index (component scratch)
@@ -56,12 +61,15 @@ type engine struct {
 	intArena []int32   // backing store for shrunk clauses and memo keys
 	clArena  []cclause // backing store for cofactor clause lists
 
+	// nodes counts expansion nodes visited; it doubles as the
+	// cancellation-poll tick.
+	nodes                                int64
 	hits, misses, components, collisions int64
 }
 
 // Prob computes the exact probability of the compiled DNF.
 func (c *Compiled) Prob() float64 {
-	p, _ := c.probCtx(nil)
+	p, _ := c.probCtx(nil, nil)
 	return p
 }
 
@@ -70,15 +78,20 @@ func (c *Compiled) Prob() float64 {
 // error when it fires, so a request deadline or a disconnected client
 // stops a pathological DNF mid-flight instead of pinning a core.
 func (c *Compiled) ProbCtx(ctx context.Context) (float64, error) {
+	// The cost accumulator must come off the context before the
+	// fast-path nil-ing below: an uncancellable context (Done() == nil)
+	// skips the per-node polls, but its request still pays for — and is
+	// charged for — every expansion node.
+	cost := obs.CostFromContext(ctx)
 	if ctx == nil || ctx.Done() == nil {
-		// The context can never be cancelled (Background, TODO):
-		// evaluate on the check-free path.
+		// The context can never fire (Background and friends): evaluate
+		// on the check-free path.
 		ctx = nil
 	}
-	return c.probCtx(ctx)
+	return c.probCtx(ctx, cost)
 }
 
-func (c *Compiled) probCtx(ctx context.Context) (p float64, err error) {
+func (c *Compiled) probCtx(ctx context.Context, cost *obs.Cost) (p float64, err error) {
 	if ctx != nil {
 		// Evaluations shorter than cancelCheckInterval never reach a
 		// periodic poll, so an already-expired context must abort here.
@@ -96,16 +109,21 @@ func (c *Compiled) probCtx(ctx context.Context) (p float64, err error) {
 	e := &engine{
 		c:     c,
 		ctx:   ctx,
+		cost:  cost,
 		memo:  make(map[uint64]memoEntry),
 		cnt:   make([]int32, len(c.probs)),
 		owner: make([]int32, len(c.probs)),
 	}
 	defer func() {
 		// Counter deltas flush even on abort, so /stats stays truthful
-		// about work done by cancelled evaluations.
-		engineMemoHits.Add(e.hits)
-		engineMemoMisses.Add(e.misses)
-		engineComponents.Add(e.components)
+		// about work done by cancelled evaluations. Charge feeds the
+		// global counter and the request's cost accumulator from the
+		// same delta (collisions stay process-global only: a hash
+		// accident is not a property of the request's plan).
+		obs.Charge(e.cost, obs.CostEngineMemoHits, engineMemoHits, e.hits)
+		obs.Charge(e.cost, obs.CostEngineMemoMisses, engineMemoMisses, e.misses)
+		obs.Charge(e.cost, obs.CostEngineComponents, engineComponents, e.components)
+		obs.Charge(e.cost, obs.CostEngineExpansionNodes, engineExpansionNodes, e.nodes)
 		engineHashCollisions.Add(e.collisions)
 		if r := recover(); r != nil {
 			ec, ok := r.(evalCanceled)
@@ -218,11 +236,10 @@ func (e *engine) clauseProb(c cclause) float64 {
 // prob computes P(∨ cls) for a canonical clause list by memoized
 // Shannon expansion with component decomposition.
 func (e *engine) prob(cls []cclause) float64 {
-	if e.ctx != nil {
-		if e.steps++; e.steps&(cancelCheckInterval-1) == 0 {
-			if err := e.ctx.Err(); err != nil {
-				panic(evalCanceled{err})
-			}
+	e.nodes++
+	if e.ctx != nil && e.nodes&(cancelCheckInterval-1) == 0 {
+		if err := e.ctx.Err(); err != nil {
+			panic(evalCanceled{err})
 		}
 	}
 	switch len(cls) {
@@ -422,7 +439,7 @@ func (e *engine) cofactor(cls []cclause, slot int32, v bool) ([]cclause, bool) {
 // uint64 and clause evaluation is two word operations. A non-positive
 // sample count returns NaN (EstimateDNF reports it as an error).
 func (c *Compiled) Estimate(samples int, r *rand.Rand) float64 {
-	p, _ := c.estimateCtx(nil, samples, r)
+	p, _ := c.estimateCtx(nil, nil, samples, r)
 	return p
 }
 
@@ -430,13 +447,14 @@ func (c *Compiled) Estimate(samples int, r *rand.Rand) float64 {
 // loop polls ctx every cancelCheckInterval samples and returns its
 // error (with a NaN estimate) when it fires.
 func (c *Compiled) EstimateCtx(ctx context.Context, samples int, r *rand.Rand) (float64, error) {
+	cost := obs.CostFromContext(ctx) // before the fast-path nil-ing, like ProbCtx
 	if ctx == nil || ctx.Done() == nil {
 		ctx = nil
 	}
-	return c.estimateCtx(ctx, samples, r)
+	return c.estimateCtx(ctx, cost, samples, r)
 }
 
-func (c *Compiled) estimateCtx(ctx context.Context, samples int, r *rand.Rand) (float64, error) {
+func (c *Compiled) estimateCtx(ctx context.Context, cost *obs.Cost, samples int, r *rand.Rand) (float64, error) {
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
 			engineCancellations.Inc()
@@ -452,6 +470,10 @@ func (c *Compiled) estimateCtx(ctx context.Context, samples int, r *rand.Rand) (
 	if len(c.clauses) == 0 {
 		return 0, nil
 	}
+	// done counts samples actually drawn, charged even when the loop is
+	// cancelled mid-flight, so the accounting reflects work performed.
+	done := 0
+	defer func() { obs.Charge(cost, obs.CostEngineMCSamples, engineMCSamples, int64(done)) }()
 	hits := 0
 	if c.small {
 		for i := 0; i < samples; i++ {
@@ -467,6 +489,7 @@ func (c *Compiled) estimateCtx(ctx context.Context, samples int, r *rand.Rand) (
 					w |= 1 << uint(s)
 				}
 			}
+			done++
 			for _, cl := range c.clauses {
 				if w&cl.pos == cl.pos && w&cl.neg == 0 {
 					hits++
@@ -486,6 +509,7 @@ func (c *Compiled) estimateCtx(ctx context.Context, samples int, r *rand.Rand) (
 			for s, p := range c.probs {
 				world[s] = r.Float64() < p
 			}
+			done++
 			for _, cl := range c.clauses {
 				sat := true
 				for _, l := range cl.lits {

@@ -179,6 +179,30 @@ func Probes() []Probe {
 				}
 			}
 		}},
+		{"obs/explain/off/events=12", func(b *testing.B) {
+			ft := SectionDoc(12)
+			q := tpwj.MustParseQuery("A(//L $x)")
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := tpwj.EvalFuzzyContext(ctx, q, ft); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"obs/explain/on/events=12", func(b *testing.B) {
+			ft := SectionDoc(12)
+			q := tpwj.MustParseQuery("A(//L $x)")
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := tpwj.EvalFuzzyContext(obs.ContextWithCost(ctx, obs.NewCost()), q, ft); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 		{"fault/overhead/off/events=14", func(b *testing.B) {
 			tab, d := AblationDNF(14)
 			b.ReportAllocs()
@@ -348,9 +372,12 @@ type BenchReport struct {
 // SimBenchReport wraps a simulator run in the BENCH_<date>.json
 // envelope without running the micro-benchmark probes: pxsim measures
 // a live server, so the in-process probe timings would only add
-// minutes of noise next to it.
+// minutes of noise next to it. The engine counters come from the run's
+// audit snapshot of the server's /stats — the engine work happened in
+// the server process, so reading this process's counters (as RunProbes
+// does) would report zeros.
 func SimBenchReport(date string, sr *sim.Report) BenchReport {
-	return BenchReport{Date: date, GoVersion: runtime.Version(), Sim: sr}
+	return BenchReport{Date: date, GoVersion: runtime.Version(), Engine: sr.Engine, Sim: sr}
 }
 
 // RunProbes measures every probe with testing.Benchmark and returns the

@@ -37,6 +37,7 @@ var (
 	ctrIndexBuilds     = obs.Default().Counter("px_keyword_index_builds_total", "inverted keyword indexes built")
 	ctrPostings        = obs.Default().Counter("px_keyword_postings_total", "inverted-index postings built")
 	ctrSearches        = obs.Default().Counter("px_keyword_searches_total", "keyword searches evaluated")
+	ctrPostingsScanned = obs.Default().Counter("px_keyword_postings_scanned_total", "postings consulted by search candidate enumeration")
 	ctrThresholdPrunes = obs.Default().Counter("px_keyword_threshold_prunes_total", "candidates pruned by the MinProb upper bound")
 )
 
@@ -48,6 +49,7 @@ type Counters struct {
 	IndexBuilds     int64 `json:"index_builds"`
 	Postings        int64 `json:"postings"`
 	Searches        int64 `json:"searches"`
+	PostingsScanned int64 `json:"postings_scanned"`
 	ThresholdPrunes int64 `json:"threshold_prunes"`
 }
 
@@ -57,6 +59,7 @@ func ReadCounters() Counters {
 		IndexBuilds:     ctrIndexBuilds.Value(),
 		Postings:        ctrPostings.Value(),
 		Searches:        ctrSearches.Value(),
+		PostingsScanned: ctrPostingsScanned.Value(),
 		ThresholdPrunes: ctrThresholdPrunes.Value(),
 	}
 }
@@ -66,6 +69,7 @@ func ResetCounters() {
 	ctrIndexBuilds.Reset()
 	ctrPostings.Reset()
 	ctrSearches.Reset()
+	ctrPostingsScanned.Reset()
 	ctrThresholdPrunes.Reset()
 }
 

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"repro/internal/event"
+	"repro/internal/obs"
 )
 
 // Mode selects the keyword answer semantics.
@@ -126,8 +127,13 @@ func Search(ix *Index, req Request) (*Result, error) {
 // result is discarded and the context's error returned. A context that
 // can never be cancelled costs nothing over Search.
 func SearchContext(ctx context.Context, ix *Index, req Request) (*Result, error) {
-	if ctx != nil && ctx.Done() == nil {
-		ctx = nil
+	// The cost accumulator must be read off the original context: poll is
+	// nilled for uncancellable contexts, but the full ctx (cost and all)
+	// still flows to the probability-engine calls below.
+	cost := obs.CostFromContext(ctx)
+	poll := ctx
+	if poll != nil && poll.Done() == nil {
+		poll = nil
 	}
 	tokens, err := RequiredTokens(req.Keywords)
 	if err != nil {
@@ -137,6 +143,11 @@ func SearchContext(ctx context.Context, ix *Index, req Request) (*Result, error)
 		return nil, fmt.Errorf("keyword: min probability %v outside [0,1]", req.MinProb)
 	}
 	ctrSearches.Add(1)
+	var scanned int64
+	for _, tok := range tokens {
+		scanned += int64(len(ix.postings[tok]))
+	}
+	obs.Charge(cost, obs.CostKeywordPostingsScanned, ctrPostingsScanned, scanned)
 	res := &Result{}
 	cands := ix.candidates(tokens)
 	res.Candidates = len(cands)
@@ -165,8 +176,8 @@ func SearchContext(ctx context.Context, ix *Index, req Request) (*Result, error)
 	if req.MinProb > 0 {
 		kept = kept[:0]
 		for _, v := range cands {
-			if ctx != nil {
-				if cerr := ctx.Err(); cerr != nil {
+			if poll != nil {
+				if cerr := poll.Err(); cerr != nil {
 					return nil, cerr
 				}
 			}
@@ -176,7 +187,7 @@ func SearchContext(ctx context.Context, ix *Index, req Request) (*Result, error)
 			}
 			bounds[v] = b
 			if b < req.MinProb-tolerance {
-				ctrThresholdPrunes.Add(1)
+				obs.Charge(cost, obs.CostKeywordCandidatesPruned, ctrThresholdPrunes, 1)
 				res.Pruned++
 				continue
 			}
@@ -186,7 +197,7 @@ func SearchContext(ctx context.Context, ix *Index, req Request) (*Result, error)
 
 	probs := make(map[int32]float64, len(kept))
 	if req.MC {
-		if err := estimateWorlds(ctx, ix, tokens, req, kept, probs); err != nil {
+		if err := estimateWorlds(poll, cost, ix, tokens, req, kept, probs); err != nil {
 			return nil, err
 		}
 		// An estimate can exceed the candidate's provable upper bound
@@ -200,8 +211,8 @@ func SearchContext(ctx context.Context, ix *Index, req Request) (*Result, error)
 		}
 	} else {
 		for _, v := range kept {
-			if ctx != nil {
-				if cerr := ctx.Err(); cerr != nil {
+			if poll != nil {
+				if cerr := poll.Err(); cerr != nil {
 					return nil, cerr
 				}
 			}
@@ -488,7 +499,7 @@ func (e *evaluator) answerFormula(v int32, mode Mode) (event.Formula, error) {
 // evaluates the SLCA/ELCA sets of that world with the linear mask
 // recurrence. All candidates are estimated from the same worlds, so the
 // estimates are independent of which candidates pruning kept.
-func estimateWorlds(ctx context.Context, ix *Index, tokens []string, req Request, kept []int32, probs map[int32]float64) error {
+func estimateWorlds(ctx context.Context, cost *obs.Cost, ix *Index, tokens []string, req Request, kept []int32, probs map[int32]float64) error {
 	if len(kept) == 0 {
 		return nil // everything pruned; don't pay for the sampling loop
 	}
@@ -524,6 +535,8 @@ func estimateWorlds(ctx context.Context, ix *Index, tokens []string, req Request
 	mask := make([]uint64, len(ix.nodes))
 	excl := make([]uint64, len(ix.nodes)) // ELCA: union of non-full child masks
 	hits := make(map[int32]int, len(kept))
+	done := 0
+	defer func() { event.ChargeMCSamples(cost, int64(done)) }()
 	for s := 0; s < samples; s++ {
 		// One sample is O(nodes); a per-sample poll is noise next to it.
 		if ctx != nil {
@@ -531,6 +544,7 @@ func estimateWorlds(ctx context.Context, ix *Index, tokens []string, req Request
 				return err
 			}
 		}
+		done++
 		a := ix.tree.Table.SampleAssignment(events, r)
 		for i := range ix.nodes {
 			n := &ix.nodes[i]

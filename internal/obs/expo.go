@@ -87,11 +87,16 @@ func evaluate(kind Kind, m *metric) *sample {
 	s := &sample{labels: m.labels}
 	switch kind {
 	case KindHistogram:
-		if m.h == nil {
+		switch {
+		case m.hf != nil:
+			d := m.hf()
+			s.cum, s.bounds, s.sum, s.total = d.Cum, d.Bounds, d.Sum, d.Total
+		case m.h != nil:
+			s.cum, s.sum, s.total = m.h.bucketCumulative()
+			s.bounds = m.h.bounds
+		default:
 			return nil
 		}
-		s.cum, s.sum, s.total = m.h.bucketCumulative()
-		s.bounds = m.h.bounds
 	case KindGauge:
 		switch {
 		case m.gf != nil:

@@ -147,6 +147,7 @@ type metric struct {
 	g      *Gauge
 	gf     func() float64
 	h      *Histogram
+	hf     func() HistData
 }
 
 // family is all metrics sharing one name (and therefore help and kind).
@@ -266,6 +267,32 @@ func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
 		return nil
 	}
 	return r.slot(name, help, KindHistogram, labels).h
+}
+
+// HistData is a histogram distribution computed outside obs, exposed
+// through HistogramFunc: Bounds are the finite upper bounds, Cum the
+// cumulative counts at those bounds (len(Cum) == len(Bounds)), Total
+// the all-samples count (the +Inf bucket), Sum the (possibly
+// approximated) sum of observations.
+type HistData struct {
+	Bounds []float64
+	Cum    []int64
+	Sum    float64
+	Total  int64
+}
+
+// HistogramFunc registers a histogram whose distribution is computed by
+// f at exposition time — for distributions maintained elsewhere, such
+// as the runtime/metrics GC-pause and scheduler-latency histograms,
+// whose bucket ladders the Go runtime owns.
+func (r *Registry) HistogramFunc(name, help string, f func() HistData, labels ...Label) {
+	if r == nil {
+		return
+	}
+	m := r.slot(name, help, KindHistogram, labels)
+	r.mu.Lock()
+	m.hf = f
+	r.mu.Unlock()
 }
 
 // snapshotFamilies returns a deep copy of the registry's families

@@ -169,13 +169,17 @@ func (s *SpanSnapshot) Find(name string) *SpanSnapshot {
 
 // TraceRecord is one completed request in the trace ring buffer.
 type TraceRecord struct {
-	Time     time.Time    `json:"time"`
-	Route    string       `json:"route"`
-	Path     string       `json:"path"`
-	Status   int          `json:"status"`
-	DurMS    float64      `json:"dur_ms"`
-	Spans    SpanSnapshot `json:"spans"`
-	SlowOver bool         `json:"slow,omitempty"` // crossed the slow-query threshold
+	Time   time.Time    `json:"time"`
+	Route  string       `json:"route"`
+	Path   string       `json:"path"`
+	Status int          `json:"status"`
+	DurMS  float64      `json:"dur_ms"`
+	Spans  SpanSnapshot `json:"spans"`
+	// Cost is the request's cost-accounting profile (engine work,
+	// matcher work, cache behavior — see CostSnapshot), when the server
+	// attached one.
+	Cost     *CostSnapshot `json:"cost,omitempty"`
+	SlowOver bool          `json:"slow,omitempty"` // crossed the slow-query threshold
 }
 
 // TraceRing is a bounded ring buffer of recent request traces, read by

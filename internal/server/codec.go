@@ -51,6 +51,70 @@ type QueryResponse struct {
 	// Trace is the request's span tree, present only when the request
 	// asked for it with ?trace=1.
 	Trace *obs.SpanSnapshot `json:"trace,omitempty"`
+	// Explain is the cost breakdown and plan summary, present only when
+	// the request asked for it with ?explain=1.
+	Explain *ExplainInfo `json:"explain,omitempty"`
+}
+
+// ExplainInfo is the ?explain=1 payload: the request's cost-accounting
+// breakdown (the same categories /metrics accumulates process-wide —
+// see docs/OBSERVABILITY.md for the catalog) and a plan summary. On a
+// cache hit the plan is omitted: no evaluation ran, and the cost shows
+// cache_hits=1 and nothing else.
+type ExplainInfo struct {
+	Cost obs.CostSnapshot `json:"cost"`
+	Plan *ExplainPlan     `json:"plan,omitempty"`
+}
+
+// ExplainPlan summarizes how the request was evaluated.
+type ExplainPlan struct {
+	// Mode is "exact" (Shannon expansion) or "mc" (Monte-Carlo
+	// estimation); Reason states why that mode ran.
+	Mode   string `json:"mode"`
+	Reason string `json:"reason"`
+	// Samples is the Monte-Carlo sample count (mode "mc" only).
+	Samples int `json:"samples,omitempty"`
+	// Answers summarizes each answer's condition (queries and views).
+	Answers []AnswerPlan `json:"answers,omitempty"`
+	// Candidates / Pruned report the keyword evaluator's working set and
+	// how much of it the MinProb bound eliminated (searches only).
+	Candidates int `json:"candidates,omitempty"`
+	Pruned     int `json:"pruned,omitempty"`
+	// Stale marks a view read served from the previous maintained state
+	// (view reads only).
+	Stale bool `json:"stale,omitempty"`
+}
+
+// AnswerPlan summarizes one answer's condition: how many clauses its
+// DNF holds, the widest clause, the distinct events involved, and
+// whether negation forced a general Boolean formula instead of a DNF.
+type AnswerPlan struct {
+	DNFClauses int  `json:"dnf_clauses"`
+	DNFWidth   int  `json:"dnf_width"`
+	Events     int  `json:"events"`
+	Formula    bool `json:"formula,omitempty"`
+}
+
+// answerPlans summarizes raw evaluator answers for an explain payload.
+func answerPlans(answers []tpwj.ProbAnswer) []AnswerPlan {
+	out := make([]AnswerPlan, len(answers))
+	for i, a := range answers {
+		p := AnswerPlan{}
+		if a.Cond != nil {
+			p.DNFClauses = len(a.Cond)
+			for _, c := range a.Cond {
+				if len(c) > p.DNFWidth {
+					p.DNFWidth = len(c)
+				}
+			}
+			p.Events = len(a.Cond.Events())
+		} else if a.Formula != nil {
+			p.Formula = true
+			p.Events = len(a.Formula.Events())
+		}
+		out[i] = p
+	}
+	return out
 }
 
 // SearchRequest is the POST /docs/{name}/search body.
@@ -97,6 +161,9 @@ type SearchResponse struct {
 	// Trace is the request's span tree, present only when the request
 	// asked for it with ?trace=1.
 	Trace *obs.SpanSnapshot `json:"trace,omitempty"`
+	// Explain is the cost breakdown and plan summary, present only when
+	// the request asked for it with ?explain=1.
+	Explain *ExplainInfo `json:"explain,omitempty"`
 }
 
 // TracesResponse is the GET /debug/traces response body: the most
@@ -139,6 +206,12 @@ type ViewResponse struct {
 	// document as of the last finished pass, not the mutation being
 	// applied. Reads never block on writers.
 	Stale bool `json:"stale"`
+	// Trace is the request's span tree, present only when the request
+	// asked for it with ?trace=1.
+	Trace *obs.SpanSnapshot `json:"trace,omitempty"`
+	// Explain is the cost breakdown and plan summary, present only when
+	// the request asked for it with ?explain=1.
+	Explain *ExplainInfo `json:"explain,omitempty"`
 }
 
 // encodeView converts a warehouse view read to its wire form.

@@ -345,6 +345,9 @@ func TestDebugTraces(t *testing.T) {
 		if tr.Status != 200 || tr.Spans.Name == "" {
 			t.Errorf("trace %d incomplete: %+v", i, tr)
 		}
+		if tr.Cost == nil {
+			t.Errorf("trace %d has no cost profile", i)
+		}
 		if i > 0 && tr.Time.After(resp.Traces[i-1].Time) {
 			t.Errorf("traces not newest-first at %d", i)
 		}
@@ -412,6 +415,9 @@ func TestSlowQueryLog(t *testing.T) {
 	}
 	if !strings.Contains(out, "warehouse.query") {
 		t.Errorf("slow-query record has no span breakdown: %q", out)
+	}
+	if !strings.Contains(out, `"cost"`) || !strings.Contains(out, "tpwj_nodes_visited") {
+		t.Errorf("slow-query record has no cost profile: %q", out)
 	}
 }
 

@@ -169,6 +169,7 @@ type Server struct {
 	cache   *lruCache
 	stats   *stats
 	reg     *obs.Registry
+	runtime *obs.RuntimeCollector
 	traces  *obs.TraceRing
 	mux     *http.ServeMux
 	maxBody int64
@@ -234,6 +235,8 @@ func New(wh *warehouse.Warehouse, opts Options) *Server {
 	if ringSize > 0 {
 		s.traces = obs.NewTraceRing(ringSize)
 	}
+	s.runtime = obs.NewRuntimeCollector()
+	s.runtime.Register(reg)
 	reg.GaugeFunc("px_build_info",
 		"always 1, labeled with the build version (see -ldflags in docs/OBSERVABILITY.md)",
 		func() float64 { return 1 }, obs.L("version", Version))
@@ -315,7 +318,9 @@ func (s *Server) route(pattern string, h http.HandlerFunc) {
 			r = r.WithContext(ctx)
 		}
 		trace, root := obs.NewTrace(pattern, s.stats.observeStage)
-		r = r.WithContext(obs.ContextWithSpan(r.Context(), root))
+		cost := obs.NewCost()
+		ctx := obs.ContextWithSpan(r.Context(), root)
+		r = r.WithContext(obs.ContextWithCost(ctx, cost))
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		h(rec, r)
 		root.End()
@@ -324,6 +329,7 @@ func (s *Server) route(pattern string, h http.HandlerFunc) {
 		slow := s.slowThreshold > 0 && d >= s.slowThreshold
 		if s.traces != nil || slow {
 			spans := trace.Snapshot()
+			costSnap := cost.Snapshot()
 			if s.traces != nil {
 				s.traces.Add(obs.TraceRecord{
 					Time:     start,
@@ -332,6 +338,7 @@ func (s *Server) route(pattern string, h http.HandlerFunc) {
 					Status:   rec.status,
 					DurMS:    float64(d) / float64(time.Millisecond),
 					Spans:    spans,
+					Cost:     &costSnap,
 					SlowOver: slow,
 				})
 			}
@@ -342,6 +349,7 @@ func (s *Server) route(pattern string, h http.HandlerFunc) {
 					slog.Int("status", rec.status),
 					slog.Duration("duration", d),
 					slog.Any("spans", spans),
+					slog.Any("cost", costSnap),
 				)
 			}
 		}
@@ -567,15 +575,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// concurrent mutation replaced is never installed.
 	key := queryKey{doc: name, query: tpwj.FormatQuery(q), mode: mode}
 	gen := s.cache.docGen(name)
+	cost := obs.CostFromContext(r.Context())
 	if cached, ok := s.cache.get(key); ok {
 		answers := cached.([]Answer)
-		s.stats.hit()
+		s.stats.hit(cost)
 		resp := QueryResponse{Answers: answers, Count: len(answers), Cached: true}
 		attachTrace(r, &resp.Trace)
+		attachExplain(r, &resp.Explain, nil)
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
-	s.stats.miss()
+	s.stats.miss(cost)
 
 	var raw []tpwj.ProbAnswer
 	if mode == "exact" {
@@ -591,7 +601,27 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.cache.put(key, answers, gen)
 	resp := QueryResponse{Answers: answers, Count: len(answers), Cached: false}
 	attachTrace(r, &resp.Trace)
+	plan := &ExplainPlan{Mode: "exact", Reason: "exact Shannon expansion (request default)", Answers: answerPlans(raw)}
+	if mode != "exact" {
+		plan.Mode, plan.Samples = "mc", samples
+		plan.Reason = "Monte-Carlo estimation selected by the request's mode"
+	}
+	attachExplain(r, &resp.Explain, plan)
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// attachExplain fills *dst with the request's cost breakdown (and the
+// caller's plan summary, nil on cache hits) when the client asked for
+// it with ?explain=1. Like attachTrace, it runs just before the
+// response is written so the breakdown covers the handler's work; the
+// final charges (the response encoding is not instrumented) match what
+// lands in the trace ring because both read the same accumulator.
+func attachExplain(r *http.Request, dst **ExplainInfo, plan *ExplainPlan) {
+	if r.URL.Query().Get("explain") != "1" {
+		return
+	}
+	cost := obs.CostFromContext(r.Context())
+	*dst = &ExplainInfo{Cost: cost.Snapshot(), Plan: plan}
 }
 
 // attachTrace fills *dst with the request's span tree when the client
@@ -679,15 +709,17 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		mode:  fmt.Sprintf("search:%s:%s:minp=%g:k=%d", mode, probMode, req.MinProb, req.TopK),
 	}
 	gen := s.cache.docGen(name)
+	cost := obs.CostFromContext(r.Context())
 	if cached, ok := s.cache.get(key); ok {
-		s.stats.searchHit()
+		s.stats.searchHit(cost)
 		resp := cached.(SearchResponse)
 		resp.Cached = true
 		attachTrace(r, &resp.Trace)
+		attachExplain(r, &resp.Explain, nil)
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
-	s.stats.searchMiss()
+	s.stats.searchMiss(cost)
 
 	res, err := s.wh.SearchCtx(r.Context(), name, kreq)
 	if err != nil {
@@ -702,6 +734,17 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	s.cache.put(key, resp, gen)
 	attachTrace(r, &resp.Trace)
+	plan := &ExplainPlan{
+		Mode:       "exact",
+		Reason:     "exact SLCA/ELCA formulas over witness conditions (request default)",
+		Candidates: res.Candidates,
+		Pruned:     res.Pruned,
+	}
+	if kreq.MC {
+		plan.Mode, plan.Samples = "mc", kreq.Samples
+		plan.Reason = "Monte-Carlo world sampling selected by the request's prob mode"
+	}
+	attachExplain(r, &resp.Explain, plan)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -787,12 +830,24 @@ func (s *Server) handleViewRegister(w http.ResponseWriter, r *http.Request) {
 // previous (complete and internally consistent) answer set is returned
 // with "stale": true.
 func (s *Server) handleViewRead(w http.ResponseWriter, r *http.Request) {
-	res, err := s.wh.ReadView(r.PathValue("name"), r.PathValue("view"))
+	res, err := s.wh.ReadViewCtx(r.Context(), r.PathValue("name"), r.PathValue("view"))
 	if err != nil {
 		s.writeErr(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, encodeView(res))
+	resp := encodeView(res)
+	attachTrace(r, &resp.Trace)
+	reason := "materialized answers served from the maintained state"
+	if res.Stale {
+		reason = "materialized answers served stale (maintenance pass in flight)"
+	}
+	attachExplain(r, &resp.Explain, &ExplainPlan{
+		Mode:    "exact",
+		Reason:  reason,
+		Answers: answerPlans(res.Answers),
+		Stale:   res.Stale,
+	})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleViewDrop(w http.ResponseWriter, r *http.Request) {
@@ -841,6 +896,7 @@ func (s *Server) Snapshot() StatsSnapshot {
 	}
 	snap := s.stats.snapshot(s.cache.len(), capacity, s.wh.JournalStats(), s.wh.SearchStats(), s.wh.ViewStats())
 	snap.Degraded, snap.DegradedReason = s.wh.Degraded()
+	snap.Runtime = s.runtime.Stats()
 	return snap
 }
 

@@ -96,10 +96,14 @@ func (s *stats) record(route string, status int, d time.Duration) {
 	rm.lat.Observe(d)
 }
 
-func (s *stats) hit()        { s.hits.Inc() }
-func (s *stats) miss()       { s.misses.Inc() }
-func (s *stats) searchHit()  { s.searchHits.Inc() }
-func (s *stats) searchMiss() { s.searchMisses.Inc() }
+// The cache outcome recorders charge the request's cost accumulator
+// alongside the labeled global counters; the cost categories fold the
+// query and search caches together (the per-cache split stays visible
+// on /metrics via the cache label).
+func (s *stats) hit(cost *obs.Cost)        { obs.Charge(cost, obs.CostCacheHits, s.hits, 1) }
+func (s *stats) miss(cost *obs.Cost)       { obs.Charge(cost, obs.CostCacheMisses, s.misses, 1) }
+func (s *stats) searchHit(cost *obs.Cost)  { obs.Charge(cost, obs.CostCacheHits, s.searchHits, 1) }
+func (s *stats) searchMiss(cost *obs.Cost) { obs.Charge(cost, obs.CostCacheMisses, s.searchMisses, 1) }
 
 // observeStage feeds one finished span into the per-stage histogram
 // family — the Trace onEnd hook. Registry handles are stable per
@@ -177,6 +181,10 @@ type StatsSnapshot struct {
 	// recomputes, reused vs recomputed answer probabilities, stale
 	// reads served during in-flight maintenance).
 	Views warehouse.ViewStats `json:"views"`
+	// Runtime reports Go runtime health (goroutines, heap, GC pauses,
+	// scheduler latency), read from runtime/metrics. Filled by the
+	// Server, which owns the collector.
+	Runtime obs.RuntimeStats `json:"runtime"`
 }
 
 func (s *stats) snapshot(entries, capacity int, journal warehouse.JournalStats, search warehouse.SearchStats, views warehouse.ViewStats) StatsSnapshot {

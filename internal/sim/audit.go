@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/event"
 	"repro/internal/server"
 	"repro/internal/tpwj"
 	"repro/internal/tree"
@@ -58,6 +59,7 @@ func (r *Runner) Audit() (*AuditResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	r.auditSnap = stats
 	a.Degraded = stats.Degraded
 	a.DegradedReason = stats.DegradedReason
 	if err := r.auditMetrics(a, stats); err != nil {
@@ -389,6 +391,11 @@ type Report struct {
 	EventsPerSec    float64       `json:"events_per_sec"`
 	Routes          []RouteReport `json:"routes"`
 	Audit           *AuditResult  `json:"audit"`
+	// Engine is the server's process-wide probability-engine counter
+	// snapshot, read from /stats during the audit (after the workload
+	// drained, before any report-only traffic) — so the BENCH envelope
+	// records what the run actually cost the engine, not zeros.
+	Engine event.EngineCounters `json:"engine_counters"`
 	// Fingerprint digests the expected-state model; two equal-seed
 	// fault-free runs report equal fingerprints.
 	Fingerprint string `json:"fingerprint"`
@@ -416,6 +423,9 @@ func (r *Runner) Report(audit *AuditResult) *Report {
 		EventsPerSec:    float64(r.opsDone.Load()) / dur,
 		Audit:           audit,
 		Fingerprint:     r.model.Fingerprint(),
+	}
+	if r.auditSnap != nil {
+		rep.Engine = r.auditSnap.Engine
 	}
 	for _, route := range workloadRoutes {
 		rs := r.cl.routes[route]

@@ -115,6 +115,10 @@ type Runner struct {
 	discList  []string
 	discCount int64
 
+	// auditSnap is the /stats snapshot Audit took after the workload
+	// drained; Report reads the engine counters from it.
+	auditSnap *server.StatsSnapshot
+
 	fatalMu  sync.Mutex
 	fatalErr error
 }

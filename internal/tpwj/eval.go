@@ -227,7 +227,7 @@ func evalFuzzySymbolic(ctx context.Context, q *Query, ft *fuzzy.Tree) ([]ProbAns
 	}
 	byCanon := make(map[string]*acc)
 	stop := newMatchCancel(ctx)
-	err := ForEachMatch(q, ix, func(m Match) bool {
+	err := forEachMatch(q, ix, true, obs.CostFromContext(ctx), func(m Match) bool {
 		if stop.hit() {
 			return false
 		}
@@ -322,7 +322,7 @@ func evalFuzzyNegSymbolic(ctx context.Context, q *Query, ft *fuzzy.Tree) ([]Prob
 	}
 	byCanon := make(map[string]*acc)
 	stop := newMatchCancel(ctx)
-	err := forEachMatch(q, ix, false, func(m Match) bool {
+	err := forEachMatch(q, ix, false, obs.CostFromContext(ctx), func(m Match) bool {
 		if stop.hit() {
 			return false
 		}

@@ -1,7 +1,17 @@
 package tpwj
 
 import (
+	"repro/internal/obs"
 	"repro/internal/tree"
+)
+
+// Matcher work counters: every enumeration charges how many pattern-node
+// assignments it attempted and how many complete valuations it emitted.
+// They live on the obs default registry next to the engine counters and
+// feed both /metrics and per-request ?explain=1 cost breakdowns.
+var (
+	tpwjNodesVisited = obs.Default().Counter("px_tpwj_nodes_visited_total", "pattern-node assignment attempts by the tree-pattern matcher")
+	tpwjMatchesTried = obs.Default().Counter("px_tpwj_matches_total", "complete valuations emitted by the tree-pattern matcher")
 )
 
 // Match is a valuation: a mapping from every positive pattern node to a
@@ -55,6 +65,10 @@ type matcher struct {
 	joinPartners   map[string][]string
 	vars           map[string]*PNode
 	fn             func(Match) bool
+	// visited / matches tally assignment attempts and emitted valuations
+	// for cost accounting; flushed once per enumeration.
+	visited int64
+	matches int64
 }
 
 // ForEachMatch enumerates all valuations of q in the indexed document, in
@@ -65,10 +79,10 @@ type matcher struct {
 // the enumeration. The match passed to fn is reused between calls; clone
 // it to retain it.
 func ForEachMatch(q *Query, ix *tree.Index, fn func(Match) bool) error {
-	return forEachMatch(q, ix, true, fn)
+	return forEachMatch(q, ix, true, nil, fn)
 }
 
-func forEachMatch(q *Query, ix *tree.Index, checkForbidden bool, fn func(Match) bool) error {
+func forEachMatch(q *Query, ix *tree.Index, checkForbidden bool, cost *obs.Cost, fn func(Match) bool) error {
 	if err := q.Validate(); err != nil {
 		return err
 	}
@@ -88,8 +102,12 @@ func forEachMatch(q *Query, ix *tree.Index, checkForbidden bool, fn func(Match) 
 		mt.joinPartners[j.Left] = append(mt.joinPartners[j.Left], j.Right)
 		mt.joinPartners[j.Right] = append(mt.joinPartners[j.Right], j.Left)
 	}
+	defer func() {
+		obs.Charge(cost, obs.CostTpwjNodesVisited, tpwjNodesVisited, mt.visited)
+		obs.Charge(cost, obs.CostTpwjMatchesTried, tpwjMatchesTried, mt.matches)
+	}()
 
-	emit := func() bool { return fn(mt.m) }
+	emit := func() bool { mt.matches++; return fn(mt.m) }
 	switch {
 	case q.Root.Desc && q.Root.Label != Wildcard:
 		// Unanchored root with a concrete label: start from the label
@@ -132,6 +150,7 @@ func (mt *matcher) joinsOK(p *PNode) bool {
 // children in continuation-passing style, so that all combinations are
 // enumerated. Returns false to abort the whole enumeration.
 func (mt *matcher) assign(p *PNode, n *tree.Node, cont func() bool) bool {
+	mt.visited++
 	if !nodeMatches(p, n) {
 		return true
 	}

@@ -100,6 +100,7 @@ const maxRecordBytes = 512 << 20
 type journalCounters struct {
 	appends *obs.Counter // records durably appended
 	batches *obs.Counter // fsync calls (group commit: batches ≤ appends)
+	bytes   *obs.Counter // bytes durably appended (newline included)
 }
 
 // journal is an append-only JSON-lines file. Appends from concurrent
@@ -256,6 +257,13 @@ func (j *journal) failure() error {
 // oversize errors reject the record without touching the file — they
 // are the caller's problem, not a durability failure.
 func (j *journal) append(r Record) (int64, error) {
+	return j.appendCost(nil, r)
+}
+
+// appendCost is append charging the appended byte count to cost (the
+// mutation's request cost, nil on recovery paths) alongside the global
+// journal byte counter.
+func (j *journal) appendCost(cost *obs.Cost, r Record) (int64, error) {
 	if err := j.failure(); err != nil {
 		return 0, fmt.Errorf("warehouse: journal failed: %w", err)
 	}
@@ -287,6 +295,7 @@ func (j *journal) append(r Record) (int64, error) {
 		return 0, err
 	}
 	j.counters.appends.Add(1)
+	obs.Charge(cost, obs.CostJournalBytes, j.counters.bytes, int64(len(data)))
 	return seq, nil
 }
 

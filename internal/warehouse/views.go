@@ -234,17 +234,18 @@ func (r *viewRegistry) pruneMissing(exists func(doc string) bool) {
 	}
 }
 
-// record folds one maintenance result into the counters.
-func (r *viewRegistry) record(res view.Result) {
+// record folds one maintenance result into the counters and the
+// requesting mutation's cost accumulator (nil outside a request).
+func (r *viewRegistry) record(cost *obs.Cost, res view.Result) {
 	switch res.Outcome {
 	case view.Skipped:
-		r.skipped.Add(1)
+		obs.Charge(cost, obs.CostViewMaintSkipped, r.skipped, 1)
 	case view.Incremental:
-		r.incremental.Add(1)
-		r.answersReused.Add(int64(res.Reused))
-		r.answersRecomputed.Add(int64(res.Recomputed))
+		obs.Charge(cost, obs.CostViewMaintIncremental, r.incremental, 1)
+		obs.Charge(cost, obs.CostViewAnswersReused, r.answersReused, int64(res.Reused))
+		obs.Charge(cost, obs.CostViewAnswersRecomputed, r.answersRecomputed, int64(res.Recomputed))
 	case view.Full:
-		r.full.Add(1)
+		obs.Charge(cost, obs.CostViewMaintRecomputed, r.full, 1)
 	}
 }
 
@@ -328,7 +329,7 @@ func (w *Warehouse) RegisterViewCtx(ctx context.Context, doc, name, query, synta
 	if err != nil {
 		return nil, err
 	}
-	w.views.full.Add(1)
+	obs.Charge(obs.CostFromContext(ctx), obs.CostViewMaintRecomputed, w.views.full, 1)
 	return &ViewResult{Doc: doc, Name: name, Query: query, Syntax: syntax, Answers: v.Answers()}, nil
 }
 
@@ -446,7 +447,7 @@ func (w *Warehouse) ReadViewCtx(ctx context.Context, doc, name string) (*ViewRes
 		if err != nil {
 			return nil, err
 		}
-		w.views.full.Add(1)
+		obs.Charge(obs.CostFromContext(ctx), obs.CostViewMaintRecomputed, w.views.full, 1)
 		h.mu.Lock()
 		if h.v == nil && !h.maintaining {
 			h.v, h.tree = v, cur
@@ -482,6 +483,7 @@ func (w *Warehouse) ReadViewCtx(ctx context.Context, doc, name string) (*ViewRes
 // durable at this point, so the affected views are simply left
 // unmaterialized and the next ReadView rebuilds them lazily.
 func (w *Warehouse) maintainViews(ctx context.Context, doc string, pre, next *fuzzy.Tree, delta *view.Delta) {
+	cost := obs.CostFromContext(ctx)
 	for _, h := range w.views.forDoc(doc) {
 		h.mu.Lock()
 		old, oldTree := h.v, h.tree
@@ -495,14 +497,14 @@ func (w *Warehouse) maintainViews(ctx context.Context, doc string, pre, next *fu
 				var res view.Result
 				nv, res, err = old.MaintainCtx(ctx, next, delta)
 				if err == nil {
-					w.views.record(res)
+					w.views.record(cost, res)
 				}
 			} else {
 				// The state does not correspond to the pre-update
 				// snapshot (first use after recovery): start over.
 				nv, err = view.MaterializeCtx(ctx, h.def, q, next)
 				if err == nil {
-					w.views.full.Add(1)
+					obs.Charge(cost, obs.CostViewMaintRecomputed, w.views.full, 1)
 				}
 			}
 		}

@@ -224,6 +224,7 @@ func OpenFS(dir string, fsys vfs.FS) (*Warehouse, error) {
 	w.jc = journalCounters{
 		appends: reg.Counter("px_journal_appends_total", "journal records durably appended"),
 		batches: reg.Counter("px_journal_sync_batches_total", "journal fsync calls (group commit: batches <= appends)"),
+		bytes:   reg.Counter("px_journal_bytes_total", "bytes durably appended to the journal (newline included)"),
 	}
 	w.recoveryReplays = reg.Counter("px_recovery_replays_total", "documents replayed from the journal at the last Open")
 	w.recoveryRollbacks = reg.Counter("px_recovery_rollbacks_total", "in-flight mutations rolled back at the last Open")
@@ -641,10 +642,11 @@ func (w *Warehouse) snapshot(name string) (*fuzzy.Tree, error) {
 func (w *Warehouse) install(ctx context.Context, dl *docLock, rec Record, apply func(syncFile bool) error) error {
 	ctx, span := obs.StartSpan(ctx, "warehouse.install")
 	defer span.End()
+	cost := obs.CostFromContext(ctx)
 	dl.state.Lock()
 	defer dl.state.Unlock()
 	_, jspan := obs.StartSpan(ctx, "journal.append")
-	seq, err := w.journal.append(rec)
+	seq, err := w.journal.appendCost(cost, rec)
 	jspan.End()
 	if err != nil {
 		return err
@@ -654,12 +656,12 @@ func (w *Warehouse) install(ctx context.Context, dl *docLock, rec Record, apply 
 		// this append also fails (the disk is going away), recovery
 		// finds the mutation unmarked and rolls it back — the same
 		// outcome the caller is being told here.
-		w.journal.append(Record{Op: OpAbort, RefSeq: seq}) //nolint:errcheck
+		w.journal.appendCost(cost, Record{Op: OpAbort, RefSeq: seq}) //nolint:errcheck
 		return err
 	}
 	_, cspan := obs.StartSpan(ctx, "journal.commit")
 	defer cspan.End()
-	if _, err := w.journal.append(Record{Op: OpCommit, RefSeq: seq}); err != nil {
+	if _, err := w.journal.appendCost(cost, Record{Op: OpCommit, RefSeq: seq}); err != nil {
 		// The apply succeeded but the marker's durability is unknown
 		// (a failing disk). The installed state stays visible to the
 		// live process — the pre-state needed to undo it is only in
