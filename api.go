@@ -9,9 +9,11 @@ import (
 	"repro/internal/infer"
 	"repro/internal/keyword"
 	"repro/internal/server"
+	"repro/internal/store"
 	"repro/internal/tpwj"
 	"repro/internal/tree"
 	"repro/internal/update"
+	"repro/internal/vfs"
 	"repro/internal/view"
 	"repro/internal/warehouse"
 	"repro/internal/worlds"
@@ -111,6 +113,9 @@ type (
 	// incremental / full recomputes), reused vs recomputed answer
 	// probabilities, and stale reads.
 	WarehouseViewStats = warehouse.ViewStats
+	// StorageStats reports a warehouse's storage backend and on-disk
+	// footprint (Warehouse.StorageStats, the /stats storage section).
+	StorageStats = store.Stats
 	// Server is an http.Handler exposing a warehouse over an HTTP/JSON
 	// API with per-document concurrency and a query-result cache.
 	Server = server.Server
@@ -276,15 +281,43 @@ func FromWorlds(s *Worlds, eventPrefix string) (*FuzzyTree, error) {
 // document, in place, and reports what changed.
 func Simplify(doc *FuzzyTree) SimplifyStats { return doc.Simplify() }
 
+// Storage backend names, accepted by OpenWarehouseBackend and the
+// -store flag of pxserve and pxwarehouse. See docs/STORAGE.md for the
+// on-disk formats and the contract a backend implements.
+const (
+	// StoreFile is the file-per-document layout: docs/<name>.pxml
+	// files, a newline-delimited journal.log, and a views.json
+	// snapshot.
+	StoreFile = warehouse.BackendFile
+	// StoreKV is the embedded single-file page store: every journal
+	// record, document and view snapshot is a CRC-framed record in one
+	// append-only kv.store file.
+	StoreKV = warehouse.BackendKV
+	// StoreAuto detects the backend from the directory layout (kv.store
+	// present → StoreKV) and defaults to StoreFile for fresh
+	// directories.
+	StoreAuto = warehouse.BackendAuto
+)
+
 // OpenWarehouse opens (creating if necessary) a warehouse directory and
 // runs scan-based crash recovery: each document is restored to its last
 // committed journaled state and in-flight mutations are rolled back.
+// The file-per-document backend is used; OpenWarehouseBackend selects
+// others.
 func OpenWarehouse(dir string) (*Warehouse, error) { return warehouse.Open(dir) }
+
+// OpenWarehouseBackend is OpenWarehouse with an explicit storage
+// backend (StoreFile, StoreKV, or StoreAuto to detect from the
+// directory).
+func OpenWarehouseBackend(dir, backend string) (*Warehouse, error) {
+	return warehouse.OpenBackend(dir, backend, vfs.OS)
+}
 
 // InspectJournal summarizes a warehouse directory's journal — record
 // and outcome counts, in-flight mutations, torn tails, structural
 // problems — without opening the warehouse or running recovery (the
-// pxwarehouse verify-journal subcommand).
+// pxwarehouse verify-journal subcommand). The storage backend is
+// detected from the directory layout.
 func InspectJournal(dir string) (JournalSummary, error) { return warehouse.InspectJournal(dir) }
 
 // --- parsing and formatting ------------------------------------------------

@@ -181,6 +181,31 @@ func TestCLIEndToEnd(t *testing.T) {
 	if !strings.Contains(out, "0 rollbacks") {
 		t.Errorf("pxwarehouse recover:\n%s", out)
 	}
+
+	// -store kv: the same flow on the embedded kv page store, with
+	// later invocations auto-detecting the backend from the directory.
+	kvwh := filepath.Join(work, "wh-kv")
+	out = run(t, bins["pxwarehouse"], "-dir", kvwh, "-store", "kv", "init")
+	if !strings.Contains(out, "kv backend") {
+		t.Errorf("pxwarehouse -store kv init:\n%s", out)
+	}
+	run(t, bins["pxwarehouse"], "-dir", kvwh, "-store", "kv", "load", "demo", doc15)
+	out = run(t, bins["pxwarehouse"], "-dir", kvwh, "list") // no -store: auto-detected
+	if !strings.Contains(out, "demo") {
+		t.Errorf("pxwarehouse list on kv store:\n%s", out)
+	}
+	out = run(t, bins["pxwarehouse"], "-dir", kvwh, "update", "demo", tx)
+	if !strings.Contains(out, "1 valuations") {
+		t.Errorf("pxwarehouse update on kv store:\n%s", out)
+	}
+	out = run(t, bins["pxwarehouse"], "-dir", kvwh, "query", "demo", "A(D $d)")
+	if !strings.Contains(out, "P=0.504") {
+		t.Errorf("pxwarehouse query on kv store:\n%s", out)
+	}
+	out = run(t, bins["pxwarehouse"], "-dir", kvwh, "verify-journal")
+	if !strings.Contains(out, "0 pending") || strings.Contains(out, "problem:") {
+		t.Errorf("pxwarehouse verify-journal on kv store:\n%s", out)
+	}
 }
 
 func TestCLIPxbenchSelected(t *testing.T) {

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	pxserve -dir ./wh
+//	pxserve -dir ./wh -store kv
 //	pxserve -dir ./wh -addr :9090 -cache 1024 -v
 //	pxserve -dir ./wh -slow-query 250ms -pprof localhost:6060
 //	pxserve -dir ./wh -pprof localhost:6060 -mutexprofile 5 -blockprofile 1000000
@@ -44,6 +45,7 @@ import (
 func main() {
 	var (
 		dir         = flag.String("dir", "", "warehouse directory (required)")
+		storeName   = flag.String("store", "auto", "storage backend: filestore, kv, or auto (detect from the directory)")
 		addr        = flag.String("addr", ":8080", "listen address")
 		cacheSize   = flag.Int("cache", 0, "query cache entries (0 = default, negative = disabled)")
 		verbose     = flag.Bool("v", false, "log every request")
@@ -60,11 +62,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	wh, err := fuzzyxml.OpenWarehouse(*dir)
+	wh, err := fuzzyxml.OpenWarehouseBackend(*dir, *storeName)
 	if err != nil {
 		log.Fatalf("pxserve: %v", err)
 	}
 	defer wh.Close()
+	log.Printf("pxserve: %s storage backend at %s", wh.Backend(), wh.Dir())
 
 	opts := fuzzyxml.ServerOptions{
 		CacheSize:          *cacheSize,

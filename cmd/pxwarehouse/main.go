@@ -5,6 +5,7 @@
 // Usage:
 //
 //	pxwarehouse -dir ./wh init
+//	pxwarehouse -dir ./wh -store kv init
 //	pxwarehouse -dir ./wh load mydoc doc.pxml
 //	pxwarehouse -dir ./wh list
 //	pxwarehouse -dir ./wh stat mydoc
@@ -27,6 +28,7 @@ import (
 
 func main() {
 	dir := flag.String("dir", "", "warehouse directory (required)")
+	storeName := flag.String("store", "auto", "storage backend: filestore, kv, or auto (detect from the directory)")
 	flag.Parse()
 	args := flag.Args()
 	if *dir == "" || len(args) == 0 {
@@ -43,7 +45,7 @@ func main() {
 		return
 	}
 
-	w, err := fuzzyxml.OpenWarehouse(*dir)
+	w, err := fuzzyxml.OpenWarehouseBackend(*dir, *storeName)
 	if err != nil {
 		fatal(err)
 	}
@@ -51,7 +53,7 @@ func main() {
 
 	switch cmd := args[0]; cmd {
 	case "init":
-		fmt.Println("warehouse ready at", w.Dir())
+		fmt.Printf("warehouse ready at %s (%s backend)\n", w.Dir(), w.Backend())
 
 	case "recover":
 		// Opening the warehouse above already ran scan-based recovery;

@@ -149,6 +149,22 @@
 // recovery example are in docs/JOURNAL.md; pxwarehouse verify-journal
 // inspects a journal without recovering it.
 //
+// # Storage engines
+//
+// Persistence is pluggable: every durable byte flows through a storage
+// backend interface, and two embedded backends ship — "filestore"
+// (one file per document plus a JSON-lines journal, the original
+// layout) and "kv" (a single append-only page file of CRC-framed,
+// sequence-tagged records). OpenWarehouse keeps its historical
+// behavior; OpenWarehouseBackend selects a backend by name
+// (StoreFile, StoreKV, or StoreAuto to detect from the directory, as
+// the pxserve and pxwarehouse -store flags do). The durability
+// guarantees above are backend-independent: both backends pass the
+// same crash, fault-injection and recovery suites, and a differential
+// harness holds their post-recovery states byte-identical under
+// identical workloads. File formats, durability points and the
+// contract for writing a third backend are in docs/STORAGE.md.
+//
 // # Server
 //
 // NewServer wraps a warehouse in an HTTP/JSON API (the cmd/pxserve

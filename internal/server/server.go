@@ -896,6 +896,9 @@ func (s *Server) Snapshot() StatsSnapshot {
 	}
 	snap := s.stats.snapshot(s.cache.len(), capacity, s.wh.JournalStats(), s.wh.SearchStats(), s.wh.ViewStats())
 	snap.Degraded, snap.DegradedReason = s.wh.Degraded()
+	if st, err := s.wh.StorageStats(); err == nil {
+		snap.Storage = st
+	}
 	snap.Runtime = s.runtime.Stats()
 	return snap
 }

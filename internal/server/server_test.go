@@ -406,6 +406,26 @@ func TestStatsSurfacesJournalCounters(t *testing.T) {
 	}
 }
 
+// TestStatsSurfacesStorageSection checks that /stats reports the
+// storage backend and its footprint, and that a create grows it.
+func TestStatsSurfacesStorageSection(t *testing.T) {
+	ts, wh := newTestServer(t, Options{})
+	before := serverStats(t, ts).Storage
+	if before.Backend != wh.Backend() || before.Backend == "" {
+		t.Errorf("storage backend = %q, want warehouse's %q", before.Backend, wh.Backend())
+	}
+	if status, _ := do(t, "PUT", ts.URL+"/docs/st", sampleDocXML(t)); status != 201 {
+		t.Fatal("setup create failed")
+	}
+	after := serverStats(t, ts).Storage
+	if after.Docs != before.Docs+1 {
+		t.Errorf("storage docs = %d -> %d, want +1", before.Docs, after.Docs)
+	}
+	if after.Bytes <= before.Bytes || after.LiveBytes <= 0 {
+		t.Errorf("storage footprint did not grow: %+v -> %+v", before, after)
+	}
+}
+
 func TestCacheDisabled(t *testing.T) {
 	ts, _ := newTestServer(t, Options{CacheSize: -1})
 	if status, _ := do(t, "PUT", ts.URL+"/docs/ex", sampleDocXML(t)); status != 201 {

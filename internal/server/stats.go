@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/event"
 	"repro/internal/obs"
+	"repro/internal/store"
 	"repro/internal/warehouse"
 )
 
@@ -181,6 +182,12 @@ type StatsSnapshot struct {
 	// recomputes, reused vs recomputed answer probabilities, stale
 	// reads served during in-flight maintenance).
 	Views warehouse.ViewStats `json:"views"`
+	// Storage reports the active storage backend ("filestore" or "kv")
+	// and its on-disk footprint: document count, total bytes, and live
+	// bytes (for the kv page store, the subset not reclaimable by
+	// compaction; equal to total for the filestore). See
+	// docs/STORAGE.md.
+	Storage store.Stats `json:"storage"`
 	// Runtime reports Go runtime health (goroutines, heap, GC pauses,
 	// scheduler latency), read from runtime/metrics. Filled by the
 	// Server, which owns the collector.

@@ -1,0 +1,43 @@
+package sim
+
+import "repro/internal/update"
+
+// Stream is the exported handle over the deterministic workload
+// generator, for harnesses that drive warehouses directly instead of
+// going through the HTTP runner (e.g. the cross-backend storage
+// differential test). The op stream is a pure function of the
+// constructor arguments: two Streams built with equal arguments yield
+// identical Op sequences, which is exactly the property differential
+// testing needs.
+type Stream struct {
+	g *generator
+}
+
+// NewStream builds a deterministic op stream over the named documents.
+// zipfS is the document-popularity skew (values > 1 concentrate ops on
+// low-index docs; with a single doc it is unused) and sections the
+// per-document section count used by generated queries and updates.
+func NewStream(seed int64, docs []string, mix Mix, zipfS float64, sections int) *Stream {
+	return &Stream{g: newGenerator(seed, docs, mix, zipfS, sections)}
+}
+
+// Next produces the next op of the stream.
+func (s *Stream) Next() Op { return s.g.next() }
+
+// InitialDocXML builds the deterministic initial <pxml> document for
+// doc index docIndex, as seeded by the runner's Setup.
+func InitialDocXML(seed int64, docIndex, sections, events int) string {
+	return initialDocXML(seed, docIndex, sections, events)
+}
+
+// DocNames returns the deterministic document grid the generator
+// indexes by.
+func DocNames(tenants, docsPerTenant int) []string {
+	return docNames(tenants, docsPerTenant)
+}
+
+// BuildTransaction constructs the executable transaction of a
+// generated update spec.
+func BuildTransaction(u *UpdateSpec) (*update.Transaction, error) {
+	return buildTransaction(u)
+}

@@ -268,6 +268,13 @@ func (ff *faultFile) Read(p []byte) (int, error) {
 	return ff.File.Read(p)
 }
 
+func (ff *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	if err := ff.inj.fire(ff.area + ".readat"); err != nil {
+		return 0, err
+	}
+	return ff.File.ReadAt(p, off)
+}
+
 func (ff *faultFile) Write(p []byte) (int, error) {
 	o := ff.inj.check(ff.area + ".write")
 	if o.delay > 0 {

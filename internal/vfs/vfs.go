@@ -4,7 +4,8 @@
 // write/sync/close), a default implementation backed by package os, and
 // a programmable fault injector for tests.
 //
-// Every call names an area — "journal", "doc", "views", "layout" — and
+// Every call names an area — "journal", "doc", "views", "layout" for
+// the filestore backend, "kv" plus "layout" for the kv backend — and
 // the operation is implied by the method, giving each call site a named
 // fault point of the form "<area>.<op>" ("journal.sync", "doc.rename",
 // "views.write", ...). The injector matches faults by point, so a test
@@ -14,8 +15,10 @@
 //
 // The OS implementation ignores the area tags and forwards to package
 // os unchanged, so callers keep receiving the raw os errors they
-// already classify (fs.ErrNotExist and friends). This interface is
-// also the seam the planned Store refactor (ROADMAP) will slot into.
+// already classify (fs.ErrNotExist and friends). Both store backends
+// (internal/store/filestore, internal/store/kv) are built on this
+// interface, so faults inject identically whichever backend a
+// warehouse runs on.
 package vfs
 
 import (
@@ -25,10 +28,12 @@ import (
 )
 
 // File is the warehouse's view of an open file: sequential reads or
-// writes followed by an explicit Sync and Close. (*os.File satisfies
-// it directly.)
+// writes — plus positioned reads for page-structured backends —
+// followed by an explicit Sync and Close. (*os.File satisfies it
+// directly.)
 type File interface {
 	io.Reader
+	io.ReaderAt
 	io.Writer
 	Sync() error
 	Close() error
@@ -41,8 +46,8 @@ type File interface {
 // fault point an injector matches on.
 type FS interface {
 	// OpenFile opens name with os.OpenFile semantics. Point: <area>.open.
-	// The returned File's Read/Write/Sync/Close hit <area>.read, .write,
-	// .sync and .close.
+	// The returned File's Read/ReadAt/Write/Sync/Close hit <area>.read,
+	// .readat, .write, .sync and .close.
 	OpenFile(area, name string, flag int, perm os.FileMode) (File, error)
 	// ReadFile reads the whole file. Point: <area>.readfile.
 	ReadFile(area, name string) ([]byte, error)

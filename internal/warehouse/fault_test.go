@@ -139,79 +139,95 @@ func verifyFaultModel(t *testing.T, w *Warehouse, m *faultModel) {
 	}
 }
 
-// TestFaultPointSweep discovers every fault point the open + workload
-// sequence exercises (so new I/O call sites join the sweep
-// automatically), then for each point injects a fail-once fault and
-// asserts the contract of ISSUE satellite (b): every operation either
-// completes, aborts cleanly, or degrades the warehouse — and after the
-// fault heals, recovery with the real filesystem reconstructs exactly
-// the acknowledged state. Write points additionally get a torn-write
-// variant (half the buffer lands before the error).
-func TestFaultPointSweep(t *testing.T) {
-	// Discovery pass: passthrough injector, plus a sanity check that the
-	// model logic itself matches a fault-free run.
-	inj := vfs.NewInjector()
-	dir := t.TempDir()
-	w, err := OpenFS(dir, vfs.NewFaultFS(vfs.OS, inj))
-	if err != nil {
-		t.Fatal(err)
-	}
-	m := newFaultModel()
-	runFaultWorkload(t, w, m)
-	if deg, reason := w.Degraded(); deg {
-		t.Fatalf("degraded without any fault: %s", reason)
-	}
-	w.Close()
-	if len(m.docs) != 2 {
-		t.Fatalf("fault-free workload acknowledged %d docs, want 2 (alpha, gamma)", len(m.docs))
-	}
-	w0, err := Open(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	verifyFaultModel(t, w0, m)
-	w0.Close()
-
-	points := inj.Observed()
-	seen := make(map[string]bool, len(points))
-	for _, p := range points {
-		seen[p] = true
-	}
-	// The catalog must cover the critical plumbing; an interface change
-	// that silently renames a point would otherwise shrink the sweep.
-	for _, must := range []string{
+// requiredFaultPoints lists, per backend, the critical plumbing the
+// discovery pass must observe. An interface change that silently
+// renames a point would otherwise shrink the sweep. The filestore
+// exercises journal.truncate via Compact (ResetJournal truncates in
+// place); the kv backend compacts by rewrite-and-rename, so its
+// truncate point only fires on torn-tail repair and is exercised by
+// the torn-tail tests instead.
+var requiredFaultPoints = map[string][]string{
+	BackendFile: {
 		"journal.open", "journal.read", "journal.write", "journal.sync", "journal.close",
 		"journal.truncate", "doc.open", "doc.write", "doc.rename", "doc.remove",
 		"layout.mkdir", "views.open", "views.rename", "views.readfile",
-	} {
-		if !seen[must] {
-			t.Errorf("fault point %s not observed by the workload (catalog: %v)", must, points)
-		}
-	}
+	},
+	BackendKV: {
+		"layout.mkdir", "kv.open", "kv.read", "kv.readat", "kv.write",
+		"kv.sync", "kv.close", "kv.rename",
+	},
+}
 
-	for _, point := range points {
-		t.Run(point, func(t *testing.T) {
-			t.Parallel()
-			sweepPoint(t, point, vfs.Fault{Count: 1})
+// TestFaultPointSweep discovers, per storage backend, every fault
+// point the open + workload sequence exercises (so new I/O call sites
+// join the sweep automatically), then for each point injects a
+// fail-once fault and asserts the contract of ISSUE satellite (b):
+// every operation either completes, aborts cleanly, or degrades the
+// warehouse — and after the fault heals, recovery with the real
+// filesystem reconstructs exactly the acknowledged state. Write points
+// additionally get a torn-write variant (half the buffer lands before
+// the error).
+func TestFaultPointSweep(t *testing.T) {
+	for _, backend := range storeBackends {
+		t.Run(backend, func(t *testing.T) {
+			// Discovery pass: passthrough injector, plus a sanity check that the
+			// model logic itself matches a fault-free run.
+			inj := vfs.NewInjector()
+			dir := t.TempDir()
+			w, err := OpenBackend(dir, backend, vfs.NewFaultFS(vfs.OS, inj))
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := newFaultModel()
+			runFaultWorkload(t, w, m)
+			if deg, reason := w.Degraded(); deg {
+				t.Fatalf("degraded without any fault: %s", reason)
+			}
+			w.Close()
+			if len(m.docs) != 2 {
+				t.Fatalf("fault-free workload acknowledged %d docs, want 2 (alpha, gamma)", len(m.docs))
+			}
+			w0 := openB(t, dir, backend)
+			verifyFaultModel(t, w0, m)
+			w0.Close()
+
+			points := inj.Observed()
+			seen := make(map[string]bool, len(points))
+			for _, p := range points {
+				seen[p] = true
+			}
+			for _, must := range requiredFaultPoints[backend] {
+				if !seen[must] {
+					t.Errorf("fault point %s not observed by the workload (catalog: %v)", must, points)
+				}
+			}
+
+			for _, point := range points {
+				point := point
+				t.Run(point, func(t *testing.T) {
+					t.Parallel()
+					sweepPoint(t, backend, point, vfs.Fault{Count: 1})
+				})
+				if strings.HasSuffix(point, ".write") {
+					t.Run(point+"/short", func(t *testing.T) {
+						t.Parallel()
+						sweepPoint(t, backend, point, vfs.Fault{Count: 1, Short: true})
+					})
+				}
+			}
 		})
-		if strings.HasSuffix(point, ".write") {
-			t.Run(point+"/short", func(t *testing.T) {
-				t.Parallel()
-				sweepPoint(t, point, vfs.Fault{Count: 1, Short: true})
-			})
-		}
 	}
 }
 
 // sweepPoint runs the workload with a fail-once fault armed at point,
 // then verifies recovery against the model and the journal against the
 // structural oracle.
-func sweepPoint(t *testing.T, point string, f vfs.Fault) {
+func sweepPoint(t *testing.T, backend, point string, f vfs.Fault) {
 	dir := t.TempDir()
 	inj := vfs.NewInjector()
 	inj.Set(point, f)
 	m := newFaultModel()
-	w, err := OpenFS(dir, vfs.NewFaultFS(vfs.OS, inj))
+	w, err := OpenBackend(dir, backend, vfs.NewFaultFS(vfs.OS, inj))
 	if err == nil {
 		runFaultWorkload(t, w, m)
 		if deg, reason := w.Degraded(); deg && reason == "" {
@@ -225,7 +241,7 @@ func sweepPoint(t *testing.T, point string, f vfs.Fault) {
 
 	// The fault healed (Count: 1); recovery on the real filesystem must
 	// land exactly on the acknowledged state.
-	w2, err := Open(dir)
+	w2, err := OpenBackend(dir, backend, vfs.OS)
 	if err != nil {
 		t.Fatalf("recovery open after %s fault: %v", point, err)
 	}
@@ -243,7 +259,7 @@ func sweepPoint(t *testing.T, point string, f vfs.Fault) {
 	}
 
 	// Convergence: a second open finds nothing left to repair.
-	w3, err := Open(dir)
+	w3, err := OpenBackend(dir, backend, vfs.OS)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,9 +276,23 @@ func sweepPoint(t *testing.T, point string, f vfs.Fault) {
 // failing mutation errors, every later write is rejected with
 // ErrDegraded, reads keep answering, and Reopen recovers in place.
 func TestJournalSyncFailureDegrades(t *testing.T) {
+	// The injection point of the journal fsync is backend-specific; the
+	// degrade reason ("journal.sync") is the warehouse layer's label and
+	// identical for both.
+	for backend, point := range map[string]string{
+		BackendFile: "journal.sync",
+		BackendKV:   "kv.sync",
+	} {
+		t.Run(backend, func(t *testing.T) {
+			testJournalSyncFailureDegrades(t, backend, point)
+		})
+	}
+}
+
+func testJournalSyncFailureDegrades(t *testing.T, backend, point string) {
 	dir := t.TempDir()
 	inj := vfs.NewInjector()
-	w, err := OpenFS(dir, vfs.NewFaultFS(vfs.OS, inj))
+	w, err := OpenBackend(dir, backend, vfs.NewFaultFS(vfs.OS, inj))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +305,7 @@ func TestJournalSyncFailureDegrades(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	inj.Set("journal.sync", vfs.Fault{Count: 1})
+	inj.Set(point, vfs.Fault{Count: 1})
 	tx := update.New(tpwj.MustParseQuery("A $a"), 1,
 		update.Insert("a", tree.MustParse("N")))
 	if _, err := w.Update("doc", tx); !errors.Is(err, vfs.ErrInjected) {

@@ -1,18 +1,12 @@
 package warehouse
 
 import (
-	"bufio"
-	"bytes"
 	"encoding/json"
-	"errors"
 	"fmt"
-	"io"
-	"io/fs"
-	"os"
 	"sync"
 
 	"repro/internal/obs"
-	"repro/internal/vfs"
+	"repro/internal/store"
 )
 
 // Op enumerates the journal record kinds: three document mutations and
@@ -86,11 +80,35 @@ type Record struct {
 }
 
 // maxRecordBytes bounds one journal record, enforced at append time so
-// an oversized mutation fails cleanly instead of writing a line
-// readJournal would reject as corrupt — which would truncate every
-// record after it on the next open. The cap leaves generous headroom
-// over the server's 64MB body limit after JSON string escaping.
-const maxRecordBytes = 512 << 20
+// an oversized mutation fails cleanly instead of writing a payload the
+// backend scan would reject as corrupt — which would truncate every
+// record after it on the next open. The authoritative constant lives
+// with the storage contract.
+const maxRecordBytes = store.MaxRecordBytes
+
+// validRecord reports whether a journal payload parses as a Record
+// within the size cap. The storage backends call it while scanning to
+// tell a torn tail from a clean record boundary.
+func validRecord(payload []byte) bool {
+	var r Record
+	return len(payload) < maxRecordBytes && json.Unmarshal(payload, &r) == nil
+}
+
+// parseRecords decodes the payloads a backend scan returned. The
+// backend only keeps payloads validRecord accepted, so a failure here
+// means the backend broke its contract.
+func parseRecords(payloads [][]byte) ([]Record, error) {
+	if len(payloads) == 0 {
+		return nil, nil
+	}
+	records := make([]Record, len(payloads))
+	for i, p := range payloads {
+		if err := json.Unmarshal(p, &records[i]); err != nil {
+			return nil, fmt.Errorf("warehouse: journal record %d corrupt: %w", i, err)
+		}
+	}
+	return records, nil
+}
 
 // journalCounters accumulates journal activity across the journal
 // instances a warehouse goes through (Compact replaces the instance
@@ -100,29 +118,29 @@ const maxRecordBytes = 512 << 20
 type journalCounters struct {
 	appends *obs.Counter // records durably appended
 	batches *obs.Counter // fsync calls (group commit: batches ≤ appends)
-	bytes   *obs.Counter // bytes durably appended (newline included)
+	bytes   *obs.Counter // payload bytes durably appended (backend framing excluded)
 }
 
-// journal is an append-only JSON-lines file. Appends from concurrent
-// per-document mutations interleave freely; each append returns only
-// once its record is durable, but the fsyncs of concurrent appends are
-// group-committed: whichever appender reaches the disk first syncs the
-// whole buffered batch, and the others observe their record already
-// covered and return without their own fsync.
+// journal is the warehouse's group-commit layer over a backend's
+// store.Log appender. Appends from concurrent per-document mutations
+// interleave freely; each append returns only once its record is
+// durable, but the fsyncs of concurrent appends are group-committed:
+// whichever appender reaches the disk first syncs the whole buffered
+// batch, and the others observe their record already covered and
+// return without their own fsync.
 //
-// A failed buffered write, flush or fsync is fatal to the instance:
-// the first such error is latched in failed, every later append
-// returns it without touching the file again (a failed fsync may have
-// dropped the dirty pages — retrying it could "succeed" without the
-// data being durable), and the degrade callback tells the warehouse to
-// go read-only.
+// A failed append, flush or fsync is fatal to the instance: the first
+// such error is latched in failed, every later append returns it
+// without touching the backend again (a failed fsync may have dropped
+// the dirty pages — retrying it could "succeed" without the data being
+// durable), and the degrade callback tells the warehouse to go
+// read-only.
 type journal struct {
-	// mu guards the buffered writer, the sequence counter, and the
-	// count of buffered records. It is held only for the in-memory
+	// mu guards the appender, the sequence counter, and the count of
+	// buffered records. It is held only for the in-memory
 	// marshal-and-buffer step, never across an fsync.
 	mu      sync.Mutex
-	f       vfs.File
-	w       *bufio.Writer
+	log     store.Log
 	seq     int64
 	written int64 // records buffered so far
 
@@ -145,88 +163,22 @@ type journal struct {
 	degrade func(op string, err error)
 }
 
-func openJournal(fsys vfs.FS, path string, counters *journalCounters, degrade func(op string, err error)) (*journal, []Record, error) {
-	records, clean, torn, err := readJournal(fsys, path)
-	if err != nil {
-		return nil, nil, err
-	}
-	if torn {
-		// Drop the torn tail before appending: a fresh record written
-		// after a partial line would glue onto it, turning the torn
-		// write into mid-file corruption that costs every later record
-		// on the next open.
-		if err := fsys.Truncate("journal", path, clean); err != nil {
-			return nil, nil, fmt.Errorf("warehouse: truncate torn journal tail: %w", err)
-		}
-	}
-	f, err := fsys.OpenFile("journal", path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, nil, fmt.Errorf("warehouse: open journal: %w", err)
-	}
+// newJournal wraps a backend's open appender. lastSeq is the highest
+// sequence number among the records the backend's scan returned (zero
+// for a fresh or just-compacted journal); appends continue above it.
+func newJournal(log store.Log, lastSeq int64, counters *journalCounters, degrade func(op string, err error)) *journal {
+	return &journal{log: log, seq: lastSeq, counters: counters, degrade: degrade}
+}
+
+// maxSeq returns the highest sequence number among records.
+func maxSeq(records []Record) int64 {
 	var seq int64
 	for _, r := range records {
 		if r.Seq > seq {
 			seq = r.Seq
 		}
 	}
-	j := &journal{f: f, w: bufio.NewWriterSize(f, 1<<16), seq: seq, counters: counters, degrade: degrade}
-	return j, records, nil
-}
-
-// readJournal loads all well-formed records and reports the byte
-// length of the clean prefix holding them. A trailing fragment — a
-// line missing its terminating newline, failing to parse, or
-// impossibly large — is a torn write from a crash mid-append: every
-// acknowledged append was fsynced in full, newline included, so a
-// malformed tail can only belong to a mutation nobody was told
-// succeeded. It is reported (and not counted in clean) rather than
-// treated as an error.
-func readJournal(fsys vfs.FS, path string) (records []Record, clean int64, torn bool, err error) {
-	f, err := fsys.OpenFile("journal", path, os.O_RDONLY, 0)
-	if errors.Is(err, fs.ErrNotExist) {
-		return nil, 0, false, nil
-	}
-	if err != nil {
-		return nil, 0, false, fmt.Errorf("warehouse: read journal: %w", err)
-	}
-	defer f.Close() //nolint:errcheck // read-only descriptor; nothing buffered to lose
-	br := bufio.NewReaderSize(f, 1<<20)
-	var line []byte
-	for {
-		frag, err := br.ReadSlice('\n')
-		line = append(line, frag...)
-		if err == bufio.ErrBufferFull {
-			// Accumulate long lines fragment by fragment, bailing once
-			// past the record cap so a newline-free corrupt region can
-			// never be slurped into memory whole.
-			if len(line) >= maxRecordBytes {
-				return records, clean, true, nil
-			}
-			continue
-		}
-		if err == io.EOF {
-			if len(line) > 0 {
-				torn = true
-			}
-			return records, clean, torn, nil
-		}
-		if err != nil {
-			return nil, 0, false, fmt.Errorf("warehouse: scan journal: %w", err)
-		}
-		body := bytes.TrimSuffix(line, []byte{'\n'})
-		if len(body) == 0 {
-			clean += int64(len(line))
-			line = line[:0]
-			continue
-		}
-		var r Record
-		if len(body) >= maxRecordBytes || json.Unmarshal(body, &r) != nil {
-			return records, clean, true, nil
-		}
-		records = append(records, r)
-		clean += int64(len(line))
-		line = line[:0]
-	}
+	return seq
 }
 
 // fail latches err as the journal's terminal state and notifies the
@@ -279,10 +231,9 @@ func (j *journal) appendCost(cost *obs.Cost, r Record) (int64, error) {
 		j.mu.Unlock()
 		return 0, fmt.Errorf("warehouse: journal record of %d bytes exceeds the %d limit", len(data), maxRecordBytes)
 	}
-	data = append(data, '\n')
-	if _, err := j.w.Write(data); err != nil {
-		// The buffered writer now holds a partial record it would glue
-		// onto any later append; no further writes may touch the file.
+	if err := j.log.Append(data); err != nil {
+		// The appender may now hold a partial record it would glue onto
+		// any later append; no further writes may touch the backend.
 		j.fail("journal.append", err)
 		j.mu.Unlock()
 		return 0, fmt.Errorf("warehouse: append journal: %w", err)
@@ -317,13 +268,13 @@ func (j *journal) syncTo(idx int64) error {
 	}
 	j.mu.Lock()
 	target := j.written
-	err := j.w.Flush()
+	err := j.log.Flush()
 	j.mu.Unlock()
 	if err != nil {
 		j.fail("journal.flush", err)
 		return fmt.Errorf("warehouse: flush journal: %w", err)
 	}
-	if err := j.f.Sync(); err != nil {
+	if err := j.log.Sync(); err != nil {
 		j.fail("journal.sync", err)
 		return fmt.Errorf("warehouse: sync journal: %w", err)
 	}
@@ -334,10 +285,6 @@ func (j *journal) syncTo(idx int64) error {
 
 func (j *journal) close() error {
 	j.mu.Lock()
-	err := j.w.Flush()
-	j.mu.Unlock()
-	if cerr := j.f.Close(); err == nil {
-		err = cerr
-	}
-	return err
+	defer j.mu.Unlock()
+	return j.log.Close()
 }

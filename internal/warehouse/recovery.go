@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
-	"path/filepath"
 
 	"repro/internal/vfs"
 	"repro/internal/view"
@@ -175,12 +174,12 @@ func (w *Warehouse) recover(records []Record) error {
 				// under the writers lock), so rollback is always
 				// possible: remove whatever the in-flight create may
 				// have installed.
-				if err := w.fs.Remove("doc", w.docPath(p.Doc)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+				if err := w.st.RemoveDoc(p.Doc); err != nil && !errors.Is(err, fs.ErrNotExist) {
 					return fmt.Errorf("warehouse: recovery rollback of create %q: %w", p.Doc, err)
 				}
 				w.recoveryRollbacks.Inc()
 			case OpUpdate:
-				cur, err := w.fs.ReadFile("doc", w.docPath(p.Doc))
+				cur, err := w.st.ReadDoc(p.Doc)
 				if err != nil && !errors.Is(err, fs.ErrNotExist) {
 					return fmt.Errorf("warehouse: recovery of %q: %w", p.Doc, err)
 				}
@@ -191,11 +190,11 @@ func (w *Warehouse) recover(records []Record) error {
 					w.recoveryRollbacks.Inc()
 				}
 			case OpDrop:
-				if _, err := w.fs.Stat("doc", w.docPath(p.Doc)); errors.Is(err, fs.ErrNotExist) {
+				if exists, err := w.st.DocExists(p.Doc); err != nil {
+					return fmt.Errorf("warehouse: recovery of %q: %w", p.Doc, err)
+				} else if !exists {
 					resolve = OpCommit
 					w.recoveryRollforwards.Inc()
-				} else if err != nil {
-					return fmt.Errorf("warehouse: recovery of %q: %w", p.Doc, err)
 				} else {
 					w.recoveryRollbacks.Inc()
 				}
@@ -237,13 +236,13 @@ func (w *Warehouse) recover(records []Record) error {
 }
 
 // replayCommitted re-applies one committed mutation's state to the
-// document file, reporting whether the file actually changed. Writes
-// are skipped when the file already matches, so reopening a quiescent
-// warehouse does no file work.
+// stored document, reporting whether it actually changed. Writes are
+// skipped when the stored content already matches, so reopening a
+// quiescent warehouse does no write work.
 func (w *Warehouse) replayCommitted(rec *Record) (changed bool, err error) {
 	switch rec.Op {
 	case OpCreate, OpUpdate:
-		cur, err := w.fs.ReadFile("doc", w.docPath(rec.Doc))
+		cur, err := w.st.ReadDoc(rec.Doc)
 		if err == nil && string(cur) == rec.Content {
 			return false, nil
 		}
@@ -252,12 +251,12 @@ func (w *Warehouse) replayCommitted(rec *Record) (changed bool, err error) {
 		}
 		// No fsync: the journal keeps the committed record, so a crash
 		// that tears this write is repaired by the next recovery.
-		if err := w.writeDocFile(rec.Doc, []byte(rec.Content), false); err != nil {
+		if err := w.writeDoc(rec.Doc, []byte(rec.Content), false); err != nil {
 			return false, fmt.Errorf("warehouse: recovery of %q: %w", rec.Doc, err)
 		}
 		return true, nil
 	case OpDrop:
-		err := w.fs.Remove("doc", w.docPath(rec.Doc))
+		err := w.st.RemoveDoc(rec.Doc)
 		if errors.Is(err, fs.ErrNotExist) {
 			return false, nil
 		}
@@ -306,9 +305,24 @@ type JournalSummary struct {
 // summarizes it without applying recovery or taking any lock. It is
 // safe on a warehouse that was not cleanly closed — that is its point:
 // it shows what recovery will find before anything opens the
-// warehouse.
+// warehouse. The directory's backend is auto-detected; use
+// InspectJournalBackend to name it explicitly.
 func InspectJournal(dir string) (JournalSummary, error) {
-	records, _, torn, err := readJournal(vfs.OS, filepath.Join(dir, journalFile))
+	return InspectJournalBackend(dir, BackendAuto)
+}
+
+// InspectJournalBackend is InspectJournal with an explicit storage
+// backend name (BackendFile, BackendKV, BackendAuto).
+func InspectJournalBackend(dir, backend string) (JournalSummary, error) {
+	st, err := newBackendStore(dir, backend, vfs.OS)
+	if err != nil {
+		return JournalSummary{}, err
+	}
+	payloads, torn, err := st.ScanJournal(validRecord)
+	if err != nil {
+		return JournalSummary{}, err
+	}
+	records, err := parseRecords(payloads)
 	if err != nil {
 		return JournalSummary{}, err
 	}

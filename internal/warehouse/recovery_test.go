@@ -1,9 +1,11 @@
 package warehouse
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"strings"
@@ -11,12 +13,29 @@ import (
 	"testing"
 
 	"repro/internal/fuzzy"
+	"repro/internal/store/kv"
 	"repro/internal/tpwj"
 	"repro/internal/tree"
 	"repro/internal/update"
 	"repro/internal/vfs"
 	"repro/internal/xmlio"
 )
+
+// storeBackends are the storage backends every parameterized recovery
+// and fault suite runs against. A backend that cannot pass the same
+// crash sweeps as the filestore has no business shipping.
+var storeBackends = []string{BackendFile, BackendKV}
+
+// openB opens dir with the named backend over the real filesystem,
+// failing the test on error.
+func openB(t *testing.T, dir, backend string) *Warehouse {
+	t.Helper()
+	w, err := OpenBackend(dir, backend, vfs.OS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
 
 // content serializes a one-line fuzzy tree the way the warehouse
 // journals it.
@@ -54,19 +73,26 @@ func wantDoc(t *testing.T, w *Warehouse, name, want string) {
 }
 
 // forgeJournal writes the records into dir's journal via the real
-// append path (assigning sequence numbers 1..n) and returns the
-// assigned seqs. RefSeq values in the input index into the records
-// slice is NOT supported — callers pass final RefSeq values directly.
-func forgeJournal(t *testing.T, dir string, records []Record) []int64 {
+// append path of the named backend, continuing sequence numbers above
+// whatever the journal already holds (1..n on a fresh directory), and
+// returns the assigned seqs. RefSeq values in the input index into the
+// records slice is NOT supported — callers pass final RefSeq values
+// directly.
+func forgeJournal(t *testing.T, dir, backend string, records []Record) []int64 {
 	t.Helper()
-	if err := os.MkdirAll(filepath.Join(dir, docsDir), 0o755); err != nil {
-		t.Fatal(err)
-	}
-	j, _, err := openJournal(vfs.OS, filepath.Join(dir, journalFile), &journalCounters{}, nil)
+	st, err := newBackendStore(dir, backend, vfs.OS)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer j.close()
+	payloads, log, err := st.Open(validRecord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prior, err := parseRecords(payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := newJournal(log, maxSeq(prior), &journalCounters{}, nil)
 	seqs := make([]int64, len(records))
 	for i, r := range records {
 		seq, err := j.append(r)
@@ -74,6 +100,12 @@ func forgeJournal(t *testing.T, dir string, records []Record) []int64 {
 			t.Fatal(err)
 		}
 		seqs[i] = seq
+	}
+	if err := j.close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
 	}
 	return seqs
 }
@@ -110,76 +142,112 @@ func interleavedJournal(t *testing.T) []Record {
 // their mutations by RefSeq across documents, replays each document's
 // last committed state, and rolls back the one in-flight mutation.
 func TestRecoveryScanInterleaved(t *testing.T) {
-	dir := t.TempDir()
-	forgeJournal(t, dir, interleavedJournal(t))
-	// Adversarial disk state: every swap ran before the crash.
-	seedDocFiles(t, dir, map[string]string{
-		"A": content(t, "A(two)"), // aborted update's content (impossible in real
-		// operation — apply failed means no swap — but replay must fix it anyway)
-		"C": content(t, "C(two)"), // in-flight update swapped, marker lost
-	}) // B: dropped, file absent
+	for _, backend := range storeBackends {
+		t.Run(backend, func(t *testing.T) {
+			dir := t.TempDir()
+			forgeJournal(t, dir, backend, interleavedJournal(t))
+			// Adversarial disk state: every swap ran before the crash.
+			seedDocs(t, dir, backend, map[string]string{
+				"A": content(t, "A(two)"), // aborted update's content (impossible in real
+				// operation — apply failed means no swap — but replay must fix it anyway)
+				"C": content(t, "C(two)"), // in-flight update swapped, marker lost
+			}) // B: dropped, file absent
 
-	w, err := Open(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer w.Close()
-	wantDoc(t, w, "A", content(t, "A(one)"))
-	wantDoc(t, w, "B", "")
-	wantDoc(t, w, "C", content(t, "C(one)"))
+			w := openB(t, dir, backend)
+			defer w.Close()
+			wantDoc(t, w, "A", content(t, "A(one)"))
+			wantDoc(t, w, "B", "")
+			wantDoc(t, w, "C", content(t, "C(one)"))
 
-	// The in-flight update on C must now carry an abort marker.
-	recs, err := w.Journal()
-	if err != nil {
-		t.Fatal(err)
-	}
-	var resolved bool
-	for _, r := range recs {
-		if r.Op == OpAbort && r.RefSeq == 12 {
-			resolved = true
-		}
-	}
-	if !resolved {
-		t.Error("in-flight mutation seq 12 not resolved with an abort marker")
-	}
-	if s := w.JournalStats(); s.RecoveryRollbacks != 1 {
-		t.Errorf("rollbacks = %d, want 1", s.RecoveryRollbacks)
-	}
+			// The in-flight update on C must now carry an abort marker.
+			recs, err := w.Journal()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var resolved bool
+			for _, r := range recs {
+				if r.Op == OpAbort && r.RefSeq == 12 {
+					resolved = true
+				}
+			}
+			if !resolved {
+				t.Error("in-flight mutation seq 12 not resolved with an abort marker")
+			}
+			if s := w.JournalStats(); s.RecoveryRollbacks != 1 {
+				t.Errorf("rollbacks = %d, want 1", s.RecoveryRollbacks)
+			}
 
-	// A second open finds a fully marked journal and does nothing.
-	w.Close()
-	w2, err := Open(dir)
-	if err != nil {
-		t.Fatal(err)
+			// A second open finds a fully marked journal and does nothing.
+			w.Close()
+			w2 := openB(t, dir, backend)
+			defer w2.Close()
+			if s := w2.JournalStats(); s.RecoveryRollbacks != 0 || s.RecoveryReplays != 0 || s.RecoveryRollforwards != 0 {
+				t.Errorf("second open not a no-op: %+v", s)
+			}
+			wantDoc(t, w2, "A", content(t, "A(one)"))
+			wantDoc(t, w2, "B", "")
+			wantDoc(t, w2, "C", content(t, "C(one)"))
+		})
 	}
-	defer w2.Close()
-	if s := w2.JournalStats(); s.RecoveryRollbacks != 0 || s.RecoveryReplays != 0 || s.RecoveryRollforwards != 0 {
-		t.Errorf("second open not a no-op: %+v", s)
-	}
-	wantDoc(t, w2, "A", content(t, "A(one)"))
-	wantDoc(t, w2, "B", "")
-	wantDoc(t, w2, "C", content(t, "C(one)"))
 }
 
-func seedDocFiles(t *testing.T, dir string, files map[string]string) {
+// seedDocs forces dir's document state to exactly files through the
+// backend's own store API: every existing document is removed, then
+// each entry is written with a durable sync — simulating an arbitrary
+// set of completed swaps at crash time.
+func seedDocs(t *testing.T, dir, backend string, files map[string]string) {
 	t.Helper()
-	docs := filepath.Join(dir, docsDir)
-	if err := os.MkdirAll(docs, 0o755); err != nil {
-		t.Fatal(err)
-	}
-	entries, err := os.ReadDir(docs)
+	st, err := newBackendStore(dir, backend, vfs.OS)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, e := range entries {
-		if err := os.Remove(filepath.Join(docs, e.Name())); err != nil {
+	_, log, err := st.Open(validRecord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err := st.ListDocs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		if err := st.RemoveDoc(name); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for name, c := range files {
-		if err := os.WriteFile(filepath.Join(docs, name+docExt), []byte(c), 0o644); err != nil {
+		if err := st.WriteDoc(name, []byte(c), true); err != nil {
 			t.Fatal(err)
 		}
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// tearJournalTail appends a torn record fragment to the backend's
+// journal region: a partial JSON line for the filestore, a truncated
+// frame header for the kv page file. Either is what a crash mid-append
+// leaves behind.
+func tearJournalTail(t *testing.T, dir, backend string) {
+	t.Helper()
+	path := filepath.Join(dir, journalFile)
+	frag := []byte(`{"seq":99,"op":"upd`)
+	if backend == BackendKV {
+		path = filepath.Join(dir, kv.FileName)
+		frag = []byte{1, 0x00, 0x03} // kindJournal frame cut inside its header
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(frag); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -202,6 +270,42 @@ func parsePrefix(data []byte) []Record {
 			break
 		}
 		records = append(records, r)
+	}
+	return records
+}
+
+// kvParseJournalPrefix is the kv-backend counterpart of parsePrefix:
+// an independent decoder of the page-file frame format (kind u8,
+// keyLen u16, valLen u32, seq u64, key, val, crc32) that collects the
+// journal payloads of every intact frame and stops at the first torn
+// or corrupt one. Deliberately not the kv package's own scanner, so an
+// oracle bug there cannot hide a recovery bug.
+func kvParseJournalPrefix(data []byte) []Record {
+	const headerLen, trailerLen = 15, 4
+	var records []Record
+	off := 0
+	for off+headerLen <= len(data) {
+		kind := data[off]
+		if kind < 1 || kind > 4 {
+			break
+		}
+		keyLen := int(binary.BigEndian.Uint16(data[off+1:]))
+		valLen := int(binary.BigEndian.Uint32(data[off+3:]))
+		end := off + headerLen + keyLen + valLen + trailerLen
+		if end > len(data) {
+			break
+		}
+		if crc32.ChecksumIEEE(data[off:end-trailerLen]) != binary.BigEndian.Uint32(data[end-trailerLen:]) {
+			break
+		}
+		if kind == 1 { // journal frame
+			var r Record
+			if json.Unmarshal(data[off+headerLen+keyLen:end-trailerLen], &r) != nil {
+				break
+			}
+			records = append(records, r)
+		}
+		off = end
 	}
 	return records
 }
@@ -268,51 +372,48 @@ func expectState(records []Record, seeded map[string]string) map[string]string {
 // recovery converged (no further rollbacks or replays).
 func TestRecoveryRecordBoundaries(t *testing.T) {
 	full := interleavedJournal(t)
-	for cut := 0; cut <= len(full); cut++ {
-		t.Run(fmt.Sprintf("records=%d", cut), func(t *testing.T) {
-			dir := t.TempDir()
-			seqs := forgeJournal(t, dir, full[:cut])
-			_ = seqs
-			// Seed: every mutation in the prefix applied its file
-			// effect (the most advanced crash state possible).
-			seeded := make(map[string]string)
-			for _, r := range full[:cut] {
-				switch r.Op {
-				case OpCreate, OpUpdate:
-					seeded[r.Doc] = r.Content
-				case OpDrop:
-					delete(seeded, r.Doc)
+	for _, backend := range storeBackends {
+		for cut := 0; cut <= len(full); cut++ {
+			t.Run(fmt.Sprintf("%s/records=%d", backend, cut), func(t *testing.T) {
+				dir := t.TempDir()
+				forgeJournal(t, dir, backend, full[:cut])
+				// Seed: every mutation in the prefix applied its file
+				// effect (the most advanced crash state possible).
+				seeded := make(map[string]string)
+				for _, r := range full[:cut] {
+					switch r.Op {
+					case OpCreate, OpUpdate:
+						seeded[r.Doc] = r.Content
+					case OpDrop:
+						delete(seeded, r.Doc)
+					}
 				}
-			}
-			seedDocFiles(t, dir, seeded)
+				seedDocs(t, dir, backend, seeded)
 
-			data, err := os.ReadFile(filepath.Join(dir, journalFile))
-			if err != nil {
-				t.Fatal(err)
-			}
-			expect := expectState(parsePrefix(data), seeded)
+				// The oracle sees the same prefix with the seqs the forge
+				// assigned (1..cut on a fresh directory).
+				prefix := append([]Record(nil), full[:cut]...)
+				for i := range prefix {
+					prefix[i].Seq = int64(i + 1)
+				}
+				expect := expectState(prefix, seeded)
 
-			w, err := Open(dir)
-			if err != nil {
-				t.Fatal(err)
-			}
-			for _, doc := range []string{"A", "B", "C"} {
-				wantDoc(t, w, doc, expect[doc])
-			}
-			w.Close()
+				w := openB(t, dir, backend)
+				for _, doc := range []string{"A", "B", "C"} {
+					wantDoc(t, w, doc, expect[doc])
+				}
+				w.Close()
 
-			w2, err := Open(dir)
-			if err != nil {
-				t.Fatal(err)
-			}
-			defer w2.Close()
-			if s := w2.JournalStats(); s.RecoveryRollbacks != 0 || s.RecoveryReplays != 0 || s.RecoveryRollforwards != 0 {
-				t.Errorf("recovery did not converge after one open: %+v", s)
-			}
-			for _, doc := range []string{"A", "B", "C"} {
-				wantDoc(t, w2, doc, expect[doc])
-			}
-		})
+				w2 := openB(t, dir, backend)
+				defer w2.Close()
+				if s := w2.JournalStats(); s.RecoveryRollbacks != 0 || s.RecoveryReplays != 0 || s.RecoveryRollforwards != 0 {
+					t.Errorf("recovery did not converge after one open: %+v", s)
+				}
+				for _, doc := range []string{"A", "B", "C"} {
+					wantDoc(t, w2, doc, expect[doc])
+				}
+			})
+		}
 	}
 }
 
@@ -320,7 +421,11 @@ func TestRecoveryRecordBoundaries(t *testing.T) {
 // journal at every byte boundary of its final records and asserts
 // recovery never loses a committed mutation nor resurrects an aborted
 // one: whatever the cut, the document lands exactly on the model's
-// prediction — the last committed state surviving the cut.
+// prediction — the last committed state surviving the cut. For the kv
+// backend the document page shares the truncated file with the
+// journal frames, so the page is seeded first and only cuts at or
+// past its end are crash-reachable (the page was written and synced
+// before the journal frames existed).
 func TestRecoveryByteBoundaries(t *testing.T) {
 	v1, v2, v3 := content(t, "D(one)"), content(t, "D(two)"), content(t, "D(three)")
 	scenarios := []struct {
@@ -333,17 +438,43 @@ func TestRecoveryByteBoundaries(t *testing.T) {
 		// Aborted final update: the apply failed, file untouched.
 		{"final-abort", OpAbort, v2},
 	}
+	journalRecords := func(final Op) []Record {
+		return []Record{
+			{Op: OpCreate, Doc: "D", Content: v1}, // seq 1
+			{Op: OpCommit, RefSeq: 1},
+			{Op: OpUpdate, Doc: "D", Tx: "<t/>", Content: v2}, // seq 3
+			{Op: OpCommit, RefSeq: 3},
+			{Op: OpUpdate, Doc: "D", Tx: "<t/>", Content: v3}, // seq 5
+			{Op: final, RefSeq: 5},
+		}
+	}
+	checkCut := func(t *testing.T, dir, backend string, cut int, expect map[string]string) {
+		t.Helper()
+		w := openB(t, dir, backend)
+		got, err := w.Get("D")
+		w.Close()
+		want := expect["D"]
+		if want == "" {
+			if !errors.Is(err, ErrNotFound) {
+				t.Fatalf("cut=%d: Get = %v, want ErrNotFound", cut, err)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		wantTree, err := xmlio.ParseDoc([]byte(want))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fuzzy.Equal(got.Root, wantTree.Root) {
+			t.Fatalf("cut=%d: doc = %s, want %s", cut, fuzzy.Format(got.Root), fuzzy.Format(wantTree.Root))
+		}
+	}
 	for _, sc := range scenarios {
-		t.Run(sc.name, func(t *testing.T) {
+		t.Run("filestore/"+sc.name, func(t *testing.T) {
 			base := t.TempDir()
-			forgeJournal(t, base, []Record{
-				{Op: OpCreate, Doc: "D", Content: v1}, // seq 1
-				{Op: OpCommit, RefSeq: 1},
-				{Op: OpUpdate, Doc: "D", Tx: "<t/>", Content: v2}, // seq 3
-				{Op: OpCommit, RefSeq: 3},
-				{Op: OpUpdate, Doc: "D", Tx: "<t/>", Content: v3}, // seq 5
-				{Op: sc.final, RefSeq: 5},
-			})
+			forgeJournal(t, base, BackendFile, journalRecords(sc.final))
 			full, err := os.ReadFile(filepath.Join(base, journalFile))
 			if err != nil {
 				t.Fatal(err)
@@ -357,32 +488,34 @@ func TestRecoveryByteBoundaries(t *testing.T) {
 					t.Fatal(err)
 				}
 				seeded := map[string]string{"D": sc.seed}
-				seedDocFiles(t, dir, seeded)
+				seedDocs(t, dir, BackendFile, seeded)
 				expect := expectState(parsePrefix(full[:cut]), seeded)
-
-				w, err := Open(dir)
-				if err != nil {
-					t.Fatalf("cut=%d: %v", cut, err)
-				}
-				got, err := w.Get("D")
-				w.Close()
-				want := expect["D"]
-				if want == "" {
-					if !errors.Is(err, ErrNotFound) {
-						t.Fatalf("cut=%d: Get = %v, want ErrNotFound", cut, err)
-					}
-					continue
-				}
-				if err != nil {
-					t.Fatalf("cut=%d: %v", cut, err)
-				}
-				wantTree, err := xmlio.ParseDoc([]byte(want))
-				if err != nil {
+				checkCut(t, dir, BackendFile, cut, expect)
+			}
+		})
+		t.Run("kv/"+sc.name, func(t *testing.T) {
+			base := t.TempDir()
+			// Page first, journal frames after: a crash can then tear the
+			// file anywhere past the synced page.
+			seedDocs(t, base, BackendKV, map[string]string{"D": sc.seed})
+			pageInfo, err := os.Stat(filepath.Join(base, kv.FileName))
+			if err != nil {
+				t.Fatal(err)
+			}
+			docEnd := int(pageInfo.Size())
+			forgeJournal(t, base, BackendKV, journalRecords(sc.final))
+			full, err := os.ReadFile(filepath.Join(base, kv.FileName))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for cut := docEnd; cut <= len(full); cut++ {
+				dir := t.TempDir()
+				if err := os.WriteFile(filepath.Join(dir, kv.FileName), full[:cut], 0o644); err != nil {
 					t.Fatal(err)
 				}
-				if !fuzzy.Equal(got.Root, wantTree.Root) {
-					t.Fatalf("cut=%d: doc = %s, want %s", cut, fuzzy.Format(got.Root), fuzzy.Format(wantTree.Root))
-				}
+				seeded := map[string]string{"D": sc.seed}
+				expect := expectState(kvParseJournalPrefix(full[:cut]), seeded)
+				checkCut(t, dir, BackendKV, cut, expect)
 			}
 		})
 	}
@@ -408,80 +541,78 @@ func TestRecoveryOrphanEvidence(t *testing.T) {
 		{"drop-removed", OpDrop, "", "", OpCommit, true},
 		{"drop-untouched", OpDrop, v1, v1, OpAbort, false},
 	}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			dir := t.TempDir()
-			// A compacted warehouse: the document exists on disk with
-			// no journal trace.
-			w, err := Open(dir)
-			if err != nil {
-				t.Fatal(err)
-			}
-			doc, err := xmlio.ParseDoc([]byte(v1))
-			if err != nil {
-				t.Fatal(err)
-			}
-			if err := w.Create("D", doc); err != nil {
-				t.Fatal(err)
-			}
-			if err := w.Compact(); err != nil {
-				t.Fatal(err)
-			}
-			w.Close()
+	for _, backend := range storeBackends {
+		for _, tc := range cases {
+			t.Run(backend+"/"+tc.name, func(t *testing.T) {
+				dir := t.TempDir()
+				// A compacted warehouse: the document exists on disk with
+				// no journal trace.
+				w := openB(t, dir, backend)
+				doc, err := xmlio.ParseDoc([]byte(v1))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := w.Create("D", doc); err != nil {
+					t.Fatal(err)
+				}
+				if err := w.Compact(); err != nil {
+					t.Fatal(err)
+				}
+				w.Close()
 
-			// Forge the orphan in-flight mutation and the crash-time
-			// file state.
-			rec := Record{Op: tc.op, Doc: "D"}
-			if tc.op == OpUpdate {
-				rec.Content = v2
-			}
-			seqs := forgeJournal(t, dir, []Record{rec})
-			seedDocFiles(t, dir, map[string]string{})
-			if tc.fileAfter != "" {
-				seedDocFiles(t, dir, map[string]string{"D": tc.fileAfter})
-			}
+				// Forge the orphan in-flight mutation and the crash-time
+				// file state.
+				rec := Record{Op: tc.op, Doc: "D"}
+				if tc.op == OpUpdate {
+					rec.Content = v2
+				}
+				seqs := forgeJournal(t, dir, backend, []Record{rec})
+				files := map[string]string{}
+				if tc.fileAfter != "" {
+					files["D"] = tc.fileAfter
+				}
+				seedDocs(t, dir, backend, files)
 
-			w2, err := Open(dir)
-			if err != nil {
-				t.Fatal(err)
-			}
-			defer w2.Close()
-			wantDoc(t, w2, "D", tc.wantDoc)
-			recs, err := w2.Journal()
-			if err != nil {
-				t.Fatal(err)
-			}
-			last := recs[len(recs)-1]
-			if last.Op != tc.wantMarker || last.RefSeq != seqs[0] {
-				t.Errorf("resolution = %s ref %d, want %s ref %d", last.Op, last.RefSeq, tc.wantMarker, seqs[0])
-			}
-			s := w2.JournalStats()
-			if tc.rollforward && (s.RecoveryRollforwards != 1 || s.RecoveryRollbacks != 0) {
-				t.Errorf("counters = %+v, want 1 rollforward", s)
-			}
-			if !tc.rollforward && (s.RecoveryRollbacks != 1 || s.RecoveryRollforwards != 0) {
-				t.Errorf("counters = %+v, want 1 rollback", s)
-			}
-		})
+				w2 := openB(t, dir, backend)
+				defer w2.Close()
+				wantDoc(t, w2, "D", tc.wantDoc)
+				recs, err := w2.Journal()
+				if err != nil {
+					t.Fatal(err)
+				}
+				last := recs[len(recs)-1]
+				if last.Op != tc.wantMarker || last.RefSeq != seqs[0] {
+					t.Errorf("resolution = %s ref %d, want %s ref %d", last.Op, last.RefSeq, tc.wantMarker, seqs[0])
+				}
+				s := w2.JournalStats()
+				if tc.rollforward && (s.RecoveryRollforwards != 1 || s.RecoveryRollbacks != 0) {
+					t.Errorf("counters = %+v, want 1 rollforward", s)
+				}
+				if !tc.rollforward && (s.RecoveryRollbacks != 1 || s.RecoveryRollforwards != 0) {
+					t.Errorf("counters = %+v, want 1 rollback", s)
+				}
+			})
+		}
 	}
 }
 
 // TestRecoveryOrphanCreateRollsBack: an in-flight create on an empty
 // journal always rolls back — its pre-state is "absent" by definition.
 func TestRecoveryOrphanCreateRollsBack(t *testing.T) {
-	dir := t.TempDir()
-	v1 := content(t, "D(one)")
-	forgeJournal(t, dir, []Record{{Op: OpCreate, Doc: "D", Content: v1}})
-	seedDocFiles(t, dir, map[string]string{"D": v1}) // the swap ran
+	for _, backend := range storeBackends {
+		t.Run(backend, func(t *testing.T) {
+			dir := t.TempDir()
+			v1 := content(t, "D(one)")
+			forgeJournal(t, dir, backend, []Record{{Op: OpCreate, Doc: "D", Content: v1}})
+			seedDocs(t, dir, backend, map[string]string{"D": v1}) // the swap ran
 
-	w, err := Open(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer w.Close()
-	wantDoc(t, w, "D", "")
-	if s := w.JournalStats(); s.RecoveryRollbacks != 1 {
-		t.Errorf("rollbacks = %d, want 1", s.RecoveryRollbacks)
+			w := openB(t, dir, backend)
+			defer w.Close()
+			wantDoc(t, w, "D", "")
+			if s := w.JournalStats(); s.RecoveryRollbacks != 1 {
+				t.Errorf("rollbacks = %d, want 1", s.RecoveryRollbacks)
+			}
+		})
 	}
 }
 
@@ -541,57 +672,47 @@ func TestRecoveryRepairsTornDocFile(t *testing.T) {
 // written after the crash never concatenates onto the fragment and
 // every post-crash record survives the next reopen.
 func TestTornTailTruncatedOnOpen(t *testing.T) {
-	dir := t.TempDir()
-	w, err := Open(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := w.Create("doc", slide12()); err != nil {
-		t.Fatal(err)
-	}
-	w.Close()
+	for _, backend := range storeBackends {
+		t.Run(backend, func(t *testing.T) {
+			dir := t.TempDir()
+			w := openB(t, dir, backend)
+			if err := w.Create("doc", slide12()); err != nil {
+				t.Fatal(err)
+			}
+			w.Close()
 
-	f, err := os.OpenFile(filepath.Join(dir, journalFile), os.O_APPEND|os.O_WRONLY, 0o644)
-	if err != nil {
-		t.Fatal(err)
-	}
-	f.WriteString(`{"seq":99,"op":"upd`) // torn record, no newline
-	f.Close()
+			tearJournalTail(t, dir, backend)
 
-	// Reopen and mutate: the new records must land on a clean boundary.
-	w2, err := Open(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := w2.Create("doc2", slide12()); err != nil {
-		t.Fatal(err)
-	}
-	w2.Close()
+			// Reopen and mutate: the new records must land on a clean boundary.
+			w2 := openB(t, dir, backend)
+			if err := w2.Create("doc2", slide12()); err != nil {
+				t.Fatal(err)
+			}
+			w2.Close()
 
-	w3, err := Open(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer w3.Close()
-	got, err := w3.Get("doc2")
-	if err != nil {
-		t.Fatalf("post-crash document lost: %v", err)
-	}
-	if !fuzzy.Equal(got.Root, slide12().Root) {
-		t.Errorf("doc2 = %s", fuzzy.Format(got.Root))
-	}
-	recs, err := w3.Journal()
-	if err != nil {
-		t.Fatal(err)
-	}
-	// create+commit for each document; the torn fragment is gone.
-	if len(recs) != 4 {
-		t.Fatalf("journal records = %d, want 4: %+v", len(recs), recs)
-	}
-	for _, r := range recs {
-		if !r.Op.Mutation() && !r.Op.Marker() {
-			t.Errorf("corrupt record survived: %+v", r)
-		}
+			w3 := openB(t, dir, backend)
+			defer w3.Close()
+			got, err := w3.Get("doc2")
+			if err != nil {
+				t.Fatalf("post-crash document lost: %v", err)
+			}
+			if !fuzzy.Equal(got.Root, slide12().Root) {
+				t.Errorf("doc2 = %s", fuzzy.Format(got.Root))
+			}
+			recs, err := w3.Journal()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// create+commit for each document; the torn fragment is gone.
+			if len(recs) != 4 {
+				t.Fatalf("journal records = %d, want 4: %+v", len(recs), recs)
+			}
+			for _, r := range recs {
+				if !r.Op.Mutation() && !r.Op.Marker() {
+					t.Errorf("corrupt record survived: %+v", r)
+				}
+			}
+		})
 	}
 }
 
@@ -599,39 +720,40 @@ func TestTornTailTruncatedOnOpen(t *testing.T) {
 // pxwarehouse verify-journal subcommand: counts, pending detection,
 // torn tails, and structural problems.
 func TestInspectJournal(t *testing.T) {
-	dir := t.TempDir()
-	forgeJournal(t, dir, interleavedJournal(t))
+	// InspectJournal auto-detects the backend from the directory layout,
+	// so both backends go through the same entry point.
+	for _, backend := range storeBackends {
+		t.Run(backend, func(t *testing.T) {
+			dir := t.TempDir()
+			forgeJournal(t, dir, backend, interleavedJournal(t))
 
-	sum, err := InspectJournal(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if sum.Records != 13 || sum.Mutations != 7 || sum.Committed != 5 || sum.Aborted != 1 {
-		t.Errorf("summary = %+v, want 13 records, 7 mutations, 5 committed, 1 aborted", sum)
-	}
-	if len(sum.Pending) != 1 || sum.Pending[0].Seq != 12 || sum.Pending[0].Doc != "C" {
-		t.Errorf("pending = %+v, want seq 12 on C", sum.Pending)
-	}
-	if sum.TornTail || len(sum.Problems) != 0 {
-		t.Errorf("clean journal reported torn=%v problems=%v", sum.TornTail, sum.Problems)
+			sum, err := InspectJournal(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sum.Records != 13 || sum.Mutations != 7 || sum.Committed != 5 || sum.Aborted != 1 {
+				t.Errorf("summary = %+v, want 13 records, 7 mutations, 5 committed, 1 aborted", sum)
+			}
+			if len(sum.Pending) != 1 || sum.Pending[0].Seq != 12 || sum.Pending[0].Doc != "C" {
+				t.Errorf("pending = %+v, want seq 12 on C", sum.Pending)
+			}
+			if sum.TornTail || len(sum.Problems) != 0 {
+				t.Errorf("clean journal reported torn=%v problems=%v", sum.TornTail, sum.Problems)
+			}
+
+			// Torn tail.
+			tearJournalTail(t, dir, backend)
+			sum, err = InspectJournal(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sum.TornTail || sum.Records != 13 {
+				t.Errorf("torn tail not detected: %+v", sum)
+			}
+		})
 	}
 
-	// Torn tail.
-	f, err := os.OpenFile(filepath.Join(dir, journalFile), os.O_APPEND|os.O_WRONLY, 0o644)
-	if err != nil {
-		t.Fatal(err)
-	}
-	f.WriteString(`{"seq":14,"op":"dr`)
-	f.Close()
-	sum, err = InspectJournal(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !sum.TornTail || sum.Records != 13 {
-		t.Errorf("torn tail not detected: %+v", sum)
-	}
-
-	// Structural problems: out-of-order seq, dangling marker ref,
+	// Structural problems (filestore raw file): out-of-order seq, dangling marker ref,
 	// duplicate marker, unknown op.
 	bad := t.TempDir()
 	lines := []string{
@@ -647,7 +769,7 @@ func TestInspectJournal(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(bad, journalFile), []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	sum, err = InspectJournal(bad)
+	sum, err := InspectJournal(bad)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -666,7 +788,16 @@ func TestInspectJournal(t *testing.T) {
 // share fsyncs — the batch counter stays at or below the append
 // counter, and the append counter is exact.
 func TestGroupCommitBatching(t *testing.T) {
-	w := openTemp(t)
+	for _, backend := range storeBackends {
+		t.Run(backend, func(t *testing.T) {
+			testGroupCommitBatching(t, backend)
+		})
+	}
+}
+
+func testGroupCommitBatching(t *testing.T, backend string) {
+	w := openB(t, t.TempDir(), backend)
+	defer w.Close()
 	const docs = 8
 	for i := 0; i < docs; i++ {
 		if err := w.Create(fmt.Sprintf("doc%d", i), stressDoc()); err != nil {

@@ -5,9 +5,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io/fs"
-	"os"
-	"path/filepath"
 	"sort"
 	"sync"
 
@@ -16,12 +13,6 @@ import (
 	"repro/internal/tpwj"
 	"repro/internal/view"
 )
-
-// viewSnapshotFile is the compaction snapshot of the view registry:
-// the journal's view records are the durable copy of registrations, so
-// Compact — which truncates the journal — first writes all current
-// definitions here, and Open loads it before replaying the journal.
-const viewSnapshotFile = "views.json"
 
 // View sentinel errors; test with errors.Is.
 var (
@@ -530,54 +521,32 @@ type viewSnapshot struct {
 	Docs map[string][]view.Definition `json:"docs"`
 }
 
-// writeViewSnapshot persists all current view definitions to
-// views.json (fsynced, atomically swapped). Called by Compact under
-// the exclusive warehouse lock, before the journal — until then the
-// durable copy of registrations — is truncated.
+// writeViewSnapshot persists all current view definitions to the
+// store's view snapshot (durably). Called by Compact under the
+// exclusive warehouse lock, before the journal — until then the
+// durable copy of registrations — is dropped.
 func (w *Warehouse) writeViewSnapshot() error {
 	data, err := json.MarshalIndent(viewSnapshot{Docs: w.views.defs()}, "", "  ")
 	if err != nil {
 		return fmt.Errorf("warehouse: marshal view snapshot: %w", err)
 	}
-	path := filepath.Join(w.dir, viewSnapshotFile)
-	tmp := path + ".tmp"
-	f, err := w.fs.OpenFile("views", tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
-	if err != nil {
-		return err
-	}
-	// Plain assignment, not :=, so a write or sync failure survives into
-	// the error accounting below — a shadowed err here once let a torn
-	// snapshot get renamed over views.json.
-	_, err = f.Write(data)
-	if err == nil {
-		err = f.Sync()
-	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		// Best-effort cleanup: the tmp file is invisible to loads and
-		// overwritten by the next snapshot; the write/sync/close error
-		// is what the caller must hear.
-		w.fs.Remove("views", tmp) //nolint:errcheck
+	if err := w.st.WriteViews(data); err != nil {
 		return fmt.Errorf("warehouse: write view snapshot: %w", err)
 	}
-	if err := w.fs.Rename("views", tmp, path); err != nil {
-		return err
-	}
-	return syncDir(w.fs, "views", w.dir)
+	return nil
 }
 
-// loadViewSnapshot seeds the registry from views.json, if present.
-// Called by Open before journal recovery, whose committed view records
-// (and document drops) are replayed on top in journal order.
+// loadViewSnapshot seeds the registry from the store's view snapshot,
+// if present. Called by Open before journal recovery, whose committed
+// view records (and document drops) are replayed on top in journal
+// order.
 func (w *Warehouse) loadViewSnapshot() error {
-	data, err := w.fs.ReadFile("views", filepath.Join(w.dir, viewSnapshotFile))
-	if errors.Is(err, fs.ErrNotExist) {
-		return nil
-	}
+	data, ok, err := w.st.ReadViews()
 	if err != nil {
 		return fmt.Errorf("warehouse: read view snapshot: %w", err)
+	}
+	if !ok {
+		return nil
 	}
 	var snap viewSnapshot
 	if err := json.Unmarshal(data, &snap); err != nil {

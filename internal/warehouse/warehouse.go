@@ -71,13 +71,14 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
-	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/fuzzy"
 	"repro/internal/obs"
+	"repro/internal/store"
+	"repro/internal/store/filestore"
+	"repro/internal/store/kv"
 	"repro/internal/tpwj"
 	"repro/internal/update"
 	"repro/internal/vfs"
@@ -86,10 +87,26 @@ import (
 	"repro/internal/xupdate"
 )
 
+// The filestore backend's on-disk layout, named here because tests and
+// tools poke it directly (seeding raw files, truncating the journal).
 const (
 	docsDir     = "docs"
 	docExt      = ".pxml"
 	journalFile = "journal.log"
+)
+
+// Storage backend names, accepted by OpenBackend and the -store flags
+// of pxserve and pxwarehouse.
+const (
+	// BackendFile is the file-per-document layout: docs/<name>.pxml
+	// files, a JSON-lines journal.log, a views.json snapshot.
+	BackendFile = "filestore"
+	// BackendKV is the single-file page store: every durable byte in
+	// one kv.store file of Seq-tagged CRC-framed records.
+	BackendKV = "kv"
+	// BackendAuto selects by inspecting the directory: kv if a kv.store
+	// page file exists, filestore otherwise (also for fresh dirs).
+	BackendAuto = "auto"
 )
 
 // Sentinel errors, for callers (such as the HTTP server) that map
@@ -118,11 +135,12 @@ var (
 type Warehouse struct {
 	dir string
 
-	// fs is the filesystem seam every byte of warehouse I/O goes
-	// through: vfs.OS in production, a vfs.FaultFS in fault-injection
-	// tests (see OpenFS). No other code in this package may call
-	// package os file functions.
-	fs vfs.FS
+	// st is the storage backend every byte of warehouse persistence
+	// goes through (see store.Store). The backend in turn routes its
+	// I/O through a vfs.FS — vfs.OS in production, a vfs.FaultFS in
+	// fault-injection tests (see OpenFS/OpenBackend). No other code in
+	// this package may call package os file functions.
+	st store.Store
 
 	// degraded latches read-only mode after an unrecoverable
 	// write-path error (see setDegraded). It is an atomic so the write
@@ -204,7 +222,8 @@ func (w *Warehouse) markJournaled(name string) {
 // Open opens (creating if necessary) a warehouse rooted at dir and
 // performs scan-based crash recovery: each document is restored to its
 // last committed journaled state and every in-flight (unmarked)
-// mutation is rolled back. See recover in recovery.go.
+// mutation is rolled back. See recover in recovery.go. Open uses the
+// filestore backend; OpenBackend selects another.
 func Open(dir string) (*Warehouse, error) {
 	return OpenFS(dir, vfs.OS)
 }
@@ -213,10 +232,52 @@ func Open(dir string) (*Warehouse, error) {
 // Open (vfs.OS); fault-injection tests pass a vfs.FaultFS to fail
 // chosen I/O calls by named fault point.
 func OpenFS(dir string, fsys vfs.FS) (*Warehouse, error) {
+	return OpenBackend(dir, BackendFile, fsys)
+}
+
+// OpenBackend is Open with an explicit storage backend (BackendFile,
+// BackendKV, or BackendAuto to inspect the directory) and filesystem.
+func OpenBackend(dir, backend string, fsys vfs.FS) (*Warehouse, error) {
+	st, err := newBackendStore(dir, backend, fsys)
+	if err != nil {
+		return nil, err
+	}
+	return OpenStore(dir, st)
+}
+
+// newBackendStore constructs the named storage backend rooted at dir.
+func newBackendStore(dir, backend string, fsys vfs.FS) (store.Store, error) {
+	switch backend {
+	case BackendFile, "":
+		return filestore.New(dir, fsys), nil
+	case BackendKV:
+		return kv.New(dir, fsys), nil
+	case BackendAuto:
+		return newBackendStore(dir, DetectBackend(dir), fsys)
+	default:
+		return nil, fmt.Errorf("warehouse: unknown storage backend %q (want %q, %q or %q)",
+			backend, BackendFile, BackendKV, BackendAuto)
+	}
+}
+
+// DetectBackend reports which storage backend the warehouse directory
+// holds: BackendKV if its page file exists, BackendFile otherwise
+// (including for directories that do not exist yet).
+func DetectBackend(dir string) string {
+	if _, err := os.Stat(filepath.Join(dir, kv.FileName)); err == nil {
+		return BackendKV
+	}
+	return BackendFile
+}
+
+// OpenStore opens a warehouse over an already-constructed storage
+// backend. OpenBackend is the convenience wrapper every normal caller
+// uses; OpenStore exists for callers that build the backend themselves.
+func OpenStore(dir string, st store.Store) (*Warehouse, error) {
 	reg := obs.NewRegistry()
 	w := &Warehouse{
 		dir:       dir,
-		fs:        fsys,
+		st:        st,
 		reg:       reg,
 		cache:     make(map[string]*fuzzy.Tree),
 		journaled: make(map[string]bool),
@@ -224,7 +285,7 @@ func OpenFS(dir string, fsys vfs.FS) (*Warehouse, error) {
 	w.jc = journalCounters{
 		appends: reg.Counter("px_journal_appends_total", "journal records durably appended"),
 		batches: reg.Counter("px_journal_sync_batches_total", "journal fsync calls (group commit: batches <= appends)"),
-		bytes:   reg.Counter("px_journal_bytes_total", "bytes durably appended to the journal (newline included)"),
+		bytes:   reg.Counter("px_journal_bytes_total", "journal record payload bytes durably appended (backend framing excluded)"),
 	}
 	w.recoveryReplays = reg.Counter("px_recovery_replays_total", "documents replayed from the journal at the last Open")
 	w.recoveryRollbacks = reg.Counter("px_recovery_rollbacks_total", "in-flight mutations rolled back at the last Open")
@@ -246,30 +307,23 @@ func OpenFS(dir string, fsys vfs.FS) (*Warehouse, error) {
 	return w, nil
 }
 
-// loadFromDisk runs the open sequence against the filesystem: create
-// the layout, open the journal (truncating any torn tail), load the
-// view snapshot, replay recovery, prune orphaned views. Shared by
-// OpenFS and Reopen; the caller must hold the warehouse exclusively
-// (Reopen) or privately (OpenFS, before the value is shared).
+// loadFromDisk runs the open sequence against the storage backend:
+// initialize the layout and scan the journal (truncating any torn
+// tail), load the view snapshot, replay recovery, prune orphaned
+// views. Shared by OpenStore and Reopen; the caller must hold the
+// warehouse exclusively (Reopen) or privately (OpenStore, before the
+// value is shared).
 func (w *Warehouse) loadFromDisk() error {
-	if err := w.fs.MkdirAll("layout", filepath.Join(w.dir, docsDir), 0o755); err != nil {
-		return fmt.Errorf("warehouse: create layout: %w", err)
-	}
-	j, records, err := openJournal(w.fs, filepath.Join(w.dir, journalFile), &w.jc, w.setDegraded)
+	payloads, log, err := w.st.Open(validRecord)
 	if err != nil {
+		return fmt.Errorf("warehouse: %w", err)
+	}
+	records, err := parseRecords(payloads)
+	if err != nil {
+		log.Close() //nolint:errcheck // already failing; the parse error wins
 		return err
 	}
-	// Make the layout's directory entries durable: fsync of journal.log
-	// alone does not persist its entry in a freshly created warehouse
-	// directory, and the journal is the sole durable copy of
-	// acknowledged mutations until Compact.
-	if err := syncDir(w.fs, "layout", filepath.Join(w.dir, docsDir)); err == nil {
-		err = syncDir(w.fs, "layout", w.dir)
-	}
-	if err != nil {
-		j.close() //nolint:errcheck // already failing; the open error wins
-		return fmt.Errorf("warehouse: sync layout: %w", err)
-	}
+	j := newJournal(log, maxSeq(records), &w.jc, w.setDegraded)
 	w.journal = j
 	// Seed the view registry from the compaction snapshot (if any);
 	// recovery then replays the journal's view records on top.
@@ -284,26 +338,14 @@ func (w *Warehouse) loadFromDisk() error {
 	// Drop view definitions whose document no longer exists (defensive:
 	// a hand-edited snapshot or journal could leave orphans behind).
 	w.views.pruneMissing(func(doc string) bool {
-		_, err := w.fs.Stat("doc", w.docPath(doc))
-		return err == nil
+		ok, err := w.st.DocExists(doc)
+		return err == nil && ok
 	})
 	return nil
 }
 
-// syncDir fsyncs a directory, making the entries it holds durable.
-func syncDir(fsys vfs.FS, area, path string) error {
-	d, err := fsys.OpenFile(area, path, os.O_RDONLY, 0)
-	if err != nil {
-		return err
-	}
-	err = d.Sync()
-	if cerr := d.Close(); err == nil {
-		err = cerr
-	}
-	return err
-}
-
-// Close releases the journal. The warehouse must not be used afterwards.
+// Close releases the journal and the storage backend. The warehouse
+// must not be used afterwards.
 func (w *Warehouse) Close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -311,7 +353,11 @@ func (w *Warehouse) Close() error {
 		return nil
 	}
 	w.closed = true
-	return w.journal.close()
+	err := w.journal.close()
+	if cerr := w.st.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // setDegraded flips the warehouse into degraded read-only mode. Called
@@ -404,14 +450,24 @@ func (w *Warehouse) Reopen() error {
 // Dir returns the warehouse root directory.
 func (w *Warehouse) Dir() string { return w.dir }
 
+// Backend returns the storage backend's name ("filestore", "kv").
+func (w *Warehouse) Backend() string { return w.st.Backend() }
+
+// StorageStats reports the storage backend's on-disk footprint. Served
+// by pxserve under /stats as "storage".
+func (w *Warehouse) StorageStats() (store.Stats, error) {
+	release, err := w.startOp()
+	if err != nil {
+		return store.Stats{}, err
+	}
+	defer release()
+	return w.st.Stats()
+}
+
 // Registry returns the warehouse's metrics registry: journal,
 // recovery, keyword-index and view-maintenance counters. The HTTP
 // server merges it into GET /metrics.
 func (w *Warehouse) Registry() *obs.Registry { return w.reg }
-
-func (w *Warehouse) docPath(name string) string {
-	return filepath.Join(w.dir, docsDir, name+docExt)
-}
 
 // ValidateName reports whether name is usable as a document name,
 // wrapping ErrInvalidName otherwise. Callers such as the HTTP server
@@ -464,51 +520,19 @@ func (w *Warehouse) cacheDel(name string) {
 	delete(w.cache, name)
 }
 
-// writeDocFile atomically replaces the document file. With sync, the
-// data is fsynced before the rename, so a crash can expose the old or
-// the new content but never a torn file. Without sync the rename may
-// expose a torn file after a crash — callers may omit the (expensive,
+// writeDoc atomically replaces the document's stored content. With
+// sync, the content is durable on return. Without sync the backend may
+// expose a torn state after a crash — callers may omit the (expensive,
 // unbatchable) fsync only while the journal holds a committed copy of
-// the latest content, because recovery replays that copy over the file
-// regardless of what the crash left in it (see install and Compact).
-func (w *Warehouse) writeDocFile(name string, data []byte, sync bool) error {
-	path := w.docPath(name)
-	tmp := path + ".tmp"
-	f, err := w.fs.OpenFile("doc", tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
-	if err != nil {
-		return err
-	}
-	if _, err := f.Write(data); err != nil {
-		// Cleanup of a tmp file the rename will never see is
-		// best-effort: a leftover .tmp is overwritten by the next swap
-		// and invisible to readers, while the write error is what the
-		// caller must hear.
-		f.Close()         //nolint:errcheck // failing path; the write error wins
-		w.removeTemp(tmp) //nolint:errcheck
-		return err
-	}
-	if sync {
-		if err := f.Sync(); err != nil {
-			f.Close()         //nolint:errcheck // failing path; the sync error wins
-			w.removeTemp(tmp) //nolint:errcheck
-			return err
-		}
-	}
-	if err := f.Close(); err != nil {
-		w.removeTemp(tmp) //nolint:errcheck
-		return err
-	}
-	return w.fs.Rename("doc", tmp, path)
+// the latest content, because recovery replays that copy over the
+// stored state regardless of what the crash left in it (see install
+// and Compact).
+func (w *Warehouse) writeDoc(name string, data []byte, sync bool) error {
+	return w.st.WriteDoc(name, data, sync)
 }
 
-// removeTemp discards a tmp file after a failed swap. Best-effort by
-// design (see writeDocFile); factored out so the intent is stated once.
-func (w *Warehouse) removeTemp(tmp string) error {
-	return w.fs.Remove("doc", tmp)
-}
-
-// statGuard rejects names that exist neither in the cache nor on disk
-// before any per-document lock is allocated, so clients probing
+// statGuard rejects names that exist neither in the cache nor in the
+// store before any per-document lock is allocated, so clients probing
 // arbitrary names (missing documents, typos, scans) can never grow the
 // lock table. Callers performing mutations must re-check existence
 // under the document's locks; this pre-check only bounds allocation.
@@ -516,11 +540,12 @@ func (w *Warehouse) statGuard(name string) error {
 	if _, ok := w.cacheGet(name); ok {
 		return nil
 	}
-	if _, err := w.fs.Stat("doc", w.docPath(name)); err != nil {
-		if errors.Is(err, fs.ErrNotExist) {
-			return fmt.Errorf("warehouse: %w: %q", ErrNotFound, name)
-		}
+	ok, err := w.st.DocExists(name)
+	if err != nil {
 		return err
+	}
+	if !ok {
+		return fmt.Errorf("warehouse: %w: %q", ErrNotFound, name)
 	}
 	return nil
 }
@@ -560,9 +585,9 @@ func (w *Warehouse) lockWriter(name string, mustExist bool) (*docLock, error) {
 	}
 }
 
-// readDocFile parses the document file from disk.
-func (w *Warehouse) readDocFile(name string) (*fuzzy.Tree, error) {
-	data, err := w.fs.ReadFile("doc", w.docPath(name))
+// readDoc loads and parses the document from the store.
+func (w *Warehouse) readDoc(name string) (*fuzzy.Tree, error) {
+	data, err := w.st.ReadDoc(name)
 	if errors.Is(err, fs.ErrNotExist) {
 		return nil, fmt.Errorf("warehouse: %w: %q", ErrNotFound, name)
 	}
@@ -606,7 +631,7 @@ func (w *Warehouse) snapshot(name string) (*fuzzy.Tree, error) {
 			dl.state.Unlock()
 			return ft, nil
 		}
-		ft, err := w.readDocFile(name)
+		ft, err := w.readDoc(name)
 		if err == nil {
 			w.cacheSet(name, ft)
 		} else if errors.Is(err, ErrNotFound) && dl.writers.TryLock() {
@@ -707,24 +732,24 @@ func (w *Warehouse) CreateCtx(ctx context.Context, name string, ft *fuzzy.Tree) 
 		return err
 	}
 	defer dl.writers.Unlock()
-	if _, err := w.fs.Stat("doc", w.docPath(name)); err == nil {
+	if exists, _ := w.st.DocExists(name); exists {
 		return fmt.Errorf("warehouse: %w: %q", ErrExists, name)
 	}
 	clone := ft.Clone()
 	err = w.install(ctx, dl,
 		Record{Op: OpCreate, Doc: name, Content: string(data)},
 		func(syncFile bool) error {
-			if err := w.writeDocFile(name, data, syncFile); err != nil {
+			if err := w.writeDoc(name, data, syncFile); err != nil {
 				return err
 			}
 			w.cacheSet(name, clone)
 			return nil
 		})
 	if err != nil {
-		// The document never came to exist (journal or file-write
+		// The document never came to exist (journal or store-write
 		// failure), so the entry allocated for it must not outlive
 		// this call — nothing else would ever delete it.
-		if _, statErr := w.fs.Stat("doc", w.docPath(name)); errors.Is(statErr, fs.ErrNotExist) {
+		if exists, statErr := w.st.DocExists(name); statErr == nil && !exists {
 			w.locks.del(name)
 		}
 		return err
@@ -767,18 +792,7 @@ func (w *Warehouse) List() ([]string, error) {
 		return nil, err
 	}
 	defer release()
-	entries, err := w.fs.ReadDir("doc", filepath.Join(w.dir, docsDir))
-	if err != nil {
-		return nil, err
-	}
-	var names []string
-	for _, e := range entries {
-		if n, ok := strings.CutSuffix(e.Name(), docExt); ok && !e.IsDir() {
-			names = append(names, n)
-		}
-	}
-	sort.Strings(names)
-	return names, nil
+	return w.st.ListDocs()
 }
 
 // Drop removes the named document.
@@ -807,7 +821,7 @@ func (w *Warehouse) Drop(name string) error {
 		Record{Op: OpDrop, Doc: name},
 		func(bool) error {
 			w.cacheDel(name)
-			return w.fs.Remove("doc", w.docPath(name))
+			return w.st.RemoveDoc(name)
 		})
 	if err != nil {
 		return err
@@ -932,7 +946,7 @@ func (w *Warehouse) mutateDoc(ctx context.Context, name string, compute func(ft 
 	err = w.install(ctx, dl,
 		Record{Op: OpUpdate, Doc: name, Tx: txNote, Content: string(data)},
 		func(syncFile bool) error {
-			if err := w.writeDocFile(name, data, syncFile); err != nil {
+			if err := w.writeDoc(name, data, syncFile); err != nil {
 				return err
 			}
 			w.cacheSet(name, next)
@@ -1029,30 +1043,34 @@ func (w *Warehouse) Stat(name string) (Info, error) {
 
 // Journal returns all journal records (for audit and tests). It takes
 // no journal lock — stalling every mutation for the duration of a
-// potentially large file read would be worse than the alternative —
+// potentially large journal read would be worse than the alternative —
 // so a call concurrent with mutations may miss records still in the
 // append buffer or stop short at one caught mid-flush (the torn-tail
-// semantics readJournal already has for crashes). Quiescent reads are
-// exact.
+// semantics the backend scan already has for crashes). Quiescent reads
+// are exact.
 func (w *Warehouse) Journal() ([]Record, error) {
 	release, err := w.startOp()
 	if err != nil {
 		return nil, err
 	}
 	defer release()
-	records, _, _, err := readJournal(w.fs, filepath.Join(w.dir, journalFile))
-	return records, err
+	payloads, _, err := w.st.ScanJournal(validRecord)
+	if err != nil {
+		return nil, err
+	}
+	return parseRecords(payloads)
 }
 
-// Compact truncates the journal. Safe whenever the warehouse is in a
-// committed state, which holds under the exclusive warehouse lock: it
-// waits out all in-flight operations, so every document file already
-// contains its latest post-state and the journal's only value beyond
-// the audit trail is as the durable copy of that post-state — so
-// Compact first makes every document file (and the directory holding
-// them) durable itself, then trades the journal for space. After it
-// returns, the files are the authority until the next mutation
-// journals a new post-state.
+// Compact drops the journal records, reclaiming their space. Safe
+// whenever the warehouse is in a committed state, which holds under
+// the exclusive warehouse lock: it waits out all in-flight operations,
+// so every stored document already holds its latest post-state and the
+// journal's only value beyond the audit trail is as the durable copy
+// of that post-state — so Compact first makes every document durable
+// itself (SyncDocs), then trades the journal for space (ResetJournal,
+// which for the kv backend also rewrites the page file down to its
+// live pages). After it returns, the stored documents are the
+// authority until the next mutation journals a new post-state.
 func (w *Warehouse) Compact() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -1063,14 +1081,14 @@ func (w *Warehouse) Compact() error {
 		return err
 	}
 	// Failures up to and including the journal close leave the journal
-	// file intact on disk — the warehouse stays fully consistent and
+	// records intact on disk — the warehouse stays fully consistent and
 	// writable, so these paths return a plain error.
-	if err := w.syncDocs(); err != nil {
+	if err := w.st.SyncDocs(); err != nil {
 		return err
 	}
 	// The journal is also the durable copy of the view registry (its
-	// view-register/view-drop records); snapshot the registry to
-	// views.json before dropping it.
+	// view-register/view-drop records); snapshot the registry before
+	// dropping it.
 	if err := w.writeViewSnapshot(); err != nil {
 		return err
 	}
@@ -1080,51 +1098,21 @@ func (w *Warehouse) Compact() error {
 		w.setDegraded("compact.close", err)
 		return err
 	}
-	path := filepath.Join(w.dir, journalFile)
-	if err := w.fs.Truncate("journal", path, 0); err != nil {
+	if err := w.st.ResetJournal(); err != nil {
 		// Between close and a successful reopen there is no live
 		// journal instance: no mutation can be made durable, so the
 		// warehouse must stop accepting writes until Reopen.
-		w.setDegraded("compact.truncate", err)
+		w.setDegraded("compact.reset", err)
 		return err
 	}
-	j, _, err := openJournal(w.fs, path, &w.jc, w.setDegraded)
+	log, err := w.st.OpenJournal()
 	if err != nil {
 		w.setDegraded("compact.reopen", err)
 		return err
 	}
-	w.journal = j
+	w.journal = newJournal(log, 0, &w.jc, w.setDegraded)
 	w.journaledMu.Lock()
 	w.journaled = make(map[string]bool)
 	w.journaledMu.Unlock()
 	return nil
-}
-
-// syncDocs fsyncs every document file and then the docs directory
-// (making renames and removals durable). Called by Compact before the
-// journal — until then the durable copy of recent mutations — is
-// dropped.
-func (w *Warehouse) syncDocs() error {
-	dir := filepath.Join(w.dir, docsDir)
-	entries, err := w.fs.ReadDir("doc", dir)
-	if err != nil {
-		return err
-	}
-	for _, e := range entries {
-		if !strings.HasSuffix(e.Name(), docExt) || e.IsDir() {
-			continue
-		}
-		f, err := w.fs.OpenFile("doc", filepath.Join(dir, e.Name()), os.O_RDONLY, 0)
-		if err != nil {
-			return err
-		}
-		err = f.Sync()
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
-			return err
-		}
-	}
-	return syncDir(w.fs, "doc", dir)
 }

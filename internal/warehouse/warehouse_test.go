@@ -242,87 +242,74 @@ func TestJournalAudit(t *testing.T) {
 // reopen the mutation must be rolled back to the last committed state
 // and resolved with an abort marker.
 func TestRecoveryRollsBackUnmarkedUpdate(t *testing.T) {
-	dir := t.TempDir()
-	w, err := Open(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := w.Create("doc", slide12()); err != nil {
-		t.Fatal(err)
-	}
-	w.Close()
+	for _, backend := range storeBackends {
+		t.Run(backend, func(t *testing.T) {
+			dir := t.TempDir()
+			w := openB(t, dir, backend)
+			if err := w.Create("doc", slide12()); err != nil {
+				t.Fatal(err)
+			}
+			w.Close()
 
-	// Forge the crash: an unmarked update record, with the document
-	// file already swapped to the new content (the worst case — the
-	// apply ran, only the commit marker is missing).
-	newDoc := fuzzy.MustParseTree("A(UNCOMMITTED)", nil)
-	j, _, err := openJournal(vfs.OS, filepath.Join(dir, journalFile), &journalCounters{}, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	content, err := docBytes(newDoc)
-	if err != nil {
-		t.Fatal(err)
-	}
-	seq, err := j.append(Record{Op: OpUpdate, Doc: "doc", Tx: "<forged/>", Content: string(content)})
-	if err != nil {
-		t.Fatal(err)
-	}
-	j.close()
-	if err := os.WriteFile(filepath.Join(dir, docsDir, "doc"+docExt), content, 0o644); err != nil {
-		t.Fatal(err)
-	}
+			// Forge the crash: an unmarked update record, with the document
+			// file already swapped to the new content (the worst case — the
+			// apply ran, only the commit marker is missing).
+			newDoc := fuzzy.MustParseTree("A(UNCOMMITTED)", nil)
+			content, err := docBytes(newDoc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seqs := forgeJournal(t, dir, backend, []Record{
+				{Op: OpUpdate, Doc: "doc", Tx: "<forged/>", Content: string(content)},
+			})
+			seq := seqs[0]
+			seedDocs(t, dir, backend, map[string]string{"doc": string(content)})
 
-	w2, err := Open(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer w2.Close()
-	got, err := w2.Get("doc")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !fuzzy.Equal(got.Root, slide12().Root) {
-		t.Errorf("recovery did not roll back: %s", fuzzy.Format(got.Root))
-	}
-	// The journal must now resolve the forged mutation with an abort.
-	recs, _ := w2.Journal()
-	last := recs[len(recs)-1]
-	if last.Op != OpAbort || last.RefSeq != seq {
-		t.Errorf("journal ends with %s ref %d, want abort ref %d", last.Op, last.RefSeq, seq)
-	}
-	if s := w2.JournalStats(); s.RecoveryRollbacks != 1 || s.RecoveryReplays != 1 {
-		t.Errorf("recovery counters = %+v, want 1 rollback, 1 replay", s)
+			w2 := openB(t, dir, backend)
+			defer w2.Close()
+			got, err := w2.Get("doc")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !fuzzy.Equal(got.Root, slide12().Root) {
+				t.Errorf("recovery did not roll back: %s", fuzzy.Format(got.Root))
+			}
+			// The journal must now resolve the forged mutation with an abort.
+			recs, _ := w2.Journal()
+			last := recs[len(recs)-1]
+			if last.Op != OpAbort || last.RefSeq != seq {
+				t.Errorf("journal ends with %s ref %d, want abort ref %d", last.Op, last.RefSeq, seq)
+			}
+			if s := w2.JournalStats(); s.RecoveryRollbacks != 1 || s.RecoveryReplays != 1 {
+				t.Errorf("recovery counters = %+v, want 1 rollback, 1 replay", s)
+			}
+		})
 	}
 }
 
 // TestRecoveryTornJournalTail: a partial last line (torn write) is
 // ignored.
 func TestRecoveryTornJournalTail(t *testing.T) {
-	dir := t.TempDir()
-	w, err := Open(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := w.Create("doc", slide12()); err != nil {
-		t.Fatal(err)
-	}
-	w.Close()
+	for _, backend := range storeBackends {
+		t.Run(backend, func(t *testing.T) {
+			dir := t.TempDir()
+			w := openB(t, dir, backend)
+			if err := w.Create("doc", slide12()); err != nil {
+				t.Fatal(err)
+			}
+			w.Close()
 
-	f, err := os.OpenFile(filepath.Join(dir, journalFile), os.O_APPEND|os.O_WRONLY, 0o644)
-	if err != nil {
-		t.Fatal(err)
-	}
-	f.WriteString(`{"seq":99,"op":"upd`) // torn record
-	f.Close()
+			tearJournalTail(t, dir, backend)
 
-	w2, err := Open(dir)
-	if err != nil {
-		t.Fatalf("torn journal tail broke recovery: %v", err)
-	}
-	defer w2.Close()
-	if _, err := w2.Get("doc"); err != nil {
-		t.Errorf("document lost: %v", err)
+			w2, err := OpenBackend(dir, backend, vfs.OS)
+			if err != nil {
+				t.Fatalf("torn journal tail broke recovery: %v", err)
+			}
+			defer w2.Close()
+			if _, err := w2.Get("doc"); err != nil {
+				t.Errorf("document lost: %v", err)
+			}
+		})
 	}
 }
 
@@ -330,40 +317,29 @@ func TestRecoveryTornJournalTail(t *testing.T) {
 // document is restored from its committed create even when the drop's
 // file removal had already run.
 func TestRecoveryDropRollsBack(t *testing.T) {
-	dir := t.TempDir()
-	w, err := Open(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := w.Create("doc", slide12()); err != nil {
-		t.Fatal(err)
-	}
-	w.Close()
+	for _, backend := range storeBackends {
+		t.Run(backend, func(t *testing.T) {
+			dir := t.TempDir()
+			w := openB(t, dir, backend)
+			if err := w.Create("doc", slide12()); err != nil {
+				t.Fatal(err)
+			}
+			w.Close()
 
-	j, _, err := openJournal(vfs.OS, filepath.Join(dir, journalFile), &journalCounters{}, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := j.append(Record{Op: OpDrop, Doc: "doc"}); err != nil {
-		t.Fatal(err)
-	}
-	j.close()
-	// Simulate the crash after the drop removed the file.
-	if err := os.Remove(filepath.Join(dir, docsDir, "doc"+docExt)); err != nil {
-		t.Fatal(err)
-	}
+			forgeJournal(t, dir, backend, []Record{{Op: OpDrop, Doc: "doc"}})
+			// Simulate the crash after the drop removed the file.
+			seedDocs(t, dir, backend, nil)
 
-	w2, err := Open(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer w2.Close()
-	got, err := w2.Get("doc")
-	if err != nil {
-		t.Fatalf("unmarked drop lost the document: %v", err)
-	}
-	if !fuzzy.Equal(got.Root, slide12().Root) {
-		t.Errorf("restored document = %s", fuzzy.Format(got.Root))
+			w2 := openB(t, dir, backend)
+			defer w2.Close()
+			got, err := w2.Get("doc")
+			if err != nil {
+				t.Fatalf("unmarked drop lost the document: %v", err)
+			}
+			if !fuzzy.Equal(got.Root, slide12().Root) {
+				t.Errorf("restored document = %s", fuzzy.Format(got.Root))
+			}
+		})
 	}
 }
 
